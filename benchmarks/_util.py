@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one display item or proved claim of the
+paper (see DESIGN.md section 3) and *emits* a plain-text table: through
+pytest's terminal reporter (so it lands in ``bench_output.txt``) and into
+``benchmarks/results/<exp_id>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.harness.report import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: tables emitted during this session, replayed by the terminal-summary
+#: hook in benchmarks/conftest.py (summary output is never captured)
+EMITTED: list[str] = []
+
+
+def emit(request, table: Table) -> str:
+    """Render ``table``, queue it for the end-of-run summary, and persist
+    it under benchmarks/results/."""
+    text = table.render()
+    EMITTED.append(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = request.node.name.replace("/", "_")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text

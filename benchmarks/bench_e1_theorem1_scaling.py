@@ -1,0 +1,80 @@
+"""EXP-E1 -- Theorem 1: O(log n) rounds and messages per step (w.h.p.),
+O(1) topology changes, constant degree and constant spectral gap, under
+adaptive mixed churn, across network sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import emit
+from repro.adversary import RandomChurn
+from repro.analysis.stats import fit_log_curve
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.harness import Table, run_churn
+
+SIZES = [64, 128, 256, 512, 1024]
+STEPS = 160
+
+
+@pytest.fixture(scope="module")
+def scaling_results():
+    rows = []
+    for n0 in SIZES:
+        net = DexNetwork.bootstrap(n0, DexConfig(seed=3))
+        result = run_churn(
+            net, RandomChurn(0.5, seed=3, min_size=n0 // 2), STEPS, sample_every=STEPS
+        )
+        rows.append((n0, net, result))
+    return rows
+
+
+def test_theorem1_scaling(benchmark, request, scaling_results):
+    table = Table(
+        f"Theorem 1: per-step recovery costs vs n ({STEPS} mixed-churn steps each)",
+        [
+            "n0",
+            "rounds p50",
+            "rounds p95",
+            "msgs p50",
+            "msgs p95",
+            "topo p95",
+            "max degree",
+            "gap",
+        ],
+    )
+    med_rounds, med_msgs = [], []
+    for n0, net, result in scaling_results:
+        rounds = result.cost_summary("rounds")
+        msgs = result.cost_summary("messages")
+        topo = result.cost_summary("topology_changes")
+        table.add_row(
+            n0,
+            rounds.median,
+            rounds.p95,
+            msgs.median,
+            msgs.p95,
+            topo.p95,
+            result.max_degree_seen,
+            round(result.final_gap(), 4),
+        )
+        med_rounds.append(rounds.median)
+        med_msgs.append(msgs.median)
+    a_rounds, _ = fit_log_curve(SIZES, med_rounds)
+    a_msgs, _ = fit_log_curve(SIZES, med_msgs)
+    table.add_note(
+        f"log2-fit slopes: rounds ~ {a_rounds:.2f} log2 n, "
+        f"messages ~ {a_msgs:.2f} log2 n (paper: O(log n) for both)"
+    )
+    emit(request, table)
+
+    for n0, net, result in scaling_results:
+        assert result.max_degree_seen <= 3 * net.config.stagger_max_load
+        assert result.min_gap > 0.01  # constant spectral gap
+        assert result.cost_summary("topology_changes").p95 <= 40  # O(1)
+        # sublinear cost: far below n
+        assert result.cost_summary("messages").median < n0
+
+    net = DexNetwork.bootstrap(256, DexConfig(seed=4))
+    benchmark(lambda: net.insert())

@@ -1,0 +1,61 @@
+"""EXP-E3 -- Lemma 8: consecutive type-2 recoveries are separated by
+Omega(n) type-1 steps (this is what makes the simplified procedures'
+amortized bounds work).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import emit
+from repro.analysis.stats import loglog_slope
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.harness import Table
+from repro.types import RecoveryType
+
+SIZES = [32, 64, 128, 256]
+
+
+def spacing_for(n0: int, seed: int) -> tuple[int, float]:
+    """Insertion-only drive through >= 3 inflations; returns the minimum
+    spacing between consecutive type-2 steps and n at the second one."""
+    net = DexNetwork.bootstrap(
+        n0, DexConfig(seed=seed, type2_mode="simplified")
+    )
+    type2_at = []
+    step = 0
+    while len(type2_at) < 3 and step < 12_000:
+        step += 1
+        if net.insert().recovery is RecoveryType.TYPE2_INFLATE:
+            type2_at.append((step, net.size))
+    gaps = [b[0] - a[0] for a, b in zip(type2_at, type2_at[1:])]
+    return min(gaps), type2_at[1][1]
+
+
+@pytest.fixture(scope="module")
+def spacing_rows():
+    return [(n0, *spacing_for(n0, seed=7)) for n0 in SIZES]
+
+
+def test_lemma8_spacing(benchmark, request, spacing_rows):
+    table = Table(
+        "Lemma 8: steps between consecutive type-2 recoveries (insertion drive)",
+        ["n0", "min spacing", "n at 2nd type-2", "spacing / n"],
+    )
+    sizes, spacings = [], []
+    for n0, spacing, n_at in spacing_rows:
+        table.add_row(n0, spacing, n_at, round(spacing / n_at, 2))
+        sizes.append(n_at)
+        spacings.append(spacing)
+    slope = loglog_slope(sizes, spacings)
+    table.add_note(
+        f"log-log slope of spacing vs n: {slope:.2f} (paper: Omega(n) => ~1)"
+    )
+    emit(request, table)
+
+    for n0, spacing, n_at in spacing_rows:
+        assert spacing >= n_at / 4  # delta * n with a conservative delta
+    assert slope > 0.7  # linear-ish growth
+
+    benchmark(lambda: spacing_for(32, seed=8))

@@ -1,0 +1,81 @@
+"""EXP-E6 -- Section 4.4.4: DHT insert/lookup in O(log n) messages and
+rounds, correct under churn including staggered cycle replacement.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks._util import emit
+from repro.analysis.stats import fit_log_curve
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.dht.dht import DexDHT
+from repro.harness import Table
+
+SIZES = [64, 128, 256, 512]
+OPS = 120
+
+
+def dht_cost_at(n0: int, seed: int) -> tuple[float, float]:
+    net = DexNetwork.bootstrap(n0, DexConfig(seed=seed))
+    dht = DexDHT(net)
+    before_m = dht.stats.total_messages
+    before_r = dht.stats.total_rounds
+    for i in range(OPS):
+        dht.put(f"key-{i}", i)
+    for i in range(OPS):
+        assert dht.get(f"key-{i}") == i
+    per_op_m = (dht.stats.total_messages - before_m) / (2 * OPS)
+    per_op_r = (dht.stats.total_rounds - before_r) / (2 * OPS)
+    return per_op_m, per_op_r
+
+
+@pytest.fixture(scope="module")
+def dht_rows():
+    return [(n0, *dht_cost_at(n0, seed=13)) for n0 in SIZES]
+
+
+def test_dht_costs(benchmark, request, dht_rows):
+    table = Table(
+        f"DHT (Section 4.4.4): per-operation cost over {OPS} puts + {OPS} gets",
+        ["n0", "msgs/op", "rounds/op", "msgs / log2 n"],
+    )
+    for n0, msgs, rounds in dht_rows:
+        table.add_row(n0, round(msgs, 2), round(rounds, 2), round(msgs / math.log2(n0), 2))
+    a, b = fit_log_curve(SIZES, [m for _, m, _ in dht_rows])
+    table.add_note(f"log2-fit: msgs/op ~ {a:.2f} log2 n + {b:.2f} (paper: O(log n))")
+    emit(request, table)
+
+    for n0, msgs, rounds in dht_rows:
+        assert msgs <= 4 * math.log2(n0)
+        assert rounds <= 4 * math.log2(n0)
+
+
+def test_dht_correct_across_staggered_swap(benchmark, request):
+    net = DexNetwork.bootstrap(64, DexConfig(seed=14))
+    dht = DexDHT(net)
+    data = {f"key-{i}": i for i in range(150)}
+    for k, v in data.items():
+        dht.put(k, v)
+    crossed = 0
+    steps = 0
+    while crossed < 2 and steps < 4000:
+        steps += 1
+        was = net.staggered is not None
+        net.insert()
+        if was and net.staggered is None:
+            crossed += 1
+    missing = sum(1 for k, v in data.items() if dht.get(k) != v)
+    table = Table(
+        "DHT retrievability across staggered inflations",
+        ["cycle swaps crossed", "items", "missing after churn", "migrated items"],
+    )
+    table.add_row(crossed, len(data), missing, dht.stats.migrated_items)
+    emit(request, table)
+    assert crossed >= 1
+    assert missing == 0
+
+    benchmark(lambda: dht.get("key-7"))

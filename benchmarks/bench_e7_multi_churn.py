@@ -1,0 +1,71 @@
+"""EXP-E7 -- Section 5 / Corollary 2: batched churn of up to eps*n nodes
+per step heals in O(n log^2 n) messages and O(log^3 n) rounds per batch
+step (with the simplified type-2 procedures).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks._util import emit
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.core.multi import delete_batch, insert_batch
+from repro.harness import Table
+
+N0 = 128
+EPS = 0.10
+BATCHES = 14
+
+
+@pytest.fixture(scope="module")
+def batch_run():
+    net = DexNetwork.bootstrap(N0, DexConfig(seed=15, type2_mode="simplified"))
+    reports = []
+    for i in range(BATCHES):
+        size = max(2, int(EPS * net.size))
+        if i % 3 == 2:
+            victims = sorted(net.nodes())[-size:]
+            reports.append(("delete", net.size, delete_batch(net, victims)))
+        else:
+            hosts = sorted(net.nodes())
+            pairs = [
+                (net.fresh_id() + j, hosts[j % len(hosts)]) for j in range(size)
+            ]
+            reports.append(("insert", net.size, insert_batch(net, pairs)))
+    net.check_invariants()
+    return net, reports
+
+
+def test_corollary2_batches(benchmark, request, batch_run):
+    net, reports = batch_run
+    table = Table(
+        f"Corollary 2: batched churn (eps={EPS}, {BATCHES} batches, n0={N0})",
+        ["batch", "kind", "n before", "rounds", "messages", "msgs / (n log^2 n)"],
+    )
+    for i, (kind, n_before, report) in enumerate(reports):
+        norm = n_before * math.log2(max(n_before, 2)) ** 2
+        table.add_row(
+            i, kind, n_before, report.rounds, report.messages,
+            round(report.messages / norm, 3),
+        )
+    table.add_note(
+        "paper: O(n log^2 n) messages and O(log^3 n) rounds per batch step w.h.p."
+    )
+    emit(request, table)
+
+    for kind, n_before, report in reports:
+        log_n = math.log2(max(n_before, 2))
+        assert report.messages <= 12 * n_before * log_n**2
+        assert report.rounds <= 20 * log_n**3
+
+    net2 = DexNetwork.bootstrap(64, DexConfig(seed=16, type2_mode="simplified"))
+
+    def one_batch():
+        hosts = sorted(net2.nodes())
+        pairs = [(net2.fresh_id() + j, hosts[j]) for j in range(4)]
+        insert_batch(net2, pairs)
+
+    benchmark(one_batch)

@@ -1,0 +1,85 @@
+"""EXP-E9 -- Definition 1 / [19]: the p-cycle family has a constant
+spectral gap for every prime p; Theorem 2 (Cheeger) and Lemma 12 (Mixing
+Lemma) hold on it.  This is the structural foundation DEX builds on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks._util import emit
+from repro.analysis.expansion import cheeger_bounds, edge_expansion_sweep
+from repro.analysis.mixing import estimate_mixing_time, mixing_lemma_check
+from repro.analysis.spectral import second_eigenvalue, spectral_gap
+from repro.harness import Table
+from repro.virtual.pcycle import PCycle
+
+PRIMES = [23, 101, 499, 1009, 5003, 10007, 20011]
+
+
+@pytest.fixture(scope="module")
+def family_rows():
+    rows = []
+    for p in PRIMES:
+        z = PCycle(p)
+        A = z.adjacency_matrix()
+        gap = spectral_gap(A)
+        sweep = edge_expansion_sweep(A) / 3.0  # normalized by degree
+        lower, upper = cheeger_bounds(gap)
+        mixing = estimate_mixing_time(A) if p <= 5003 else None
+        rows.append((p, gap, lower, sweep, upper, mixing))
+    return rows
+
+
+def test_pcycle_family_gap(benchmark, request, family_rows):
+    table = Table(
+        "p-cycle family: spectral gap, Cheeger sandwich, mixing time",
+        ["p", "gap 1-lambda", "cheeger lower", "sweep h/d", "cheeger upper", "t_mix"],
+    )
+    for p, gap, lower, sweep, upper, mixing in family_rows:
+        table.add_row(
+            p,
+            round(gap, 4),
+            round(lower, 4),
+            round(sweep, 4),
+            round(upper, 4),
+            mixing if mixing is not None else "-",
+        )
+    table.add_note("paper/[19]: constant gap across the whole family")
+    emit(request, table)
+
+    gaps = [gap for _, gap, *_ in family_rows]
+    assert min(gaps) > 0.01  # constant floor, no decay with p
+    # Cheeger sandwich: lower <= h (sweep is an upper bound on h) and
+    # sweep <= upper
+    for p, gap, lower, sweep, upper, _ in family_rows:
+        assert sweep >= lower - 1e-9
+        assert sweep <= upper + 1e-9
+
+    benchmark(lambda: spectral_gap(PCycle(1009).adjacency_matrix()))
+
+
+def test_mixing_lemma_on_family(benchmark, request):
+    rng = random.Random(19)
+    p = 1009
+    z = PCycle(p)
+    A = z.adjacency_matrix()
+    lam = abs(second_eigenvalue(A))
+    worst_ratio = 0.0
+    for _ in range(30):
+        s_set = set(rng.sample(range(p), p // 6))
+        t_set = set(rng.sample(range(p), p // 4))
+        deviation, bound = mixing_lemma_check(A, 3, lam, s_set, t_set)
+        safe_bound = max(bound, 3 * (len(s_set) * len(t_set)) ** 0.5)
+        worst_ratio = max(worst_ratio, deviation / safe_bound)
+    table = Table(
+        f"Mixing Lemma (Lemma 12) on Z({p})",
+        ["trials", "worst deviation/bound"],
+    )
+    table.add_row(30, round(worst_ratio, 3))
+    emit(request, table)
+    assert worst_ratio <= 1.0
+
+    benchmark(lambda: spectral_gap(PCycle(499).adjacency_matrix()))

@@ -1,0 +1,19 @@
+"""Benchmark-suite plumbing: collect every experiment table emitted via
+:func:`benchmarks._util.emit` and print them in the terminal summary (the
+one section pytest never captures, so the tables always reach stdout /
+``bench_output.txt``)."""
+
+from __future__ import annotations
+
+from benchmarks import _util
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = getattr(_util, "EMITTED", [])
+    if not tables:
+        return
+    terminalreporter.section("experiment tables (paper reproduction)")
+    for text in tables:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Adaptive adversary show-down: DEX vs a probabilistic overlay.
+
+The adversary sees the whole network state and always deletes the
+highest-degree node (mixing in joins to keep the population up).  DEX's
+spectral gap never leaves its constant floor; the Law-Siu random
+Hamiltonian-cycle overlay -- whose expansion is only a with-high-
+probability property against an *oblivious* adversary -- drifts.  This is
+Figure-less Section 1 of the paper, measured.
+
+Run:  python examples/adversarial_attack.py
+"""
+
+from repro.adversary import CoordinatorAttack, DegreeAttack
+from repro.harness import OVERLAY_FACTORIES, run_churn
+
+N0 = 64
+STEPS = 400
+
+
+def main() -> None:
+    print(f"adaptive degree-attack, n0={N0}, {STEPS} steps\n")
+    print(f"{'overlay':<12} {'gap@0':>8} {'gap min':>8} {'gap end':>8} {'max deg':>8}")
+    for name in ("dex", "law-siu", "flip-chain"):
+        overlay = OVERLAY_FACTORIES[name](N0, seed=13)
+        result = run_churn(
+            overlay,
+            DegreeAttack(seed=13, insert_every=2, min_size=24),
+            steps=STEPS,
+            sample_every=20,
+        )
+        print(
+            f"{name:<12} {result.gap_samples[0][1]:>8.4f} {result.min_gap:>8.4f} "
+            f"{result.final_gap():>8.4f} {result.max_degree_seen:>8d}"
+        )
+
+    print("\ncoordinator assassination (DEX-specific attack):")
+    net = OVERLAY_FACTORIES["dex"](N0, seed=17)
+    result = run_churn(
+        net, CoordinatorAttack(seed=17, insert_every=2, min_size=24),
+        steps=200, sample_every=20,
+    )
+    msgs = result.cost_summary("messages")
+    print(
+        f"  200 steps of killing the host of vertex 0: "
+        f"min gap {result.min_gap:.4f}, messages/step median {msgs.median:.0f} "
+        f"(state replication makes each kill O(1) to absorb, Algorithm 4.7)"
+    )
+    net.check_invariants()
+    print("  invariants hold under targeted attack")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so editable installs go through `setup.py develop` (metadata lives in
+pyproject.toml)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "DEX: self-healing expanders -- full reproduction "
+        "(Pandurangan, Robinson, Trehan)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

@@ -1,0 +1,45 @@
+"""repro -- a full reproduction of *DEX: Self-Healing Expanders*
+(Pandurangan, Robinson, Trehan; IPDPS 2014 / Distributed Computing 2016).
+
+Quickstart::
+
+    from repro import DexNetwork, DexConfig
+
+    net = DexNetwork.bootstrap(64, DexConfig(seed=1))
+    for _ in range(200):
+        net.insert()                 # adversarial join
+    report = net.delete(net.random_node())  # adversarial leave
+    print(report.summary_line())
+    assert net.spectral_gap() > 0.01         # always an expander
+    assert net.max_degree() <= 3 * 4 * 8     # always constant degree
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.core.events import StepReport
+from repro.core.multi import delete_batch, insert_batch
+from repro.dht.dht import DexDHT
+from repro.virtual.pcycle import PCycle
+from repro.analysis.spectral import spectral_gap, second_eigenvalue
+from repro.types import Layer, RecoveryType, StepKind
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DexNetwork",
+    "DexConfig",
+    "DexDHT",
+    "StepReport",
+    "PCycle",
+    "insert_batch",
+    "delete_batch",
+    "spectral_gap",
+    "second_eigenvalue",
+    "Layer",
+    "RecoveryType",
+    "StepKind",
+    "__version__",
+]

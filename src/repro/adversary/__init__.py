@@ -1,0 +1,34 @@
+"""Adversaries (Section 2): adaptive strategies with full read access to
+the network state, deciding which node joins or leaves at every step."""
+
+from repro.adversary.base import Adversary, ChurnAction, NetworkView
+from repro.adversary.random_churn import (
+    RandomChurn,
+    InsertOnly,
+    DeleteOnly,
+    OscillatingChurn,
+)
+from repro.adversary.adaptive import (
+    DegreeAttack,
+    CoordinatorAttack,
+    SpareDepleter,
+    LowLoadAttack,
+)
+from repro.adversary.traces import FlashCrowd, MassLeave, TraceAdversary
+
+__all__ = [
+    "Adversary",
+    "ChurnAction",
+    "NetworkView",
+    "RandomChurn",
+    "InsertOnly",
+    "DeleteOnly",
+    "OscillatingChurn",
+    "DegreeAttack",
+    "CoordinatorAttack",
+    "SpareDepleter",
+    "LowLoadAttack",
+    "FlashCrowd",
+    "MassLeave",
+    "TraceAdversary",
+]

@@ -1,0 +1,99 @@
+"""Adaptive attacks: strategies that exploit full knowledge of the
+current state -- the adversary class DEX is designed to survive
+(Theorem 1) and against which probabilistic constructions degrade
+(Section 1, Table 1).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.adversary.base import ChurnAction, NetworkView, pick_random_node
+
+
+class DegreeAttack:
+    """Always delete a maximum-degree node (and occasionally insert to
+    keep the size up).  Against overlays without load rebalancing this
+    concentrates damage; DEX's walks re-spread the load every step."""
+
+    def __init__(self, seed: int = 0, insert_every: int = 2, min_size: int = 8):
+        self.rng = random.Random(seed)
+        self.insert_every = insert_every
+        self.min_size = min_size
+        self._tick = 0
+
+    def next_action(self, view: NetworkView) -> ChurnAction:
+        self._tick += 1
+        if view.size <= self.min_size or (
+            self.insert_every and self._tick % self.insert_every == 0
+        ):
+            return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
+        degree_of = getattr(view, "degree_of", None)
+        if degree_of is None:
+            victim = pick_random_node(view, self.rng)
+        else:
+            victim = max(sorted(view.nodes()), key=degree_of)
+        return ChurnAction("delete", node=victim)
+
+
+class CoordinatorAttack:
+    """Delete the coordinator (the host of vertex 0) whenever possible --
+    the paper's global-knowledge strawman dies on this (Omega(n) state
+    transfer, Section 3); DEX pays O(1) because neighbors replicate the
+    coordinator's O(log n)-bit state."""
+
+    def __init__(self, seed: int = 0, insert_every: int = 2, min_size: int = 8):
+        self.rng = random.Random(seed)
+        self.insert_every = insert_every
+        self.min_size = min_size
+        self._tick = 0
+
+    def next_action(self, view: NetworkView) -> ChurnAction:
+        self._tick += 1
+        if view.size <= self.min_size or (
+            self.insert_every and self._tick % self.insert_every == 0
+        ):
+            return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
+        coordinator = getattr(view, "coordinator", None)
+        victim = coordinator.node if coordinator is not None else None
+        if victim is None:
+            victim = pick_random_node(view, self.rng)
+        return ChurnAction("delete", node=victim)
+
+
+class SpareDepleter:
+    """Insert while deleting precisely the Spare nodes, starving the
+    walk's target set as fast as possible and forcing early type-2."""
+
+    def __init__(self, seed: int = 0, min_size: int = 8):
+        self.rng = random.Random(seed)
+        self.min_size = min_size
+        self._toggle = False
+
+    def next_action(self, view: NetworkView) -> ChurnAction:
+        self._toggle = not self._toggle
+        overlay = getattr(view, "overlay", None)
+        if self._toggle or view.size <= self.min_size or overlay is None:
+            return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
+        spare = sorted(overlay.old.spare)
+        if spare:
+            return ChurnAction("delete", node=spare[self.rng.randrange(len(spare))])
+        return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
+
+
+class LowLoadAttack:
+    """Delete the lowest-load nodes first: concentrates virtual vertices
+    on the survivors, racing toward the 4*zeta bound and deflation."""
+
+    def __init__(self, seed: int = 0, min_size: int = 8):
+        self.rng = random.Random(seed)
+        self.min_size = min_size
+
+    def next_action(self, view: NetworkView) -> ChurnAction:
+        if view.size <= self.min_size:
+            return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
+        load_of = getattr(view, "load_of", None)
+        if load_of is None:
+            return ChurnAction("delete", node=pick_random_node(view, self.rng))
+        victim = min(sorted(view.nodes()), key=load_of)
+        return ChurnAction("delete", node=victim)

@@ -1,0 +1,51 @@
+"""Adversary interface.
+
+The paper's adversary is *adaptive*: it sees the entire network state,
+the algorithm, and all past random choices, and then inserts or deletes
+one node (Section 2).  A strategy here receives a :class:`NetworkView`
+(full read access to the live overlay -- by design, nothing is hidden)
+and returns a :class:`ChurnAction`.  The only thing the adversary does
+not see is the fresh randomness the healing algorithm will draw *during*
+the step it just triggered -- exactly the paper's model, and the reason
+randomized rebalancing defeats it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class ChurnAction:
+    """One adversarial step."""
+
+    kind: str  # "insert" | "delete"
+    node: NodeId | None = None  # insert: optional id; delete: victim
+    attach_to: NodeId | None = None  # insert only
+
+
+class NetworkView(Protocol):
+    """What a strategy can inspect (DexNetwork satisfies this; baseline
+    overlays provide the same surface through the harness adapter)."""
+
+    @property
+    def size(self) -> int: ...
+
+    def nodes(self): ...
+
+    def max_degree(self) -> int: ...
+
+
+class Adversary(Protocol):
+    """A churn strategy."""
+
+    def next_action(self, view: "NetworkView") -> ChurnAction: ...
+
+
+def pick_random_node(view: NetworkView, rng: random.Random) -> NodeId:
+    nodes = sorted(view.nodes())
+    return nodes[rng.randrange(len(nodes))]

@@ -1,0 +1,77 @@
+"""Oblivious churn strategies: random joins/leaves in various mixes.
+
+These model the baseline P2P churn the paper's related work (Law-Siu,
+Gkantsidis et al., Pandurangan et al.) evaluates against; the *adaptive*
+attacks live in :mod:`repro.adversary.adaptive`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.adversary.base import ChurnAction, NetworkView, pick_random_node
+
+
+class RandomChurn:
+    """Insert with probability ``p_insert``, else delete a random node."""
+
+    def __init__(self, p_insert: float = 0.5, seed: int = 0, min_size: int = 8):
+        if not 0.0 <= p_insert <= 1.0:
+            raise ValueError(f"p_insert must be in [0, 1], got {p_insert}")
+        self.p_insert = p_insert
+        self.rng = random.Random(seed)
+        self.min_size = min_size
+
+    def next_action(self, view: NetworkView) -> ChurnAction:
+        if view.size <= self.min_size or self.rng.random() < self.p_insert:
+            return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
+        return ChurnAction("delete", node=pick_random_node(view, self.rng))
+
+
+class InsertOnly:
+    """Pure join workload -- drives |Spare| to the inflation trigger."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+
+    def next_action(self, view: NetworkView) -> ChurnAction:
+        return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
+
+
+class DeleteOnly:
+    """Pure leave workload -- drives loads up to the deflation trigger.
+    Below ``min_size`` it inserts instead (the model forbids shrinking
+    the network to nothing)."""
+
+    def __init__(self, seed: int = 0, min_size: int = 8):
+        self.rng = random.Random(seed)
+        self.min_size = min_size
+
+    def next_action(self, view: NetworkView) -> ChurnAction:
+        if view.size <= self.min_size:
+            return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
+        return ChurnAction("delete", node=pick_random_node(view, self.rng))
+
+
+class OscillatingChurn:
+    """Grow by ``burst`` joins, shrink by ``burst`` leaves, repeat --
+    stresses repeated inflation/deflation crossings."""
+
+    def __init__(self, burst: int = 64, seed: int = 0, min_size: int = 8):
+        self.burst = burst
+        self.rng = random.Random(seed)
+        self.min_size = min_size
+        self._phase_insert = True
+        self._left = burst
+
+    def next_action(self, view: NetworkView) -> ChurnAction:
+        if self._left <= 0:
+            self._phase_insert = not self._phase_insert
+            self._left = self.burst
+        self._left -= 1
+        if not self._phase_insert and view.size <= self.min_size:
+            self._phase_insert = True
+            self._left = self.burst
+        if self._phase_insert:
+            return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
+        return ChurnAction("delete", node=pick_random_node(view, self.rng))

@@ -1,0 +1,71 @@
+"""Churn traces: scripted workloads modeling real P2P dynamics.
+
+``FlashCrowd`` models a sudden popularity spike (a burst of joins
+followed by steady mixed churn); ``MassLeave`` a correlated departure
+(e.g. a region going offline).  ``TraceAdversary`` replays an arbitrary
+scripted list of actions, used by the batch benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator
+
+from repro.adversary.base import ChurnAction, NetworkView, pick_random_node
+
+
+class FlashCrowd:
+    """``surge`` joins, then mixed churn with slight insert bias."""
+
+    def __init__(self, surge: int = 200, seed: int = 0, min_size: int = 8):
+        self.surge = surge
+        self.rng = random.Random(seed)
+        self.min_size = min_size
+        self._joined = 0
+
+    def next_action(self, view: NetworkView) -> ChurnAction:
+        if self._joined < self.surge:
+            self._joined += 1
+            return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
+        if view.size <= self.min_size or self.rng.random() < 0.55:
+            return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
+        return ChurnAction("delete", node=pick_random_node(view, self.rng))
+
+
+class MassLeave:
+    """A fraction ``fraction`` of the initial population leaves back to
+    back, then steady mixed churn."""
+
+    def __init__(self, fraction: float = 0.6, seed: int = 0, min_size: int = 8):
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        self.fraction = fraction
+        self.rng = random.Random(seed)
+        self.min_size = min_size
+        self._target: int | None = None
+
+    def next_action(self, view: NetworkView) -> ChurnAction:
+        if self._target is None:
+            self._target = max(self.min_size, int(view.size * (1 - self.fraction)))
+        if view.size > self._target:
+            return ChurnAction("delete", node=pick_random_node(view, self.rng))
+        if view.size <= self.min_size or self.rng.random() < 0.5:
+            return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
+        return ChurnAction("delete", node=pick_random_node(view, self.rng))
+
+
+class TraceAdversary:
+    """Replays a scripted iterable of ("insert"|"delete") kinds, choosing
+    concrete nodes uniformly."""
+
+    def __init__(self, kinds: Iterable[str], seed: int = 0):
+        self._kinds: Iterator[str] = iter(list(kinds))
+        self.rng = random.Random(seed)
+
+    def next_action(self, view: NetworkView) -> ChurnAction:
+        kind = next(self._kinds)
+        if kind == "insert":
+            return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
+        if kind == "delete":
+            return ChurnAction("delete", node=pick_random_node(view, self.rng))
+        raise ValueError(f"unknown trace action {kind!r}")

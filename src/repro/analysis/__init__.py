@@ -1,0 +1,37 @@
+"""Spectral and combinatorial graph analysis used to *measure* the
+properties DEX guarantees: spectral gap, edge expansion (Cheeger,
+Theorem 2), the Expander Mixing Lemma (Lemma 12), and mixing times.
+"""
+
+from repro.analysis.spectral import (
+    normalized_adjacency,
+    second_eigenvalue,
+    spectral_gap,
+    spectral_gap_of_multigraph,
+)
+from repro.analysis.expansion import (
+    edge_expansion_exact,
+    edge_expansion_sweep,
+    cheeger_bounds,
+)
+from repro.analysis.mixing import (
+    mixing_lemma_check,
+    estimate_mixing_time,
+)
+from repro.analysis.stats import Summary, summarize, fit_log_curve, loglog_slope
+
+__all__ = [
+    "normalized_adjacency",
+    "second_eigenvalue",
+    "spectral_gap",
+    "spectral_gap_of_multigraph",
+    "edge_expansion_exact",
+    "edge_expansion_sweep",
+    "cheeger_bounds",
+    "mixing_lemma_check",
+    "estimate_mixing_time",
+    "Summary",
+    "summarize",
+    "fit_log_curve",
+    "loglog_slope",
+]

@@ -1,0 +1,71 @@
+"""Small statistics helpers for benchmark reporting.
+
+The benchmarks never claim asymptotics from three data points; they report
+per-size summaries plus two curve diagnostics used throughout the paper's
+claims: a least-squares fit of ``a * log2(n) + b`` (for O(log n) shapes)
+and the log-log slope (for polynomial shapes such as the Omega(n) type-2
+spacing of Lemma 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+
+    def row(self) -> str:
+        return (
+            f"n={self.count:<6d} mean={self.mean:8.2f} median={self.median:8.2f} "
+            f"p95={self.p95:8.2f} max={self.maximum:8.2f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return Summary(0, float("nan"), float("nan"), float("nan"), float("nan"))
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+    )
+
+
+def fit_log_curve(sizes: Sequence[float], values: Sequence[float]) -> tuple[float, float]:
+    """Least-squares fit ``value ~ a * log2(size) + b``; returns (a, b).
+
+    For an O(log n) quantity, `a` is the constant in front of the log and
+    the residuals stay bounded; benchmarks report `a` as the measured
+    constant factor.
+    """
+    x = np.log2(np.asarray(list(sizes), dtype=np.float64))
+    y = np.asarray(list(values), dtype=np.float64)
+    if x.size < 2:
+        return float("nan"), float("nan")
+    a, b = np.polyfit(x, y, deg=1)
+    return float(a), float(b)
+
+
+def loglog_slope(sizes: Sequence[float], values: Sequence[float]) -> float:
+    """Slope of ``log(value)`` vs ``log(size)``: ~1 for linear growth,
+    ~0 for constant, used to check Omega(n)/O(1) claims."""
+    x = np.log(np.asarray(list(sizes), dtype=np.float64))
+    y = np.log(np.maximum(np.asarray(list(values), dtype=np.float64), 1e-12))
+    if x.size < 2:
+        return float("nan")
+    slope, _ = np.polyfit(x, y, deg=1)
+    return float(slope)

@@ -1,0 +1,20 @@
+"""Baselines: the two naive algorithms of Section 3 and the related-work
+overlays of Table 1, all behind a common maintenance interface so the
+harness can churn them uniformly."""
+
+from repro.baselines.interface import MaintainedOverlay, OverlaySnapshot
+from repro.baselines.flooding import FloodingExpander
+from repro.baselines.global_knowledge import GlobalKnowledgeExpander
+from repro.baselines.lawsiu import LawSiuNetwork
+from repro.baselines.skipgraph import SkipGraphOverlay
+from repro.baselines.flip import FlipChainOverlay
+
+__all__ = [
+    "MaintainedOverlay",
+    "OverlaySnapshot",
+    "FloodingExpander",
+    "GlobalKnowledgeExpander",
+    "LawSiuNetwork",
+    "SkipGraphOverlay",
+    "FlipChainOverlay",
+]

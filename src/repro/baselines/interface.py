@@ -1,0 +1,60 @@
+"""Common surface for maintained overlays (DEX and every baseline).
+
+Each overlay supports single-node insert/delete steps and reports the
+communication costs the paper's Table 1 compares: recovery rounds,
+messages, and topology changes per step, plus measurable structure
+(degree, spectral gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+import scipy.sparse as sp
+
+from repro.analysis.spectral import spectral_gap
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class OverlaySnapshot:
+    """Structure measurements at one instant."""
+
+    n: int
+    max_degree: int
+    spectral_gap: float
+
+    def row(self) -> str:
+        return (
+            f"n={self.n:<6d} max_degree={self.max_degree:<4d} "
+            f"gap={self.spectral_gap:7.4f}"
+        )
+
+
+class MaintainedOverlay(Protocol):
+    """What the churn harness drives."""
+
+    name: str
+
+    @property
+    def size(self) -> int: ...
+
+    def nodes(self) -> Iterable[NodeId]: ...
+
+    def insert(self, node_id: NodeId | None = None, attach_to: NodeId | None = None): ...
+
+    def delete(self, node_id: NodeId): ...
+
+    def adjacency(self) -> sp.spmatrix: ...
+
+    def max_degree(self) -> int: ...
+
+
+def snapshot(overlay: MaintainedOverlay) -> OverlaySnapshot:
+    adjacency = overlay.adjacency()
+    return OverlaySnapshot(
+        n=overlay.size,
+        max_degree=overlay.max_degree(),
+        spectral_gap=spectral_gap(adjacency),
+    )

@@ -1,0 +1,21 @@
+"""DEX proper: the paper's algorithms.
+
+* :mod:`repro.core.config` -- tunable constants (Section 4's theta, zeta,
+  walk lengths) with a paper-faithful preset.
+* :mod:`repro.core.mapping` / :mod:`repro.core.overlay` -- the balanced
+  virtual mapping (Definitions 2-3) and its edge synchronization with the
+  real multigraph, including the two-layer state used by staggered type-2
+  recovery.
+* :mod:`repro.core.type1` -- Algorithms 4.2/4.3.
+* :mod:`repro.core.type2_simplified` -- Algorithms 4.5/4.6.
+* :mod:`repro.core.coordinator`, :mod:`repro.core.type2_staggered` --
+  Algorithms 4.7-4.9.
+* :mod:`repro.core.multi` -- Section 5 batched churn.
+* :mod:`repro.core.dex` -- the public facade :class:`DexNetwork`.
+"""
+
+from repro.core.config import DexConfig
+from repro.core.events import StepReport
+from repro.core.dex import DexNetwork
+
+__all__ = ["DexConfig", "StepReport", "DexNetwork"]

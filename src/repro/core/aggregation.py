@@ -1,0 +1,57 @@
+"""``computeSpare`` / ``computeLow`` (Algorithm 4.4).
+
+When a type-1 walk fails, the initiator deterministically learns the
+network size and the size of Spare (resp. Low) by a flood/echo
+aggregation before deciding between retrying and type-2 recovery.  One
+flood aggregates both counters (two O(log n)-bit fields per message,
+within the CONGEST budget).
+
+Fidelity follows :attr:`DexConfig.fidelity`: ``engine`` schedules every
+message on the synchronous engine; ``analytic`` charges the identical
+costs from BFS quantities (the equivalence is asserted by
+``tests/test_net/test_flood.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import DexConfig
+from repro.core.overlay import Overlay
+from repro.net.flood import flood_echo_analytic, flood_echo_engine
+from repro.net.metrics import CostLedger
+from repro.types import NodeId
+
+
+def _aggregate(
+    overlay: Overlay,
+    origin: NodeId,
+    config: DexConfig,
+    ledger: CostLedger,
+    member: Callable[[NodeId], bool],
+) -> tuple[int, int]:
+    def value_of(u: NodeId) -> int:
+        # Two counters packed in one flood: n in the high part, membership
+        # in the low part (the engine carries them as one payload value;
+        # a real implementation sends two O(log n)-bit fields).
+        return (1 << 32) | (1 if member(u) else 0)
+
+    flood = flood_echo_engine if config.fidelity == "engine" else flood_echo_analytic
+    packed = flood(overlay.graph, origin, value_of, ledger=ledger)
+    n = packed >> 32
+    count = packed & 0xFFFFFFFF
+    return n, count
+
+
+def compute_spare(
+    overlay: Overlay, origin: NodeId, config: DexConfig, ledger: CostLedger
+) -> tuple[int, int]:
+    """Returns ``(n, |Spare|)`` for the primary layer."""
+    return _aggregate(overlay, origin, config, ledger, overlay.old.in_spare)
+
+
+def compute_low(
+    overlay: Overlay, origin: NodeId, config: DexConfig, ledger: CostLedger
+) -> tuple[int, int]:
+    """Returns ``(n, |Low|)`` for the primary layer."""
+    return _aggregate(overlay, origin, config, ledger, overlay.old.in_low)

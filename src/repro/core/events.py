@@ -1,0 +1,52 @@
+"""Per-step reports: what the adversary did, how DEX healed it, and what
+it cost -- the raw material for every benchmark table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.metrics import CostLedger
+from repro.types import NodeId, RecoveryType, StepKind
+
+
+@dataclass
+class StepReport:
+    """Outcome of one adversarial step and its recovery."""
+
+    step: int
+    kind: StepKind
+    recovery: RecoveryType
+    node: NodeId
+    n_after: int
+    p: int
+    costs: CostLedger = field(default_factory=CostLedger)
+    p_next: int | None = None
+    staggered_active: bool = False
+    staggered_progress: float | None = None
+    forced_completion: bool = False
+    notes: tuple[str, ...] = ()
+
+    @property
+    def rounds(self) -> int:
+        return self.costs.rounds
+
+    @property
+    def messages(self) -> int:
+        return self.costs.messages
+
+    @property
+    def topology_changes(self) -> int:
+        return self.costs.topology_changes
+
+    def summary_line(self) -> str:
+        tail = ""
+        if self.staggered_active:
+            tail = f" [stagger {self.staggered_progress:.0%}]"
+        if self.forced_completion:
+            tail += " [forced]"
+        return (
+            f"step {self.step:>6d} {self.kind.value:<7s} node={self.node:<6d} "
+            f"{self.recovery.value:<24s} n={self.n_after:<6d} p={self.p:<7d} "
+            f"rounds={self.rounds:<5d} msgs={self.messages:<6d} "
+            f"topo={self.topology_changes:<4d}{tail}"
+        )

@@ -1,0 +1,89 @@
+"""Runtime verification of the DEX invariants (DESIGN.md I1-I8).
+
+The paper *proves* these properties; the reproduction *checks* them after
+every step in tests (and on demand via :meth:`DexNetwork.check_invariants`).
+A failure raises :class:`InvariantViolation` with enough context to
+reproduce the offending state.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DexConfig
+from repro.core.overlay import Overlay
+from repro.errors import InvariantViolation
+from repro.types import NodeId
+
+
+def check_surjectivity(overlay: Overlay) -> None:
+    """I1: every live node simulates at least one vertex of a live layer."""
+    for u in overlay.graph.nodes():
+        if overlay.total_load(u) < 1:
+            raise InvariantViolation(f"node {u} simulates no virtual vertex")
+
+
+def check_balance(overlay: Overlay, config: DexConfig) -> None:
+    """I2: loads bounded by 4*zeta (8*zeta during staggered ops)."""
+    staggered = overlay.new is not None
+    bound = config.stagger_max_load if staggered else config.max_load
+    for u in overlay.graph.nodes():
+        load = overlay.total_load(u)
+        if load > bound:
+            raise InvariantViolation(
+                f"node {u} simulates {load} vertices, exceeding "
+                f"{'8*zeta' if staggered else '4*zeta'} = {bound}"
+            )
+
+
+def check_degrees(overlay: Overlay) -> None:
+    """I3: degree(u) == 3 * load(u) + intermediate endpoints."""
+    for u in overlay.graph.nodes():
+        expected = overlay.expected_degree(u)
+        actual = overlay.graph.degree(u)
+        if expected != actual:
+            raise InvariantViolation(
+                f"node {u}: degree {actual} != expected {expected}"
+            )
+
+
+def check_edge_faithfulness(overlay: Overlay) -> None:
+    """I4: the real multigraph is exactly the image of the live virtual
+    edges plus intermediate edges."""
+    expected = overlay.rebuild_expected_graph()
+    graph = overlay.graph
+    seen: set[tuple[NodeId, NodeId]] = set()
+    for u in graph.nodes():
+        for v, mult in graph.neighbor_multiplicities(u):
+            key = (u, v) if u <= v else (v, u)
+            if key in seen:
+                continue
+            seen.add(key)
+            if expected.get(key, 0) != mult:
+                raise InvariantViolation(
+                    f"edge {key}: multiplicity {mult} != expected "
+                    f"{expected.get(key, 0)}"
+                )
+    for key, mult in expected.items():
+        if key not in seen and mult != 0:
+            raise InvariantViolation(f"expected edge {key} (x{mult}) missing")
+
+
+def check_connectivity(overlay: Overlay) -> None:
+    """I5: the healed network is connected."""
+    if not overlay.graph.is_connected():
+        raise InvariantViolation("real network is disconnected")
+
+
+def check_mapping_sets(overlay: Overlay) -> None:
+    """I7: Spare/Low sets match recomputed loads."""
+    overlay.old.verify()
+    if overlay.new is not None:
+        overlay.new.verify()
+
+
+def check_all(overlay: Overlay, config: DexConfig) -> None:
+    check_mapping_sets(overlay)
+    check_surjectivity(overlay)
+    check_balance(overlay, config)
+    check_degrees(overlay)
+    check_edge_faithfulness(overlay)
+    check_connectivity(overlay)

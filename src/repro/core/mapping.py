@@ -1,0 +1,170 @@
+"""Single-layer virtual mapping bookkeeping (Definitions 2-3).
+
+A :class:`LayerMapping` tracks which real node simulates each *active*
+vertex of one p-cycle, the per-node loads, and the derived sets
+
+* ``Spare`` -- nodes with load >= 2 (Eq. 2), able to give a vertex away,
+* ``Low``   -- nodes with load <= 2*zeta (Eq. 1), able to take one on.
+
+Both sets are maintained incrementally so membership tests and size
+queries are O(1) -- the *algorithm* learns these sizes only by flooding
+(Algorithm 4.4) or coordinator counters (Algorithm 4.7), and the cost of
+that learning is charged where it happens; the simulator state itself may
+be queried freely (it is the ground truth the paper's proofs reason
+about).
+
+Edges are *not* handled here: :mod:`repro.core.overlay` synchronizes the
+real multigraph whenever vertices activate, deactivate or move.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.errors import MappingError
+from repro.types import NodeId, Vertex
+from repro.virtual.pcycle import PCycle
+
+
+class LayerMapping:
+    """Host assignment for the active vertices of one p-cycle."""
+
+    __slots__ = ("pcycle", "low_threshold", "host", "sim", "spare", "low")
+
+    def __init__(self, pcycle: PCycle, low_threshold: int):
+        self.pcycle = pcycle
+        self.low_threshold = low_threshold
+        self.host: dict[Vertex, NodeId] = {}
+        self.sim: dict[NodeId, set[Vertex]] = {}
+        #: nodes with load >= 2 (Spare, Eq. 2)
+        self.spare: set[NodeId] = set()
+        #: nodes with 1 <= load <= low_threshold (Low, Eq. 1)
+        self.low: set[NodeId] = set()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        return self.pcycle.p
+
+    def is_active(self, z: Vertex) -> bool:
+        return z in self.host
+
+    def host_of(self, z: Vertex) -> NodeId:
+        try:
+            return self.host[z]
+        except KeyError:
+            raise MappingError(f"vertex {z} is not active") from None
+
+    def load(self, u: NodeId) -> int:
+        vertices = self.sim.get(u)
+        return len(vertices) if vertices else 0
+
+    def vertices_of(self, u: NodeId) -> set[Vertex]:
+        return set(self.sim.get(u, ()))
+
+    def active_vertices(self) -> Iterator[Vertex]:
+        return iter(self.host)
+
+    @property
+    def active_count(self) -> int:
+        return len(self.host)
+
+    def nodes_with_vertices(self) -> Iterator[NodeId]:
+        return iter(self.sim)
+
+    def in_spare(self, u: NodeId) -> bool:
+        return u in self.spare
+
+    def in_low(self, u: NodeId) -> bool:
+        return u in self.low
+
+    def spare_count(self) -> int:
+        return len(self.spare)
+
+    def low_count(self) -> int:
+        return len(self.low)
+
+    def pick_transferable(
+        self, u: NodeId, rng: random.Random, avoid_zero: bool = True
+    ) -> Vertex:
+        """A vertex that ``u`` can give away.  Vertex 0 (the coordinator
+        vertex, Algorithm 4.7) is kept at its host whenever possible to
+        avoid needless coordinator migrations."""
+        vertices = self.sim.get(u)
+        if not vertices or len(vertices) < 2:
+            raise MappingError(f"node {u} has no transferable vertex")
+        candidates = sorted(vertices)
+        if avoid_zero and len(candidates) > 1 and candidates[0] == 0:
+            candidates = candidates[1:]
+        return candidates[rng.randrange(len(candidates))]
+
+    # ------------------------------------------------------------------
+    # mutations (bookkeeping only; overlay drives the edges)
+    # ------------------------------------------------------------------
+    def _sets_after_change(self, u: NodeId) -> None:
+        load = self.load(u)
+        if load >= 2:
+            self.spare.add(u)
+        else:
+            self.spare.discard(u)
+        if 1 <= load <= self.low_threshold:
+            self.low.add(u)
+        else:
+            self.low.discard(u)
+
+    def assign(self, z: Vertex, u: NodeId) -> None:
+        self.pcycle.check_vertex(z)
+        if z in self.host:
+            raise MappingError(f"vertex {z} already active at {self.host[z]}")
+        self.host[z] = u
+        self.sim.setdefault(u, set()).add(z)
+        self._sets_after_change(u)
+
+    def unassign(self, z: Vertex) -> NodeId:
+        u = self.host_of(z)
+        del self.host[z]
+        vertices = self.sim[u]
+        vertices.discard(z)
+        if not vertices:
+            del self.sim[u]
+        self._sets_after_change(u)
+        return u
+
+    def reassign(self, z: Vertex, new_host: NodeId) -> NodeId:
+        """Move ``z``; returns the previous host."""
+        old = self.host_of(z)
+        if old == new_host:
+            return old
+        self.host[z] = new_host
+        vertices = self.sim[old]
+        vertices.discard(z)
+        if not vertices:
+            del self.sim[old]
+        self.sim.setdefault(new_host, set()).add(z)
+        self._sets_after_change(old)
+        self._sets_after_change(new_host)
+        return old
+
+    # ------------------------------------------------------------------
+    # consistency (used by the invariant checker)
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        for z, u in self.host.items():
+            if z not in self.sim.get(u, ()):  # pragma: no cover - defensive
+                raise MappingError(f"host/sim mismatch at vertex {z}")
+        total = sum(len(vs) for vs in self.sim.values())
+        if total != len(self.host):  # pragma: no cover - defensive
+            raise MappingError("sim sets and host map disagree on size")
+        if not self.spare <= set(self.sim) or not self.low <= set(self.sim):
+            raise MappingError("spare/low contain nodes without vertices")
+        for u, vertices in self.sim.items():
+            if not vertices:  # pragma: no cover - defensive
+                raise MappingError(f"node {u} has an empty sim set entry")
+            load = len(vertices)
+            if (u in self.spare) != (load >= 2):
+                raise MappingError(f"spare set stale at node {u}")
+            if (u in self.low) != (1 <= load <= self.low_threshold):
+                raise MappingError(f"low set stale at node {u}")

@@ -1,0 +1,149 @@
+"""Batched churn (Section 5, Corollary 2).
+
+The adversary may insert or delete up to ``eps * n`` nodes per step,
+subject to the model's restrictions:
+
+* insertions attach only O(1) new nodes to any single existing node
+  (otherwise the constant-degree CONGEST network around the attach point
+  becomes a congestion bottleneck),
+* deletions must leave the remainder graph connected and every deleted
+  node must retain at least one surviving neighbor.
+
+Large batches may deplete Spare (resp. Low) within O(1) steps, so the
+batch handler uses the *simplified* type-2 procedures when thresholds
+break (the corollary's bounds -- O(n log^2 n) messages and O(log^3 n)
+rounds per batch step w.h.p. -- come from these procedures; parallel
+token-level scheduling inside a batch is accounted as the max over the
+batch for rounds and the sum for messages).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.events import StepReport
+from repro.errors import AdversaryError
+from repro.net.metrics import CostLedger
+from repro.types import NodeId, RecoveryType, StepKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.dex import DexNetwork
+
+MAX_ATTACH_PER_NODE = 4
+
+
+def insert_batch(
+    dex: "DexNetwork", attachments: Sequence[tuple[NodeId, NodeId]]
+) -> StepReport:
+    """Insert a batch of ``(new_id, attach_to)`` pairs in one step."""
+    from repro.core.type1 import insertion_recovery
+
+    if not attachments:
+        raise AdversaryError("empty insertion batch")
+    if len(attachments) > max(1, dex.size):
+        raise AdversaryError(
+            f"batch of {len(attachments)} exceeds eps*n for n={dex.size}"
+        )
+    per_host: dict[NodeId, int] = {}
+    for new_id, attach in attachments:
+        per_host[attach] = per_host.get(attach, 0) + 1
+        if per_host[attach] > MAX_ATTACH_PER_NODE:
+            raise AdversaryError(
+                f"more than {MAX_ATTACH_PER_NODE} insertions attached to "
+                f"node {attach} in one batch"
+            )
+        if dex.graph.has_node(new_id):
+            raise AdversaryError(f"node id {new_id} already exists")
+
+    ledger = CostLedger()
+    topo_before = dex.graph.topology_changes
+    max_rounds = 0
+    total_messages = 0
+    for new_id, attach in attachments:
+        if not dex.graph.has_node(attach):
+            raise AdversaryError(f"attach point {attach} does not exist")
+        sub = CostLedger()
+        dex._next_id = max(dex._next_id, new_id + 1)
+        dex.graph.add_node(new_id)
+        dex.graph.add_edge(new_id, attach)
+        insertion_recovery(dex, new_id, attach, sub)
+        dex.graph.remove_edge(new_id, attach, 1)
+        max_rounds = max(max_rounds, sub.rounds)
+        total_messages += sub.messages
+        ledger.walks += sub.walks
+        ledger.retries += sub.retries
+        ledger.floods += sub.floods
+    ledger.rounds += max_rounds  # token-parallel healing within the batch
+    ledger.messages += total_messages
+    return dex._finish_step(
+        StepKind.BATCH,
+        attachments[0][0],
+        attachments[0][1],
+        RecoveryType.TYPE1,
+        ledger,
+        topo_before,
+    )
+
+
+def delete_batch(dex: "DexNetwork", nodes: Sequence[NodeId]) -> StepReport:
+    """Delete a batch of nodes in one step, enforcing the connectivity
+    conditions of Corollary 2."""
+    from repro.core.type1 import deletion_recovery
+
+    victims = list(dict.fromkeys(nodes))
+    if not victims:
+        raise AdversaryError("empty deletion batch")
+    if dex.size - len(victims) < dex.config.min_network_size:
+        raise AdversaryError("batch would shrink the network below minimum size")
+    victim_set = set(victims)
+    for u in victims:
+        if not dex.graph.has_node(u):
+            raise AdversaryError(f"node {u} does not exist")
+        survivors = [
+            w for w in dex.graph.distinct_neighbors(u) if w not in victim_set
+        ]
+        if not survivors:
+            raise AdversaryError(
+                f"deleted node {u} would have no surviving neighbor "
+                "(violates the Section 5 deletion condition)"
+            )
+    if not _remainder_connected(dex, victim_set):
+        raise AdversaryError("batch deletion would disconnect the network")
+
+    ledger = CostLedger()
+    topo_before = dex.graph.topology_changes
+    max_rounds = 0
+    total_messages = 0
+    for u in victims:
+        sub = CostLedger()
+        deletion_recovery(dex, u, sub)
+        max_rounds = max(max_rounds, sub.rounds)
+        total_messages += sub.messages
+        ledger.walks += sub.walks
+        ledger.retries += sub.retries
+        ledger.floods += sub.floods
+    ledger.rounds += max_rounds
+    ledger.messages += total_messages
+    return dex._finish_step(
+        StepKind.BATCH,
+        victims[0],
+        dex.coordinator.node,
+        RecoveryType.TYPE1,
+        ledger,
+        topo_before,
+    )
+
+
+def _remainder_connected(dex: "DexNetwork", victims: set[NodeId]) -> bool:
+    survivors = [u for u in dex.graph.nodes() if u not in victims]
+    if not survivors:
+        return False
+    seen = {survivors[0]}
+    stack = [survivors[0]]
+    while stack:
+        u = stack.pop()
+        for w in dex.graph.distinct_neighbors(u):
+            if w not in victims and w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return len(seen) == len(survivors)

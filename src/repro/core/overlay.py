@@ -1,0 +1,312 @@
+"""The overlay state: real multigraph kept exactly in sync with the
+virtual layer(s).
+
+Outside type-2 recovery there is a single layer (the current p-cycle);
+during a *staggered* type-2 recovery (Section 4.4) a second layer exists
+whose vertices activate chunk by chunk, plus *intermediate edges*
+connecting a new-layer vertex to the old-layer vertex whose cloud will
+eventually produce its missing neighbor (Procedures ``inflate`` /
+``deflate``).
+
+Every real edge has exactly one reason to exist:
+
+1. a live virtual edge of a layer whose both endpoints are active,
+2. an intermediate edge,
+3. the adversary's initial attachment of an inserted node (removed at the
+   end of the step unless a virtual edge requires the connection,
+   Algorithm 4.2 line 3).
+
+The bookkeeping is reference-counted: the degree of a node always equals
+``3 * (#active vertices hosted)`` plus its intermediate-edge endpoints
+(plus a transient attachment unit), which is invariant I3/I4 of
+DESIGN.md.  Self-loop conventions: a virtual self-loop contributes weight
+1; a virtual edge or intermediate whose two endpoints land on the same
+real node contributes weight 2 (degree-preserving contraction).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.mapping import LayerMapping
+from repro.errors import MappingError
+from repro.net.topology import DynamicMultigraph
+from repro.types import Layer, NodeId, Vertex
+from repro.virtual.pcycle import PCycle
+
+
+class Overlay:
+    """Real graph + virtual layers + intermediate edges."""
+
+    def __init__(self, graph: DynamicMultigraph, primary: LayerMapping):
+        self.graph = graph
+        self.old = primary
+        self.new: LayerMapping | None = None
+        # intermediate edges: new-layer vertex <-> old-layer vertex,
+        # with multiplicity (a new vertex may need two parallel edges
+        # toward the same future neighbor).
+        self.inter_by_new: dict[Vertex, Counter[Vertex]] = {}
+        self.inter_by_old: dict[Vertex, Counter[Vertex]] = {}
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def layer(self, which: Layer) -> LayerMapping:
+        if which is Layer.OLD:
+            return self.old
+        if self.new is None:
+            raise MappingError("no staggered operation in progress (no new layer)")
+        return self.new
+
+    def total_load(self, u: NodeId) -> int:
+        load = self.old.load(u)
+        if self.new is not None:
+            load += self.new.load(u)
+        return load
+
+    def _pair_add(self, a: NodeId, b: NodeId) -> None:
+        if a == b:
+            self.graph.add_edge(a, a, mult=2)
+        else:
+            self.graph.add_edge(a, b, mult=1)
+
+    def _pair_remove(self, a: NodeId, b: NodeId) -> None:
+        if a == b:
+            self.graph.remove_edge(a, a, mult=2)
+        else:
+            self.graph.remove_edge(a, b, mult=1)
+
+    # ------------------------------------------------------------------
+    # vertex lifecycle
+    # ------------------------------------------------------------------
+    def activate(self, which: Layer, z: Vertex, node: NodeId) -> None:
+        """Make ``z`` live at ``node``, wiring edges to already-active
+        same-layer neighbors and its own virtual self-loop."""
+        lm = self.layer(which)
+        lm.assign(z, node)
+        for nb in lm.pcycle.neighbor_multiset(z):
+            if nb == z:
+                self.graph.add_edge(node, node, mult=1)
+            elif lm.is_active(nb):
+                self._pair_add(node, lm.host_of(nb))
+
+    def deactivate(self, which: Layer, z: Vertex) -> NodeId:
+        """Remove ``z`` (phase 2 of staggered ops drops old vertices)."""
+        lm = self.layer(which)
+        node = lm.host_of(z)
+        if which is Layer.OLD and self.inter_by_old.get(z):
+            raise MappingError(
+                f"old vertex {z} still carries intermediate edges"
+            )
+        if which is Layer.NEW and self.inter_by_new.get(z):
+            raise MappingError(
+                f"new vertex {z} still carries intermediate edges"
+            )
+        # Unassign first so neighbor iteration does not see z as active.
+        lm.unassign(z)
+        for nb in lm.pcycle.neighbor_multiset(z):
+            if nb == z:
+                self.graph.remove_edge(node, node, mult=1)
+            elif lm.is_active(nb):
+                self._pair_remove(node, lm.host_of(nb))
+        return node
+
+    def move(self, which: Layer, z: Vertex, new_node: NodeId) -> NodeId:
+        """Transfer ``z`` (and its edges, and any intermediate edges
+        riding on it) to ``new_node``; returns the previous host."""
+        lm = self.layer(which)
+        old_node = lm.host_of(z)
+        if old_node == new_node:
+            return old_node
+        for nb in lm.pcycle.neighbor_multiset(z):
+            if nb == z:
+                self.graph.remove_edge(old_node, old_node, mult=1)
+                self.graph.add_edge(new_node, new_node, mult=1)
+            elif lm.is_active(nb):
+                h = lm.host_of(nb)
+                self._pair_remove(old_node, h)
+                self._pair_add(new_node, h)
+        if which is Layer.OLD:
+            riders = self.inter_by_old.get(z)
+            if riders:
+                assert self.new is not None
+                for y, count in riders.items():
+                    hy = self.new.host_of(y)
+                    for _ in range(count):
+                        self._pair_remove(hy, old_node)
+                        self._pair_add(hy, new_node)
+        else:
+            riders = self.inter_by_new.get(z)
+            if riders:
+                for x, count in riders.items():
+                    hx = self.old.host_of(x)
+                    for _ in range(count):
+                        self._pair_remove(old_node, hx)
+                        self._pair_add(new_node, hx)
+        lm.reassign(z, new_node)
+        return old_node
+
+    # ------------------------------------------------------------------
+    # intermediate edges (staggered type-2 only)
+    # ------------------------------------------------------------------
+    def add_intermediate(self, y_new: Vertex, x_old: Vertex) -> None:
+        if self.new is None:
+            raise MappingError("intermediate edges need a staggered operation")
+        hy = self.new.host_of(y_new)
+        hx = self.old.host_of(x_old)
+        self._pair_add(hy, hx)
+        self.inter_by_new.setdefault(y_new, Counter())[x_old] += 1
+        self.inter_by_old.setdefault(x_old, Counter())[y_new] += 1
+
+    def remove_intermediate(self, y_new: Vertex, x_old: Vertex) -> None:
+        by_new = self.inter_by_new.get(y_new)
+        if not by_new or by_new[x_old] <= 0:
+            raise MappingError(
+                f"no intermediate edge between new:{y_new} and old:{x_old}"
+            )
+        assert self.new is not None
+        hy = self.new.host_of(y_new)
+        hx = self.old.host_of(x_old)
+        self._pair_remove(hy, hx)
+        by_new[x_old] -= 1
+        if by_new[x_old] == 0:
+            del by_new[x_old]
+            if not by_new:
+                del self.inter_by_new[y_new]
+        by_old = self.inter_by_old[x_old]
+        by_old[y_new] -= 1
+        if by_old[y_new] == 0:
+            del by_old[y_new]
+            if not by_old:
+                del self.inter_by_old[x_old]
+
+    def intermediate_count(self) -> int:
+        return sum(sum(c.values()) for c in self.inter_by_new.values())
+
+    def intermediate_endpoints(self, u: NodeId) -> int:
+        """Intermediate edge endpoints at node ``u`` (for degree checks)."""
+        total = 0
+        for y, targets in self.inter_by_new.items():
+            assert self.new is not None
+            hy = self.new.host_of(y)
+            for x, count in targets.items():
+                hx = self.old.host_of(x)
+                if hy == u:
+                    total += count
+                if hx == u:
+                    total += count
+        return total
+
+    # ------------------------------------------------------------------
+    # wholesale layer replacement (simplified type-2, Algorithms 4.5/4.6)
+    # ------------------------------------------------------------------
+    def replace_primary(self, pcycle: PCycle, hosts: dict[Vertex, NodeId]) -> None:
+        """Swap the single live layer for a new p-cycle with the given
+        (complete, surjective) host assignment, rebuilding all edges.
+
+        This is the one-shot replacement of the simplified procedures: it
+        costs O(n) topology changes, which is exactly what Lemma 5(d)
+        charges.
+        """
+        if self.new is not None:
+            raise MappingError("cannot replace the layer during a staggered op")
+        if set(hosts) != set(range(pcycle.p)):
+            raise MappingError("host assignment must cover every vertex")
+        live_nodes = set(self.graph.nodes())
+        if set(hosts.values()) != live_nodes:
+            missing = live_nodes - set(hosts.values())
+            raise MappingError(f"assignment not surjective; empty nodes: {missing}")
+        self._teardown_all_old_edges()
+        new_layer = LayerMapping(pcycle, self.old.low_threshold)
+        for z, node in hosts.items():
+            new_layer.assign(z, node)
+        self.old = new_layer
+        for a, b in pcycle.edges():
+            if a == b:
+                self.graph.add_edge(hosts[a], hosts[a], mult=1)
+            else:
+                self._pair_add(hosts[a], hosts[b])
+
+    def _teardown_all_old_edges(self) -> None:
+        pcycle = self.old.pcycle
+        host = self.old.host
+        for a, b in pcycle.edges():
+            if not (a in host and b in host):
+                continue
+            if a == b:
+                self.graph.remove_edge(host[a], host[a], mult=1)
+            else:
+                self._pair_remove(host[a], host[b])
+        self.old.host.clear()
+        self.old.sim.clear()
+        self.old.spare.clear()
+        self.old.low.clear()
+
+    # ------------------------------------------------------------------
+    # staggered layer management
+    # ------------------------------------------------------------------
+    def open_new_layer(self, pcycle: PCycle) -> LayerMapping:
+        if self.new is not None:
+            raise MappingError("a staggered operation is already in progress")
+        self.new = LayerMapping(pcycle, self.old.low_threshold)
+        return self.new
+
+    def promote_new_layer(self) -> None:
+        """Finish a staggered op: the new layer becomes the primary."""
+        if self.new is None:
+            raise MappingError("no staggered operation in progress")
+        if self.old.active_count != 0:
+            raise MappingError(
+                f"{self.old.active_count} old vertices still active at promotion"
+            )
+        if self.inter_by_new or self.inter_by_old:
+            raise MappingError("intermediate edges remain at promotion")
+        self.old = self.new
+        self.new = None
+
+    # ------------------------------------------------------------------
+    # verification (invariant I3/I4)
+    # ------------------------------------------------------------------
+    def expected_degree(self, u: NodeId) -> int:
+        """Degree implied by the virtual state: one endpoint per live
+        virtual edge incidence whose *neighbor is active* (intermediate
+        edges stand in for the inactive ones and are counted separately).
+        In steady state every neighbor is active and this is exactly
+        ``3 * Load(u)``."""
+        total = 0
+        for lm in filter(None, (self.old, self.new)):
+            for z in lm.sim.get(u, ()):
+                for nb in lm.pcycle.neighbor_multiset(z):
+                    if nb == z or lm.is_active(nb):
+                        total += 1
+        return total + self.intermediate_endpoints(u)
+
+    def rebuild_expected_graph(self) -> dict[tuple[NodeId, NodeId], int]:
+        """Recompute the exact expected multigraph from the virtual state
+        (used by the invariant checker to catch any bookkeeping drift)."""
+        expected: Counter[tuple[NodeId, NodeId]] = Counter()
+
+        def pair_key(a: NodeId, b: NodeId) -> tuple[NodeId, NodeId]:
+            return (a, b) if a <= b else (b, a)
+
+        for lm in filter(None, (self.old, self.new)):
+            for a, b in lm.pcycle.edges():
+                if not (lm.is_active(a) and lm.is_active(b)):
+                    continue
+                ha, hb = lm.host_of(a), lm.host_of(b)
+                if a == b:
+                    expected[(ha, ha)] += 1
+                elif ha == hb:
+                    expected[(ha, ha)] += 2
+                else:
+                    expected[pair_key(ha, hb)] += 1
+        for y, targets in self.inter_by_new.items():
+            assert self.new is not None
+            hy = self.new.host_of(y)
+            for x, count in targets.items():
+                hx = self.old.host_of(x)
+                if hy == hx:
+                    expected[(hy, hy)] += 2 * count
+                else:
+                    expected[pair_key(hy, hx)] += count
+        return dict(expected)

@@ -1,0 +1,181 @@
+"""Type-1 recovery: Algorithms 4.2 (``insertion``) and 4.3 (``deletion``).
+
+Insertion: the attach point ``v`` walks a token of length O(log n)
+(excluding the fresh node ``u``) to find a node in Spare, which donates
+one virtual vertex to ``u``.  Deletion: a surviving neighbor ``v`` adopts
+the deleted node's vertices and walks one token per vertex to spread them
+onto Low nodes.  Redistribution walks run sequentially with live load
+updates, which is what makes Lemma 3(a)'s 4*zeta bound hold exactly
+(DESIGN.md substitution 4).
+
+On walk failure the algorithm decides between retrying and type-2
+recovery: in ``simplified`` mode by flooding ``computeSpare`` /
+``computeLow`` (Fact 2 thresholds), in ``staggered`` mode by asking the
+coordinator (Algorithm 4.7), whose counters trigger at ``3*theta*n``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.aggregation import compute_low, compute_spare
+from repro.errors import RecoveryError
+from repro.net.metrics import CostLedger
+from repro.net.walks import random_walk
+from repro.types import Layer, NodeId, RecoveryType, Vertex
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.dex import DexNetwork
+
+
+def walk_for(
+    dex: "DexNetwork",
+    start: NodeId,
+    predicate: Callable[[NodeId], bool],
+    ledger: CostLedger,
+    exclude: frozenset[NodeId] = frozenset(),
+    attempt: int = 0,
+) -> NodeId | None:
+    """One token walk; returns the found node or None.
+
+    Lemma 2 says a ``c * log n`` walk succeeds w.h.p. whenever the target
+    set holds a theta fraction -- with a large analysis constant ``c``.
+    We run with a practical constant and instead *double* the walk budget
+    every few failed attempts (capped at 8x, still O(log n)), which
+    recovers the lemma's success probability without paying the long walk
+    on the common path."""
+    boost = min(8, 1 << (attempt // 4))
+    length = boost * dex.config.walk_length(dex.size)
+    result = random_walk(
+        dex.graph, start, length, dex.rng, stop=predicate, excluded=exclude
+    )
+    ledger.charge_walk(result.hops)
+    return result.end if result.found else None
+
+
+# ----------------------------------------------------------------------
+# insertion (Algorithm 4.2)
+# ----------------------------------------------------------------------
+def insertion_recovery(
+    dex: "DexNetwork", u: NodeId, v: NodeId, ledger: CostLedger
+) -> RecoveryType:
+    """Heal the insertion of ``u`` attached to ``v``."""
+    from repro.core import type2_simplified  # local import to avoid cycle
+
+    old = dex.overlay.old
+    exclude = frozenset((u,))
+    for attempt in range(dex.config.max_type1_retries + 1):
+        if dex.staggered is not None:
+            if dex.staggered.try_assign_inserted(u, v, ledger):
+                return RecoveryType.TYPE1_DURING_STAGGER
+            ledger.retries += 1
+            continue
+        w = walk_for(dex, v, old.in_spare, ledger, exclude=exclude, attempt=attempt)
+        if w is not None and old.in_spare(w):
+            z = old.pick_transferable(w, dex.rng)
+            dex.overlay.move(Layer.OLD, z, u)
+            return RecoveryType.TYPE1
+        # Walk failed: decide between type-2 recovery and retrying.
+        if dex.config.type2_mode == "simplified":
+            n, spare = compute_spare(dex.overlay, v, dex.config, ledger)
+            if spare < dex.config.type1_threshold(n):
+                type2_simplified.simplified_inflate(dex, ledger, inserted=u, attach=v)
+                return RecoveryType.TYPE2_INFLATE
+            ledger.retries += 1
+        else:
+            dex.coordinator.charge_update(v, ledger)
+            if dex.coordinator.wants_inflate():
+                dex.start_staggered_inflate(ledger)
+                # next iteration assigns u from the freshly inflated chunk
+            else:
+                ledger.retries += 1
+    raise RecoveryError(
+        f"insertion of node {u} not healed within "
+        f"{dex.config.max_type1_retries} type-1 attempts"
+    )
+
+
+# ----------------------------------------------------------------------
+# deletion (Algorithm 4.3)
+# ----------------------------------------------------------------------
+def deletion_recovery(
+    dex: "DexNetwork", u: NodeId, ledger: CostLedger
+) -> tuple[RecoveryType, NodeId]:
+    """Heal the deletion of ``u``: a former neighbor adopts its vertices
+    and redistributes them."""
+    from repro.core import type2_simplified
+
+    overlay = dex.overlay
+    neighbors = overlay.graph.distinct_neighbors(u)
+    if not neighbors:
+        raise RecoveryError(f"deleted node {u} had no neighbor to adopt its load")
+    v = min(neighbors)
+
+    old_vertices = sorted(overlay.old.vertices_of(u))
+    new_vertices = (
+        sorted(overlay.new.vertices_of(u)) if overlay.new is not None else []
+    )
+    was_coordinator = dex.coordinator.node == u
+
+    # v attaches all of u's edges to itself == u's vertices move to v.
+    for z in old_vertices:
+        if dex.staggered is not None:
+            dex.staggered.move_old(z, v)
+        else:
+            overlay.move(Layer.OLD, z, v)
+    for z in new_vertices:
+        overlay.move(Layer.NEW, z, v)
+    overlay.graph.remove_node(u)
+
+    if was_coordinator:
+        # Neighbors replicate the coordinator state; the new host of
+        # vertex 0 takes over with O(1) messages (Algorithm 4.7 line 2).
+        ledger.messages += overlay.graph.connection_count(dex.coordinator.node) + 1
+        ledger.rounds += 1
+
+    if dex.staggered is not None:
+        dex.staggered.redistribute_after_deletion(
+            v, old_vertices, new_vertices, ledger
+        )
+        return RecoveryType.TYPE1_DURING_STAGGER, v
+
+    # Normal operation: one walk per adopted vertex, sequential.
+    remaining = list(old_vertices)
+    while remaining:
+        z = remaining.pop(0)
+        placed = False
+        for attempt in range(dex.config.max_type1_retries + 1):
+            if dex.staggered is not None:
+                break  # a deflate started mid-redistribution
+            w = walk_for(dex, v, overlay.old.in_low, ledger, attempt=attempt)
+            if w is not None and overlay.old.in_low(w):
+                overlay.move(Layer.OLD, z, w)
+                placed = True
+                break
+            if dex.config.type2_mode == "simplified":
+                n, low = compute_low(overlay, v, dex.config, ledger)
+                if low < dex.config.type1_threshold(n):
+                    type2_simplified.simplified_deflate(dex, ledger)
+                    return RecoveryType.TYPE2_DEFLATE, v
+                ledger.retries += 1
+            else:
+                dex.coordinator.charge_update(v, ledger)
+                if dex.coordinator.wants_deflate() and dex.can_deflate():
+                    dex.start_staggered_deflate(ledger)
+                    break
+                ledger.retries += 1
+        if dex.staggered is not None:
+            # Hand the rest to the staggered machinery.
+            leftover = ([] if placed else [z]) + remaining
+            dex.staggered.redistribute_after_deletion(v, leftover, [], ledger)
+            return RecoveryType.TYPE1_DURING_STAGGER, v
+        if not placed:
+            raise RecoveryError(
+                f"vertex {z} of deleted node {u} could not be redistributed"
+            )
+    return RecoveryType.TYPE1, v
+
+
+def pick_spare_vertex(dex: "DexNetwork", w: NodeId) -> Vertex:
+    """Convenience used by tests: the vertex ``w`` would donate."""
+    return dex.overlay.old.pick_transferable(w, dex.rng)

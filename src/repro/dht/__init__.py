@@ -1,0 +1,6 @@
+"""Distributed hash table on top of DEX (Section 4.4.4)."""
+
+from repro.dht.hashing import hash_to_vertex
+from repro.dht.dht import DexDHT, DHTStats
+
+__all__ = ["hash_to_vertex", "DexDHT", "DHTStats"]

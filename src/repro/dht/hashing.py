@@ -1,0 +1,23 @@
+"""Key hashing for the DEX DHT.
+
+Every node knows the current p-cycle size ``s`` (it is global knowledge),
+so every node evaluates the same hash function ``h_s`` mapping keys
+uniformly onto the vertex set ``Z_s`` (Section 4.4.4).  We use BLAKE2b,
+which is deterministic across processes and platforms (unlike Python's
+builtin ``hash``) and statistically uniform after the modulo for the
+primes involved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.types import Vertex
+
+
+def hash_to_vertex(key: str, p: int) -> Vertex:
+    """``h_s(key)``: a uniform vertex of ``Z_p`` for the current cycle."""
+    if p < 2:
+        raise ValueError(f"cycle size must be >= 2, got {p}")
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % p

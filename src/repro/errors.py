@@ -1,0 +1,57 @@
+"""Exception hierarchy for the DEX reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its legal range."""
+
+
+class TopologyError(ReproError):
+    """An operation referenced a node or edge that does not exist, or
+    attempted an illegal mutation of the real network multigraph."""
+
+
+class VirtualGraphError(ReproError):
+    """An operation on the virtual p-cycle was malformed (bad prime,
+    vertex out of range, ...)."""
+
+
+class MappingError(ReproError):
+    """The virtual-to-real mapping was asked to do something inconsistent
+    (move a vertex that is not mapped, unmap the last vertex of a node,
+    ...)."""
+
+
+class InvariantViolation(ReproError):
+    """A DEX invariant (I1-I9 in DESIGN.md) failed a runtime check."""
+
+
+class RecoveryError(ReproError):
+    """Self-healing could not complete within configured resource bounds
+    (e.g. the type-1 retry budget was exhausted while the respective set
+    was still above threshold)."""
+
+
+class AdversaryError(ReproError):
+    """The adversary attempted an action outside the model of Section 2
+    (deleting below the minimum size, disconnecting deletions in batch
+    mode, attaching too many nodes to one host, ...)."""
+
+
+class DHTError(ReproError):
+    """A DHT operation failed (lookup of a missing key is *not* an error;
+    this signals protocol-level misuse)."""
+
+
+class SimulationError(ReproError):
+    """The synchronous engine detected a protocol violation (message to a
+    non-neighbor, exceeding per-edge capacity, round overrun)."""

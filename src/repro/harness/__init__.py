@@ -1,0 +1,29 @@
+"""Experiment harness: drive any maintained overlay with any adversary,
+collect per-step costs and periodic structure snapshots, and format the
+paper-style tables."""
+
+from repro.harness.runner import ChurnResult, run_churn
+from repro.harness.report import Table, format_table
+from repro.harness.experiments import (
+    dex_factory,
+    lawsiu_factory,
+    skipgraph_factory,
+    flip_factory,
+    flooding_factory,
+    global_knowledge_factory,
+    OVERLAY_FACTORIES,
+)
+
+__all__ = [
+    "ChurnResult",
+    "run_churn",
+    "Table",
+    "format_table",
+    "dex_factory",
+    "lawsiu_factory",
+    "skipgraph_factory",
+    "flip_factory",
+    "flooding_factory",
+    "global_knowledge_factory",
+    "OVERLAY_FACTORIES",
+]

@@ -1,0 +1,49 @@
+"""Canned overlay factories so benchmarks and examples build comparable
+instances with one call."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.flip import FlipChainOverlay
+from repro.baselines.flooding import FloodingExpander
+from repro.baselines.global_knowledge import GlobalKnowledgeExpander
+from repro.baselines.lawsiu import LawSiuNetwork
+from repro.baselines.skipgraph import SkipGraphOverlay
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+
+
+def dex_factory(n0: int, seed: int = 0, **config_overrides) -> DexNetwork:
+    config = DexConfig(seed=seed, **config_overrides)
+    return DexNetwork.bootstrap(n0, config, seed=seed)
+
+
+def lawsiu_factory(n0: int, seed: int = 0, d: int = 3) -> LawSiuNetwork:
+    return LawSiuNetwork(n0, d=d, seed=seed)
+
+
+def skipgraph_factory(n0: int, seed: int = 0) -> SkipGraphOverlay:
+    return SkipGraphOverlay(n0, seed=seed)
+
+
+def flip_factory(n0: int, seed: int = 0, d: int = 6) -> FlipChainOverlay:
+    return FlipChainOverlay(n0, d=d, seed=seed)
+
+
+def flooding_factory(n0: int, seed: int = 0) -> FloodingExpander:
+    return FloodingExpander(n0, seed=seed)
+
+
+def global_knowledge_factory(n0: int, seed: int = 0) -> GlobalKnowledgeExpander:
+    return GlobalKnowledgeExpander(n0, seed=seed)
+
+
+OVERLAY_FACTORIES: dict[str, Callable] = {
+    "dex": dex_factory,
+    "law-siu": lawsiu_factory,
+    "skip-graph": skipgraph_factory,
+    "flip-chain": flip_factory,
+    "flooding": flooding_factory,
+    "global-knowledge": global_knowledge_factory,
+}

@@ -1,0 +1,87 @@
+"""Churn experiment runner.
+
+``run_churn(overlay, adversary, steps)`` applies the adversary's actions
+one step at a time, records the per-step cost ledgers, and samples
+structure snapshots (spectral gap, max degree) every ``sample_every``
+steps -- the raw series behind every benchmark table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adversary.base import Adversary, ChurnAction
+from repro.analysis.spectral import spectral_gap
+from repro.analysis.stats import Summary, summarize
+from repro.errors import AdversaryError
+from repro.net.metrics import CostLedger
+
+
+@dataclass
+class ChurnResult:
+    """Everything measured during one churn run."""
+
+    name: str
+    steps: int
+    ledgers: list[CostLedger] = field(default_factory=list)
+    gap_samples: list[tuple[int, float]] = field(default_factory=list)
+    degree_samples: list[tuple[int, int]] = field(default_factory=list)
+    size_samples: list[tuple[int, int]] = field(default_factory=list)
+    skipped_actions: int = 0
+
+    def cost_summary(self, attribute: str) -> Summary:
+        return summarize([getattr(ledger, attribute) for ledger in self.ledgers])
+
+    @property
+    def min_gap(self) -> float:
+        return min((g for _, g in self.gap_samples), default=float("nan"))
+
+    @property
+    def max_degree_seen(self) -> int:
+        return max((d for _, d in self.degree_samples), default=0)
+
+    def final_gap(self) -> float:
+        return self.gap_samples[-1][1] if self.gap_samples else float("nan")
+
+
+def _ledger_of(report_or_ledger) -> CostLedger:
+    if isinstance(report_or_ledger, CostLedger):
+        return report_or_ledger
+    return report_or_ledger.costs  # a DEX StepReport
+
+
+def run_churn(
+    overlay,
+    adversary: Adversary,
+    steps: int,
+    sample_every: int = 50,
+    name: str | None = None,
+) -> ChurnResult:
+    """Drive ``steps`` adversarial actions against ``overlay``."""
+    result = ChurnResult(name=name or getattr(overlay, "name", "dex"), steps=steps)
+
+    def sample(step: int) -> None:
+        adjacency = overlay.adjacency() if hasattr(overlay, "adjacency") else None
+        if adjacency is None:
+            _, adjacency = overlay.graph.to_sparse_adjacency()
+        result.gap_samples.append((step, spectral_gap(adjacency)))
+        result.degree_samples.append((step, overlay.max_degree()))
+        result.size_samples.append((step, overlay.size))
+
+    sample(0)
+    for step in range(1, steps + 1):
+        action: ChurnAction = adversary.next_action(overlay)
+        try:
+            if action.kind == "insert":
+                out = overlay.insert(node_id=action.node, attach_to=action.attach_to)
+            elif action.kind == "delete":
+                out = overlay.delete(action.node)
+            else:
+                raise AdversaryError(f"unknown action kind {action.kind!r}")
+        except AdversaryError:
+            result.skipped_actions += 1
+            continue
+        result.ledgers.append(_ledger_of(out))
+        if step % sample_every == 0 or step == steps:
+            sample(step)
+    return result

@@ -1,0 +1,60 @@
+"""Messages for the synchronous CONGEST engine.
+
+The model (Section 2) allows messages of O(log n) bits: a constant number
+of node ids, vertex labels and counters.  :meth:`Message.size_words`
+estimates the payload size in machine words so the engine can enforce the
+CONGEST discipline (a configurable constant word budget per message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.types import NodeId
+
+#: Maximum payload entries of a CONGEST message (constant number of
+#: O(log n)-bit fields).
+CONGEST_WORD_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single point-to-point message sent along an existing edge."""
+
+    src: NodeId
+    dst: NodeId
+    kind: str
+    payload: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def make(cls, src: NodeId, dst: NodeId, kind: str, **payload: Any) -> "Message":
+        return cls(src=src, dst=dst, kind=kind, payload=tuple(sorted(payload.items())))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.payload:
+            if k == key:
+                return v
+        return default
+
+    def size_words(self) -> int:
+        """Payload entries, each assumed to be one O(log n)-bit field."""
+        words = 0
+        for _, value in self.payload:
+            if isinstance(value, (int, float, str, bool)) or value is None:
+                words += 1
+            elif isinstance(value, (tuple, list)):
+                words += len(value)
+            else:
+                raise SimulationError(
+                    f"non-serializable payload value in CONGEST message: {value!r}"
+                )
+        return words
+
+    def check_congest(self, limit: int = CONGEST_WORD_LIMIT) -> None:
+        if self.size_words() > limit:
+            raise SimulationError(
+                f"message {self.kind} carries {self.size_words()} words, "
+                f"exceeding the CONGEST limit of {limit}"
+            )

@@ -1,0 +1,102 @@
+"""Cost accounting: rounds, messages and topology changes per step.
+
+Theorem 1 bounds exactly these three quantities, so every primitive in
+the library reports its consumption into a :class:`CostLedger`, and the
+per-step ledgers accumulate into a :class:`MetricsLog` that the harness
+and the benchmarks summarize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class CostLedger:
+    """Mutable accumulator for one step's communication costs."""
+
+    rounds: int = 0
+    messages: int = 0
+    topology_changes: int = 0
+    walks: int = 0
+    walk_hops: int = 0
+    retries: int = 0
+    floods: int = 0
+    coordinator_updates: int = 0
+
+    def add(self, other: "CostLedger") -> None:
+        self.rounds += other.rounds
+        self.messages += other.messages
+        self.topology_changes += other.topology_changes
+        self.walks += other.walks
+        self.walk_hops += other.walk_hops
+        self.retries += other.retries
+        self.floods += other.floods
+        self.coordinator_updates += other.coordinator_updates
+
+    def charge_walk(self, hops: int) -> None:
+        """A token walk of ``hops`` hops: one message and one round per hop
+        (walks in DEX are sequential within a step)."""
+        self.walks += 1
+        self.walk_hops += hops
+        self.messages += hops
+        self.rounds += hops
+
+    def charge_route(self, hops: int) -> None:
+        """A routed message along ``hops`` real hops."""
+        self.messages += hops
+        self.rounds += hops
+
+    def charge_flood(self, rounds: int, messages: int) -> None:
+        self.floods += 1
+        self.rounds += rounds
+        self.messages += messages
+
+    def charge_parallel(self, rounds: int, messages: int) -> None:
+        """A batch of parallel activity: rounds is the max over the batch,
+        messages the sum."""
+        self.rounds += rounds
+        self.messages += messages
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "topology_changes": self.topology_changes,
+            "walks": self.walks,
+            "walk_hops": self.walk_hops,
+            "retries": self.retries,
+            "floods": self.floods,
+            "coordinator_updates": self.coordinator_updates,
+        }
+
+
+@dataclass
+class MetricsLog:
+    """Per-step history of ledgers plus derived summaries."""
+
+    ledgers: list[CostLedger] = field(default_factory=list)
+
+    def append(self, ledger: CostLedger) -> None:
+        self.ledgers.append(ledger)
+
+    def totals(self) -> CostLedger:
+        total = CostLedger()
+        for ledger in self.ledgers:
+            total.add(ledger)
+        return total
+
+    def series(self, attribute: str) -> list[int]:
+        return [getattr(ledger, attribute) for ledger in self.ledgers]
+
+    def amortized(self, attribute: str) -> float:
+        if not self.ledgers:
+            return 0.0
+        return sum(self.series(attribute)) / len(self.ledgers)
+
+    def worst(self, attribute: str) -> int:
+        return max(self.series(attribute), default=0)
+
+    def extend(self, other: Iterable[CostLedger]) -> None:
+        self.ledgers.extend(other)

@@ -1,0 +1,222 @@
+"""The real network as a dynamic undirected multigraph.
+
+Multiplicities matter: the real network is the image of the virtual
+p-cycle under the balanced mapping, so two nodes may be connected by
+several parallel virtual edges, and a node may carry *self-loop weight*
+(virtual self-loops contribute 1; virtual edges with both endpoints at
+the same node contribute 2, preserving ``degree(u) = 3 * Load(u)``).
+
+A *topology change* is counted exactly when an actual connection appears
+or disappears -- i.e. a pair multiplicity transitions 0 <-> positive -- or
+a node joins/leaves; raising the multiplicity of an existing connection
+is bookkeeping on an existing link, not a new connection.  Self-loops are
+never connections.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Iterator
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import TopologyError
+from repro.types import NodeId
+
+
+class DynamicMultigraph:
+    """Undirected multigraph with weighted self-loops and change counting."""
+
+    __slots__ = ("_adj", "topology_changes")
+
+    def __init__(self) -> None:
+        self._adj: dict[NodeId, Counter[NodeId]] = {}
+        #: cumulative count of connection creations/destructions + node events
+        self.topology_changes: int = 0
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+    def add_node(self, u: NodeId) -> None:
+        if u in self._adj:
+            raise TopologyError(f"node {u} already exists")
+        self._adj[u] = Counter()
+        self.topology_changes += 1
+
+    def remove_node(self, u: NodeId) -> None:
+        """Remove ``u``; requires all its edges to have been removed first
+        (the healing logic moves the virtual vertices away, which clears
+        the derived edges)."""
+        nbrs = self._require(u)
+        if any(m > 0 for m in nbrs.values()):
+            raise TopologyError(f"node {u} still has incident edges: {dict(nbrs)}")
+        del self._adj[u]
+        self.topology_changes += 1
+
+    def drop_node_with_edges(self, u: NodeId) -> Counter[NodeId]:
+        """Adversarial deletion: remove ``u`` along with all incident
+        edges, returning the neighbor multiplicities that were lost (the
+        neighbors are aware of the attack, Section 2)."""
+        nbrs = Counter(self._require(u))
+        for v, mult in nbrs.items():
+            if v == u:
+                continue
+            del self._adj[v][u]
+            self.topology_changes += 1  # the (u, v) connection is destroyed
+        del self._adj[u]
+        self.topology_changes += 1
+        return nbrs
+
+    def has_node(self, u: NodeId) -> bool:
+        return u in self._adj
+
+    def nodes(self) -> Iterator[NodeId]:
+        return iter(self._adj)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    def _require(self, u: NodeId) -> Counter[NodeId]:
+        try:
+            return self._adj[u]
+        except KeyError:
+            raise TopologyError(f"node {u} does not exist") from None
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def add_edge(self, u: NodeId, v: NodeId, mult: int = 1) -> None:
+        """Add ``mult`` units of multiplicity.  For self-loops the caller
+        chooses the degree contribution (1 for virtual self-loops, 2 for
+        contracted pairs)."""
+        if mult <= 0:
+            raise TopologyError(f"multiplicity must be positive, got {mult}")
+        au = self._require(u)
+        av = self._require(v)
+        if u == v:
+            au[u] += mult
+            return  # self-loops are not connections
+        if au[v] == 0:
+            self.topology_changes += 1
+        au[v] += mult
+        av[u] += mult
+
+    def remove_edge(self, u: NodeId, v: NodeId, mult: int = 1) -> None:
+        if mult <= 0:
+            raise TopologyError(f"multiplicity must be positive, got {mult}")
+        au = self._require(u)
+        av = self._require(v)
+        if au[v] < mult:
+            raise TopologyError(
+                f"edge ({u}, {v}) has multiplicity {au[v]} < {mult}"
+            )
+        if u == v:
+            au[u] -= mult
+            if au[u] == 0:
+                del au[u]
+            return
+        au[v] -= mult
+        av[u] -= mult
+        if au[v] == 0:
+            del au[v]
+            del av[u]
+            self.topology_changes += 1
+
+    def multiplicity(self, u: NodeId, v: NodeId) -> int:
+        return self._require(u)[v]
+
+    def degree(self, u: NodeId) -> int:
+        """Sum of incident multiplicities (self-loop weight counted as
+        stored, preserving ``degree = 3 * Load``)."""
+        return sum(self._require(u).values())
+
+    def connection_count(self, u: NodeId) -> int:
+        """Number of distinct real connections (what a deployed node's
+        file-descriptor table would show)."""
+        return sum(1 for v, m in self._require(u).items() if v != u and m > 0)
+
+    def distinct_neighbors(self, u: NodeId) -> list[NodeId]:
+        return [v for v, m in self._require(u).items() if v != u and m > 0]
+
+    def neighbor_multiplicities(self, u: NodeId) -> list[tuple[NodeId, int]]:
+        """Neighbors with multiplicities, self-loop included (for walks)."""
+        return [(v, m) for v, m in self._require(u).items() if m > 0]
+
+    @property
+    def num_edge_units(self) -> int:
+        """Total multiplicity over undirected edges (self-loop weight
+        counted once)."""
+        total = 0
+        for u, nbrs in self._adj.items():
+            for v, m in nbrs.items():
+                if v == u:
+                    total += 2 * m  # counted once overall => weight as two halves
+                elif v > u:
+                    total += 2 * m
+        return total // 2
+
+    @property
+    def num_connections(self) -> int:
+        """Number of distinct node pairs with at least one edge."""
+        total = 0
+        for u, nbrs in self._adj.items():
+            for v, m in nbrs.items():
+                if v > u and m > 0:
+                    total += 1
+        return total
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def bfs_distances(self, src: NodeId) -> dict[NodeId, int]:
+        self._require(src)
+        dist = {src: 0}
+        q: deque[NodeId] = deque([src])
+        while q:
+            u = q.popleft()
+            for v in self.distinct_neighbors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    q.append(v)
+        return dist
+
+    def eccentricity(self, src: NodeId) -> int:
+        dist = self.bfs_distances(src)
+        if len(dist) != self.num_nodes:
+            raise TopologyError("graph is disconnected")
+        return max(dist.values())
+
+    def is_connected(self) -> bool:
+        if self.num_nodes == 0:
+            return True
+        src = next(iter(self._adj))
+        return len(self.bfs_distances(src)) == self.num_nodes
+
+    def max_degree(self) -> int:
+        return max((self.degree(u) for u in self._adj), default=0)
+
+    def to_sparse_adjacency(self) -> tuple[list[NodeId], sp.csr_matrix]:
+        """``(ordering, A)`` with the multigraph conventions preserved:
+        off-diagonal entries are multiplicities, diagonal entries are the
+        stored self-loop weights."""
+        order = sorted(self._adj)
+        index = {u: i for i, u in enumerate(order)}
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        for u, nbrs in self._adj.items():
+            i = index[u]
+            for v, m in nbrs.items():
+                if m <= 0:
+                    continue
+                rows.append(i)
+                cols.append(index[v])
+                data.append(float(m))
+        n = len(order)
+        A = sp.csr_matrix(
+            (np.array(data), (np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64))),
+            shape=(n, n),
+        )
+        return order, A

@@ -1,0 +1,164 @@
+"""Random-walk primitives.
+
+Type-1 recovery (Algorithms 4.2/4.3) finds spare capacity by forwarding a
+token along a random walk of length O(log n); Phase 2 of the type-2
+procedures walks on the *virtual* graph, simulated on the real network
+with constant overhead (each virtual hop crosses one real edge because
+virtual neighbors are hosted at real neighbors).
+
+Walk steps are weighted by edge multiplicity (the walk of Lemma 2 is on
+the multigraph ``G'_t`` whose stationary distribution is
+``pi(x) = d_x / 2|E|``); self-loop weight makes the token stay put for a
+step.  :func:`parallel_walks` schedules many tokens simultaneously with
+the one-token-per-edge-per-direction congestion rule of Lemma 11.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import TopologyError
+from repro.net.topology import DynamicMultigraph
+from repro.types import NodeId, Vertex
+from repro.virtual.pcycle import PCycle
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Outcome of a single token walk."""
+
+    end: NodeId
+    hops: int
+    found: bool
+    trace: tuple[NodeId, ...] = ()
+
+
+def _weighted_step(
+    graph: DynamicMultigraph,
+    at: NodeId,
+    rng: random.Random,
+    excluded: frozenset[NodeId],
+) -> NodeId | None:
+    options = [
+        (v, m)
+        for v, m in sorted(graph.neighbor_multiplicities(at))
+        if v not in excluded
+    ]
+    if not options:
+        return None
+    total = sum(m for _, m in options)
+    pick = rng.randrange(total)
+    acc = 0
+    for v, m in options:
+        acc += m
+        if pick < acc:
+            return v
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def random_walk(
+    graph: DynamicMultigraph,
+    start: NodeId,
+    length: int,
+    rng: random.Random,
+    stop: Callable[[NodeId], bool] | None = None,
+    excluded: frozenset[NodeId] = frozenset(),
+    keep_trace: bool = False,
+) -> WalkResult:
+    """Forward a token for at most ``length`` hops from ``start``.
+
+    The walk stops early (``found=True``) when ``stop`` holds at a visited
+    node *after* at least one hop, mirroring Algorithm 4.2 where the token
+    is generated at the initiator and examined at each receiving node.
+    ``excluded`` nodes are never stepped onto (Algorithm 4.2 excludes the
+    freshly inserted node).
+    """
+    if length < 0:
+        raise TopologyError(f"walk length must be non-negative, got {length}")
+    at = start
+    trace = [start] if keep_trace else []
+    for hop in range(1, length + 1):
+        nxt = _weighted_step(graph, at, rng, excluded)
+        if nxt is None:
+            # Token is stuck (all neighbors excluded); it stays put.
+            return WalkResult(end=at, hops=hop - 1, found=False, trace=tuple(trace))
+        at = nxt
+        if keep_trace:
+            trace.append(at)
+        if stop is not None and stop(at):
+            return WalkResult(end=at, hops=hop, found=True, trace=tuple(trace))
+    return WalkResult(
+        end=at, hops=length, found=(stop is None), trace=tuple(trace)
+    )
+
+
+def virtual_walk(
+    pcycle: PCycle,
+    host_of: Callable[[Vertex], NodeId],
+    start_vertex: Vertex,
+    length: int,
+    rng: random.Random,
+    stop: Callable[[Vertex, NodeId], bool] | None = None,
+) -> tuple[Vertex, int]:
+    """Walk on the virtual p-cycle, simulated on the real network.
+
+    Each step picks uniformly among the three edge endpoints of the
+    current vertex (a self-loop endpoint keeps the token in place); the
+    token physically crosses at most one real edge per step.  Returns the
+    final vertex and the number of *real* hops charged.
+    """
+    at = start_vertex
+    real_hops = 0
+    for _ in range(length):
+        options = pcycle.neighbor_multiset(at)
+        nxt = options[rng.randrange(3)]
+        if host_of(nxt) != host_of(at):
+            real_hops += 1
+        at = nxt
+        if stop is not None and stop(at, host_of(at)):
+            return at, real_hops
+    return at, real_hops
+
+
+def parallel_walks(
+    graph: DynamicMultigraph,
+    starts: Sequence[NodeId],
+    length: int,
+    rng: random.Random,
+) -> tuple[list[NodeId], int]:
+    """Run one token per entry of ``starts`` for ``length`` hops each,
+    under the rule that each directed edge (connection) carries at most
+    one token per round (Lemma 11).  Returns final positions and the
+    number of rounds until all tokens completed.
+
+    A token blocked on a congested edge re-samples its next hop in the
+    following round; Lemma 11's O(log^2 n) completion bound is measured
+    by ``tests/test_net/test_walks.py`` and benchmark E8.
+    """
+    positions = list(starts)
+    remaining = [length] * len(starts)
+    rounds = 0
+    active = set(range(len(starts)))
+    while active:
+        rounds += 1
+        used: set[tuple[NodeId, NodeId]] = set()
+        order = sorted(active)
+        rng.shuffle(order)
+        for idx in order:
+            at = positions[idx]
+            nxt = _weighted_step(graph, at, rng, frozenset())
+            if nxt is None:
+                remaining[idx] = 0
+            elif nxt == at or (at, nxt) not in used:
+                if nxt != at:
+                    used.add((at, nxt))
+                positions[idx] = nxt
+                remaining[idx] -= 1
+            # else: blocked this round, retries next round
+            if remaining[idx] <= 0:
+                active.discard(idx)
+        if rounds > 1000 * max(1, length):
+            raise TopologyError("parallel walks failed to complete")  # pragma: no cover
+    return positions, rounds

@@ -1,0 +1,56 @@
+"""Shared type aliases and tiny value objects used across the library.
+
+The paper distinguishes *vertices* (elements of the virtual p-cycle,
+integers in ``Z_p``) from *nodes* (real processors).  We mirror that
+vocabulary: :data:`Vertex` values live in the virtual graph, :data:`NodeId`
+values name real nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TypeAlias
+
+NodeId: TypeAlias = int
+Vertex: TypeAlias = int
+
+
+class Layer(Enum):
+    """Which virtual graph a vertex belongs to during a staggered type-2
+    recovery.  Outside staggered operations only :attr:`OLD` exists."""
+
+    OLD = "old"
+    NEW = "new"
+
+
+class StepKind(Enum):
+    """What the adversary did in a step (Section 2)."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    BATCH = "batch"
+    BOOTSTRAP = "bootstrap"
+
+
+class RecoveryType(Enum):
+    """How the algorithm healed a step (Section 4)."""
+
+    TYPE1 = "type1"
+    TYPE2_INFLATE = "type2-inflate"
+    TYPE2_DEFLATE = "type2-deflate"
+    STAGGERED_INFLATE_START = "staggered-inflate-start"
+    STAGGERED_DEFLATE_START = "staggered-deflate-start"
+    TYPE1_DURING_STAGGER = "type1-during-stagger"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class VertexRef:
+    """A vertex tagged with the layer it belongs to."""
+
+    layer: Layer
+    vertex: Vertex
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.layer.value}:{self.vertex}"

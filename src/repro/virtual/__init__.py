@@ -1,0 +1,39 @@
+"""Virtual-graph substrate: the p-cycle expander family of Definition 1,
+prime-finding via Bertrand's postulate, and the inflation/deflation cloud
+maps of Section 4.2 (Eqs. 6-7 and the ``floor(x/alpha)`` deflation map).
+"""
+
+from repro.virtual.primes import (
+    is_prime,
+    next_prime_in,
+    initial_prime,
+    inflation_prime,
+    deflation_prime,
+)
+from repro.virtual.pcycle import PCycle
+from repro.virtual.clouds import (
+    inflation_cloud,
+    inflation_parent,
+    deflation_image,
+    is_dominating,
+    deflation_cloud,
+    dominating_vertex,
+)
+from repro.virtual.contraction import contract_adjacency, quotient_multigraph
+
+__all__ = [
+    "is_prime",
+    "next_prime_in",
+    "initial_prime",
+    "inflation_prime",
+    "deflation_prime",
+    "PCycle",
+    "inflation_cloud",
+    "inflation_parent",
+    "deflation_image",
+    "is_dominating",
+    "deflation_cloud",
+    "dominating_vertex",
+    "contract_adjacency",
+    "quotient_multigraph",
+]

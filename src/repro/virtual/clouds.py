@@ -1,0 +1,110 @@
+"""Inflation and deflation cloud maps between p-cycles (Section 4.2).
+
+All arithmetic is exact integer arithmetic: the paper's ``alpha`` is the
+rational ``p_new / p_old`` and the ceil/floor expressions of Eqs. (6)-(7)
+are evaluated without floating point, so the bijection properties proved
+in Lemmas 4(b) and 6(b) hold *exactly* in code (and are property-tested).
+
+Inflation (``p_old -> p_new`` with ``p_new in (4 p_old, 8 p_old)``):
+every old vertex ``x`` is replaced by the *cloud*
+
+    y_j = ceil(alpha * x) + j   for 0 <= j <= c(x),
+    c(x) = ceil(alpha * (x+1)) - ceil(alpha * x) - 1          (Eqs. 6-7)
+
+The clouds partition ``Z_{p_new}`` and have size in {floor(alpha),
+ceil(alpha)} <= 8 = zeta.
+
+Deflation (``p_new in (p_old/8, p_old/4)``): old vertex ``x`` maps to
+``floor(x / alpha)`` with ``alpha = p_old / p_new``; the smallest ``x`` of
+each preimage is the *dominating* vertex of its deflation cloud.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VirtualGraphError
+from repro.types import Vertex
+
+
+def _check_pair(p_old: int, p_new: int) -> None:
+    if p_old < 2 or p_new < 2:
+        raise VirtualGraphError(f"invalid prime pair ({p_old}, {p_new})")
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+# ----------------------------------------------------------------------
+# inflation (p_new > p_old)
+# ----------------------------------------------------------------------
+def inflation_cloud(x: Vertex, p_old: int, p_new: int) -> list[Vertex]:
+    """The cloud of new vertices replacing old vertex ``x`` (Eq. 7)."""
+    _check_pair(p_old, p_new)
+    if p_new <= p_old:
+        raise VirtualGraphError("inflation requires p_new > p_old")
+    if not 0 <= x < p_old:
+        raise VirtualGraphError(f"vertex {x} not in Z_{p_old}")
+    start = _ceil_div(p_new * x, p_old)  # ceil(alpha * x)
+    end = _ceil_div(p_new * (x + 1), p_old)  # ceil(alpha * (x+1))
+    return [y % p_new for y in range(start, end)]
+
+
+def inflation_cloud_size(x: Vertex, p_old: int, p_new: int) -> int:
+    """``c(x) + 1`` without materialising the cloud."""
+    start = _ceil_div(p_new * x, p_old)
+    end = _ceil_div(p_new * (x + 1), p_old)
+    return end - start
+
+
+def inflation_parent(y: Vertex, p_old: int, p_new: int) -> Vertex:
+    """The unique old vertex whose cloud contains new vertex ``y``
+    (inverse of Eq. 7; every node can compute this locally, which is what
+    makes intermediate edges in Procedure ``inflate`` possible)."""
+    _check_pair(p_old, p_new)
+    if p_new <= p_old:
+        raise VirtualGraphError("inflation requires p_new > p_old")
+    if not 0 <= y < p_new:
+        raise VirtualGraphError(f"vertex {y} not in Z_{p_new}")
+    return (y * p_old) // p_new
+
+
+# ----------------------------------------------------------------------
+# deflation (p_new < p_old)
+# ----------------------------------------------------------------------
+def deflation_image(x: Vertex, p_old: int, p_new: int) -> Vertex:
+    """``y_x = floor(x / alpha)`` with ``alpha = p_old / p_new``."""
+    _check_pair(p_old, p_new)
+    if p_new >= p_old:
+        raise VirtualGraphError("deflation requires p_new < p_old")
+    if not 0 <= x < p_old:
+        raise VirtualGraphError(f"vertex {x} not in Z_{p_old}")
+    return (x * p_new) // p_old
+
+
+def is_dominating(x: Vertex, p_old: int, p_new: int) -> bool:
+    """True iff ``x`` is the smallest old vertex mapping to its image,
+    i.e. the vertex that *dominates* its deflation cloud (Section 4.4.2)."""
+    if x == 0:
+        return True
+    return deflation_image(x - 1, p_old, p_new) < deflation_image(x, p_old, p_new)
+
+
+def dominating_vertex(y: Vertex, p_old: int, p_new: int) -> Vertex:
+    """The dominating (smallest) old vertex of the deflation cloud of new
+    vertex ``y``: ``ceil(y * alpha)``."""
+    _check_pair(p_old, p_new)
+    if p_new >= p_old:
+        raise VirtualGraphError("deflation requires p_new < p_old")
+    if not 0 <= y < p_new:
+        raise VirtualGraphError(f"vertex {y} not in Z_{p_new}")
+    return _ceil_div(y * p_old, p_new)
+
+
+def deflation_cloud(y: Vertex, p_old: int, p_new: int) -> list[Vertex]:
+    """All old vertices mapping to new vertex ``y``."""
+    start = dominating_vertex(y, p_old, p_new)
+    if y + 1 < p_new:
+        end = dominating_vertex(y + 1, p_old, p_new)
+    else:
+        end = p_old
+    return list(range(start, end))

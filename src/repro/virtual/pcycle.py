@@ -1,0 +1,265 @@
+"""The p-cycle expander family (Definition 1, after Lubotzky [19]).
+
+For a prime ``p``, ``Z(p)`` is the 3-regular multigraph on the vertex set
+``Z_p = {0, ..., p-1}`` with
+
+* cycle edges ``(x, x+1 mod p)`` and ``(x, x-1 mod p)``,
+* inverse chords ``(x, x^{-1} mod p)`` for ``x, y > 0``,
+* a self-loop at vertex ``0`` (and implicitly at ``1`` and ``p-1``, which
+  are their own inverses), so that *every* vertex has degree exactly 3
+  (self-loops counted once, the convention of [14] for this family).
+
+The graph is an expander with a constant spectral gap for every prime p
+[19]; benchmark E9 measures the gap across the family.
+
+Neighbors are computable in O(1) (the inverse via Fermat's little theorem),
+so the graph is kept *implicit*: no adjacency structure is materialised
+unless :meth:`PCycle.adjacency_matrix` is called.  Shortest paths -- needed
+for coordinator messages and DHT routing, both locally computable by nodes
+in the paper -- use bidirectional BFS over the implicit neighbor function,
+which explores O(sqrt(p)) vertices on this family.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import VirtualGraphError
+from repro.types import Vertex
+from repro.virtual.primes import is_prime
+
+_MIN_P = 5
+
+
+class PCycle:
+    """Implicit representation of the p-cycle ``Z(p)``."""
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: int):
+        if p < _MIN_P or not is_prime(p):
+            raise VirtualGraphError(f"p-cycle size must be a prime >= {_MIN_P}, got {p}")
+        self.p = p
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.p
+
+    def __contains__(self, x: object) -> bool:
+        return isinstance(x, int) and 0 <= x < self.p
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PCycle) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("PCycle", self.p))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PCycle(p={self.p})"
+
+    def vertices(self) -> range:
+        """All vertices ``0..p-1``."""
+        return range(self.p)
+
+    def check_vertex(self, x: Vertex) -> None:
+        if not (0 <= x < self.p):
+            raise VirtualGraphError(f"vertex {x} not in Z_{self.p}")
+
+    def inverse(self, x: Vertex) -> Vertex:
+        """Multiplicative inverse of ``x`` mod p (only defined for x > 0)."""
+        self.check_vertex(x)
+        if x == 0:
+            raise VirtualGraphError("vertex 0 has no multiplicative inverse")
+        return pow(x, self.p - 2, self.p)
+
+    def chord_target(self, x: Vertex) -> Vertex:
+        """The third edge endpoint of ``x``: its inverse for x > 0, and x
+        itself (the explicit self-loop) for x = 0."""
+        self.check_vertex(x)
+        if x == 0:
+            return 0
+        return pow(x, self.p - 2, self.p)
+
+    def neighbor_multiset(self, x: Vertex) -> tuple[Vertex, Vertex, Vertex]:
+        """The three edge endpoints incident to ``x`` (with multiplicity;
+        an entry equal to ``x`` denotes a self-loop).  Every vertex has
+        exactly three, which is what makes the family 3-regular."""
+        self.check_vertex(x)
+        return ((x - 1) % self.p, (x + 1) % self.p, self.chord_target(x))
+
+    def distinct_neighbors(self, x: Vertex) -> set[Vertex]:
+        """Distinct neighbors of ``x`` excluding itself (for path finding)."""
+        return {y for y in self.neighbor_multiset(x) if y != x}
+
+    def has_self_loop(self, x: Vertex) -> bool:
+        """True for 0, 1 and p-1 (the self-inverse vertices)."""
+        return self.chord_target(x) == x
+
+    def degree(self, x: Vertex) -> int:
+        """Always 3 (self-loops counted once, per [14])."""
+        self.check_vertex(x)
+        return 3
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex]]:
+        """Each undirected edge once, self-loops as ``(x, x)``."""
+        p = self.p
+        for x in range(p):
+            y = (x + 1) % p
+            yield (min(x, y), max(x, y))
+        for x in range(p):
+            y = self.chord_target(x)
+            if y >= x:  # each chord once; includes self-loops (y == x)
+                yield (x, y)
+
+    def num_edges(self) -> int:
+        """Number of undirected edges (self-loops counted once): 3p/2
+        rounded to account for the three self-loops."""
+        return sum(1 for _ in self.edges())
+
+    # ------------------------------------------------------------------
+    # adjacency matrix (for spectral analysis)
+    # ------------------------------------------------------------------
+    def adjacency_matrix(self) -> sp.csr_matrix:
+        """Sparse adjacency with multi-edge multiplicities and self-loops
+        counted once; every row sums to 3."""
+        p = self.p
+        rows = np.empty(3 * p, dtype=np.int64)
+        cols = np.empty(3 * p, dtype=np.int64)
+        k = 0
+        for x in range(p):
+            for y in self.neighbor_multiset(x):
+                rows[k] = x
+                cols[k] = y
+                k += 1
+        data = np.ones(3 * p, dtype=np.float64)
+        return sp.csr_matrix((data, (rows, cols)), shape=(p, p))
+
+    # ------------------------------------------------------------------
+    # shortest paths (locally computable by every node in the paper)
+    # ------------------------------------------------------------------
+    def shortest_path(self, src: Vertex, dst: Vertex) -> list[Vertex]:
+        """A shortest path from ``src`` to ``dst`` (inclusive).
+
+        Bidirectional BFS over the implicit neighbor function.  Both sides
+        expand complete levels; once the two searches have completed levels
+        ``lf`` and ``lb``, every path of length <= lf + lb has a vertex seen
+        by both sides, so the search can stop as soon as the best meeting
+        sum is <= lf + lb + 1.  This guarantees exact shortest paths while
+        exploring only O(sqrt(p)) vertices on the expander family.
+        """
+        self.check_vertex(src)
+        self.check_vertex(dst)
+        if src == dst:
+            return [src]
+        dist_f: dict[Vertex, int] = {src: 0}
+        dist_b: dict[Vertex, int] = {dst: 0}
+        parent_f: dict[Vertex, Vertex | None] = {src: None}
+        parent_b: dict[Vertex, Vertex | None] = {dst: None}
+        frontier_f: list[Vertex] = [src]
+        frontier_b: list[Vertex] = [dst]
+        level_f = 0
+        level_b = 0
+        best_total: int | None = None
+        best_meet: Vertex | None = None
+        while frontier_f or frontier_b:
+            if best_total is not None and best_total <= level_f + level_b + 1:
+                break
+            # Expand the smaller non-empty frontier, a full level at a time.
+            expand_forward = bool(frontier_f) and (
+                not frontier_b or len(frontier_f) <= len(frontier_b)
+            )
+            if expand_forward:
+                frontier_f = self._expand_level(
+                    frontier_f, dist_f, parent_f, level_f + 1
+                )
+                level_f += 1
+                meets = [w for w in frontier_f if w in dist_b]
+            else:
+                frontier_b = self._expand_level(
+                    frontier_b, dist_b, parent_b, level_b + 1
+                )
+                level_b += 1
+                meets = [w for w in frontier_b if w in dist_f]
+            for w in meets:
+                total = dist_f[w] + dist_b[w]
+                if best_total is None or total < best_total:
+                    best_total = total
+                    best_meet = w
+        if best_meet is None:  # pragma: no cover - the p-cycle is connected
+            raise VirtualGraphError(f"no path between {src} and {dst} in Z_{self.p}")
+        # Rebuild the path by walking both parent maps from the meeting vertex.
+        path_f: list[Vertex] = []
+        v: Vertex | None = best_meet
+        while v is not None:
+            path_f.append(v)
+            v = parent_f[v]
+        path_f.reverse()
+        path_b: list[Vertex] = []
+        v = parent_b[best_meet]
+        while v is not None:
+            path_b.append(v)
+            v = parent_b[v]
+        return path_f + path_b
+
+    def _expand_level(
+        self,
+        frontier: list[Vertex],
+        dist: dict[Vertex, int],
+        parent: dict[Vertex, Vertex | None],
+        new_level: int,
+    ) -> list[Vertex]:
+        nxt: list[Vertex] = []
+        for u in frontier:
+            for w in self.distinct_neighbors(u):
+                if w in dist:
+                    continue
+                dist[w] = new_level
+                parent[w] = u
+                nxt.append(w)
+        return nxt
+
+    def distance(self, src: Vertex, dst: Vertex) -> int:
+        """Hop distance between two vertices."""
+        return len(self.shortest_path(src, dst)) - 1
+
+    def bfs_distances(self, src: Vertex, cutoff: int | None = None) -> dict[Vertex, int]:
+        """Full BFS distance map from ``src`` (used by tests and for
+        eccentricity measurements)."""
+        self.check_vertex(src)
+        dist = {src: 0}
+        q: deque[Vertex] = deque([src])
+        while q:
+            u = q.popleft()
+            if cutoff is not None and dist[u] >= cutoff:
+                continue
+            for w in self.distinct_neighbors(u):
+                if w not in dist:
+                    dist[w] = dist[u] + 1
+                    q.append(w)
+        return dist
+
+    def eccentricity(self, src: Vertex) -> int:
+        """Maximum BFS distance from ``src`` (O(p) time)."""
+        return max(self.bfs_distances(src).values())
+
+    def diameter_bound(self) -> int:
+        """An upper bound on the diameter: twice the eccentricity of 0."""
+        return 2 * self.eccentricity(0)
+
+
+@lru_cache(maxsize=64)
+def cached_pcycle(p: int) -> PCycle:
+    """Shared PCycle instances (they are immutable)."""
+    return PCycle(p)
+
+
+def shortest_path_vertices(p: int, src: Vertex, dst: Vertex) -> Sequence[Vertex]:
+    """Convenience wrapper used by routing code."""
+    return cached_pcycle(p).shortest_path(src, dst)

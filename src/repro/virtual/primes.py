@@ -1,0 +1,106 @@
+"""Prime-number helpers for selecting p-cycle sizes.
+
+The paper picks virtual-graph sizes as primes in multiplicative ranges:
+
+* the initial prime ``p0`` is the smallest prime in ``(4 n0, 8 n0)``
+  (Section 4, start of the algorithm description),
+* inflation moves from ``p`` to the smallest prime in ``(4 p, 8 p)``
+  (Algorithm 4.5 / Phase 1 of Procedure ``inflate``),
+* deflation moves to a prime in ``(p/8, p/4)`` (Algorithm 4.6).
+
+Existence inside each range is guaranteed by Bertrand's postulate [4]:
+every interval ``(m, 2m)`` for ``m > 1`` contains a prime, and each range
+above contains such an interval.
+
+Primality is a deterministic Miller-Rabin test that is exact for every
+64-bit integer, far beyond any p-cycle size this library will simulate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VirtualGraphError
+
+# Witness set proven to make Miller-Rabin deterministic for n < 3.3 * 10^24
+# (Sorenson & Webster), which covers all 64-bit inputs.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test (exact for all ``n < 3.3e24``)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 = d * 2^s with d odd.
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for a in _MR_WITNESSES:
+        if a % n == 0:
+            continue
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(s - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime_in(lo: int, hi: int) -> int:
+    """Smallest prime strictly inside the open interval ``(lo, hi)``.
+
+    Raises :class:`VirtualGraphError` if the interval contains none (the
+    paper's ranges always do, by Bertrand's postulate).
+    """
+    if hi <= lo + 1:
+        raise VirtualGraphError(f"empty open interval ({lo}, {hi})")
+    candidate = lo + 1
+    while candidate < hi:
+        if is_prime(candidate):
+            return candidate
+        candidate += 1
+    raise VirtualGraphError(f"no prime in open interval ({lo}, {hi})")
+
+
+def initial_prime(n0: int) -> int:
+    """Smallest prime in ``(4 n0, 8 n0)`` for the bootstrap network."""
+    if n0 < 2:
+        raise VirtualGraphError(f"initial network size must be >= 2, got {n0}")
+    return next_prime_in(4 * n0, 8 * n0)
+
+
+def inflation_prime(p: int) -> int:
+    """Smallest prime in ``(4 p, 8 p)`` -- the inflation target."""
+    if p < 2:
+        raise VirtualGraphError(f"current prime must be >= 2, got {p}")
+    return next_prime_in(4 * p, 8 * p)
+
+
+def deflation_prime(p: int) -> int:
+    """Smallest prime in ``(p/8, p/4)`` -- the deflation target.
+
+    The open interval ``(p/8, p/4)`` contains a Bertrand interval
+    ``(m, 2m)`` for ``m = p/8`` whenever ``p >= 16``; we require ``p >= 41``
+    so that the resulting prime is at least 5 (the smallest p-cycle this
+    library supports).
+    """
+    if p < 41:
+        raise VirtualGraphError(
+            f"cannot deflate a p-cycle of size {p}: target range (p/8, p/4) "
+            "would fall below the smallest supported p-cycle (p = 5)"
+        )
+    lo = p // 8  # open at p/8: candidates start at lo + 1 > p/8
+    hi_exclusive = (p + 3) // 4  # candidates must satisfy 4*c < p
+    # next_prime_in uses an open interval (lo, hi): candidate < hi.
+    return next_prime_in(lo, hi_exclusive)

@@ -1,0 +1,95 @@
+"""Adversary strategies produce legal, goal-directed actions."""
+
+import pytest
+
+from repro.adversary import (
+    CoordinatorAttack,
+    DegreeAttack,
+    DeleteOnly,
+    FlashCrowd,
+    InsertOnly,
+    LowLoadAttack,
+    MassLeave,
+    OscillatingChurn,
+    RandomChurn,
+    SpareDepleter,
+    TraceAdversary,
+)
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.harness.runner import run_churn
+
+
+@pytest.fixture
+def net():
+    return DexNetwork.bootstrap(20, DexConfig(seed=99))
+
+
+ALL_STRATEGIES = [
+    RandomChurn(0.5, seed=1),
+    InsertOnly(seed=1),
+    DeleteOnly(seed=1),
+    OscillatingChurn(burst=10, seed=1),
+    DegreeAttack(seed=1),
+    CoordinatorAttack(seed=1),
+    SpareDepleter(seed=1),
+    LowLoadAttack(seed=1),
+    FlashCrowd(surge=15, seed=1),
+    MassLeave(fraction=0.4, seed=1),
+]
+
+
+class TestLegality:
+    @pytest.mark.parametrize(
+        "adversary", ALL_STRATEGIES, ids=lambda a: type(a).__name__
+    )
+    def test_actions_apply_cleanly(self, net, adversary):
+        result = run_churn(net, adversary, steps=40, sample_every=20)
+        assert result.skipped_actions == 0
+        net.check_invariants()
+
+
+class TestTargeting:
+    def test_degree_attack_picks_max_degree(self, net):
+        attack = DegreeAttack(seed=2, insert_every=0)
+        action = attack.next_action(net)
+        assert action.kind == "delete"
+        assert net.degree_of(action.node) == net.max_degree()
+
+    def test_coordinator_attack_targets_vertex0_host(self, net):
+        attack = CoordinatorAttack(seed=2, insert_every=0)
+        action = attack.next_action(net)
+        assert action.kind == "delete"
+        assert action.node == net.coordinator.node
+
+    def test_low_load_attack_targets_min_load(self, net):
+        attack = LowLoadAttack(seed=2)
+        action = attack.next_action(net)
+        assert action.kind == "delete"
+        assert net.load_of(action.node) == min(net.loads().values())
+
+    def test_spare_depleter_alternates(self, net):
+        depleter = SpareDepleter(seed=2)
+        kinds = [depleter.next_action(net).kind for _ in range(6)]
+        assert "insert" in kinds and "delete" in kinds
+
+    def test_trace_adversary_replays(self, net):
+        trace = TraceAdversary(["insert", "insert", "delete"], seed=2)
+        kinds = [trace.next_action(net).kind for _ in range(3)]
+        assert kinds == ["insert", "insert", "delete"]
+        with pytest.raises(StopIteration):
+            trace.next_action(net)
+
+    def test_trace_rejects_unknown(self, net):
+        trace = TraceAdversary(["explode"])
+        with pytest.raises(ValueError):
+            trace.next_action(net)
+
+    def test_mass_leave_shrinks(self, net):
+        leave = MassLeave(fraction=0.5, seed=3)
+        run_churn(net, leave, steps=10, sample_every=10)
+        assert net.size == 10  # 20 -> target of 10, reached exactly
+
+    def test_random_churn_validates_probability(self):
+        with pytest.raises(ValueError):
+            RandomChurn(1.5)

@@ -1,0 +1,95 @@
+"""Edge expansion and the Cheeger inequality (Theorem 2)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.expansion import (
+    cheeger_bounds,
+    edge_expansion_exact,
+    edge_expansion_sweep,
+)
+from repro.analysis.spectral import spectral_gap
+from repro.errors import VirtualGraphError
+from repro.virtual.pcycle import PCycle
+
+
+def cycle_graph(n: int) -> sp.csr_matrix:
+    rows = list(range(n)) * 2
+    cols = [(i + 1) % n for i in range(n)] + [(i - 1) % n for i in range(n)]
+    return sp.csr_matrix((np.ones(2 * n), (rows, cols)), shape=(n, n))
+
+
+def complete_graph(n: int) -> sp.csr_matrix:
+    return sp.csr_matrix(np.ones((n, n)) - np.eye(n))
+
+
+class TestExact:
+    def test_cycle_known_value(self):
+        # C_n: the sparsest cut takes a contiguous arc of n/2 vertices,
+        # cutting 2 edges: h = 2 / floor(n/2)
+        for n in (6, 8, 10):
+            h = edge_expansion_exact(cycle_graph(n))
+            assert h == pytest.approx(2 / (n // 2))
+
+    def test_complete_graph_known_value(self):
+        # K_n: h = ceil(n/2) (each of the floor(n/2) set members cuts to
+        # all n - floor(n/2) others): h = n - floor(n/2)
+        n = 6
+        h = edge_expansion_exact(complete_graph(n))
+        assert h == pytest.approx(n - n // 2)
+
+    def test_disconnected_graph_zero(self):
+        A = sp.csr_matrix(
+            np.array(
+                [
+                    [0, 1, 0, 0],
+                    [1, 0, 0, 0],
+                    [0, 0, 0, 1],
+                    [0, 0, 1, 0],
+                ],
+                dtype=float,
+            )
+        )
+        assert edge_expansion_exact(A) == 0.0
+
+    def test_too_large_raises(self):
+        with pytest.raises(VirtualGraphError):
+            edge_expansion_exact(cycle_graph(25))
+
+
+class TestSweep:
+    @given(st.sampled_from([5, 7, 11, 13, 17]))
+    @settings(max_examples=12, deadline=None)
+    def test_sweep_upper_bounds_exact(self, p):
+        A = PCycle(p).adjacency_matrix()
+        exact = edge_expansion_exact(A)
+        sweep = edge_expansion_sweep(A)
+        assert sweep >= exact - 1e-9
+
+    def test_sweep_on_larger_graph_positive(self):
+        assert edge_expansion_sweep(PCycle(199).adjacency_matrix()) > 0
+
+
+class TestCheeger:
+    @given(st.sampled_from([5, 7, 11, 13, 17]))
+    @settings(max_examples=12, deadline=None)
+    def test_sandwich_on_pcycles(self, p):
+        """(1 - lambda)/2 <= h(G) <= sqrt(2 (1 - lambda)) -- with h
+        normalized by degree d=3 for the regular normalized adjacency."""
+        A = PCycle(p).adjacency_matrix()
+        gap = spectral_gap(A)
+        h = edge_expansion_exact(A) / 3.0  # normalized expansion
+        lower, upper = cheeger_bounds(gap)
+        assert lower - 1e-9 <= h <= upper + 1e-9
+
+    def test_bounds_shape(self):
+        lower, upper = cheeger_bounds(0.5)
+        assert lower == pytest.approx(0.25)
+        assert upper == pytest.approx(1.0)
+
+    def test_negative_gap_clamped(self):
+        lower, upper = cheeger_bounds(-0.1)
+        assert lower == 0.0 and upper == 0.0

@@ -1,0 +1,67 @@
+"""The Expander Mixing Lemma (Lemma 12) and mixing-time estimates."""
+
+import random
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mixing import estimate_mixing_time, mixing_lemma_check
+from repro.analysis.spectral import second_eigenvalue
+from repro.errors import VirtualGraphError
+from repro.virtual.pcycle import PCycle
+
+
+def cycle_graph(n: int) -> sp.csr_matrix:
+    rows = list(range(n)) * 2
+    cols = [(i + 1) % n for i in range(n)] + [(i - 1) % n for i in range(n)]
+    return sp.csr_matrix((np.ones(2 * n), (rows, cols)), shape=(n, n))
+
+
+class TestMixingLemma:
+    @given(st.sampled_from([53, 101, 199]), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_holds_on_pcycle(self, p, seed):
+        """Lemma 12 for random S, T on the 3-regular p-cycle."""
+        z = PCycle(p)
+        A = z.adjacency_matrix()
+        lam = abs(second_eigenvalue(A))
+        rng = random.Random(seed)
+        s_set = set(rng.sample(range(p), max(2, p // 5)))
+        t_set = set(rng.sample(range(p), max(2, p // 4)))
+        deviation, bound = mixing_lemma_check(A, 3, lam, s_set, t_set)
+        # |lambda| of the p-cycle may underestimate the modulus of the
+        # most-negative eigenvalue; use the safe modulus bound of 1.
+        assert deviation <= max(bound, 3 * np.sqrt(len(s_set) * len(t_set)))
+
+    def test_empty_sets_rejected(self):
+        A = PCycle(23).adjacency_matrix()
+        with pytest.raises(VirtualGraphError):
+            mixing_lemma_check(A, 3, 0.9, set(), {1})
+
+
+class TestMixingTime:
+    def test_expander_mixes_fast(self):
+        # plain cycles mix in Theta(n^2); the expander family in O(log n)
+        steps_expander = estimate_mixing_time(PCycle(101).adjacency_matrix())
+        steps_cycle = estimate_mixing_time(cycle_graph(64), max_steps=100_000)
+        assert steps_expander < steps_cycle / 4
+        assert steps_expander <= 20 * np.log2(101)
+
+    def test_threshold_respected(self):
+        A = PCycle(101).adjacency_matrix()
+        loose = estimate_mixing_time(A, tv_threshold=0.4)
+        tight = estimate_mixing_time(A, tv_threshold=0.01)
+        assert loose <= tight
+
+    def test_nonmixing_raises(self):
+        A = cycle_graph(256)
+        with pytest.raises(VirtualGraphError):
+            estimate_mixing_time(A, tv_threshold=0.001, max_steps=5)
+
+    def test_isolated_vertex_raises(self):
+        A = sp.csr_matrix(np.diag([1.0, 0.0]))
+        with pytest.raises(VirtualGraphError):
+            estimate_mixing_time(A)

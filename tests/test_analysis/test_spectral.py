@@ -1,0 +1,91 @@
+"""Spectral-gap computations against known closed forms."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.spectral import (
+    normalized_adjacency,
+    second_eigenvalue,
+    spectral_gap,
+    spectral_gap_of_multigraph,
+)
+from repro.errors import VirtualGraphError
+from repro.virtual.pcycle import PCycle
+
+
+def cycle_graph(n: int) -> sp.csr_matrix:
+    rows = list(range(n)) * 2
+    cols = [(i + 1) % n for i in range(n)] + [(i - 1) % n for i in range(n)]
+    return sp.csr_matrix((np.ones(2 * n), (rows, cols)), shape=(n, n))
+
+
+def complete_graph(n: int) -> sp.csr_matrix:
+    return sp.csr_matrix(np.ones((n, n)) - np.eye(n))
+
+
+class TestKnownSpectra:
+    def test_complete_graph(self):
+        # K_n normalized: eigenvalues 1 and -1/(n-1); gap = n/(n-1)
+        n = 10
+        lam = second_eigenvalue(complete_graph(n))
+        assert lam == pytest.approx(-1 / (n - 1), abs=1e-9)
+
+    def test_cycle_graph(self):
+        # C_n: lambda_2 = cos(2*pi/n)
+        n = 12
+        lam = second_eigenvalue(cycle_graph(n))
+        assert lam == pytest.approx(np.cos(2 * np.pi / n), abs=1e-9)
+
+    def test_cycle_gap_vanishes(self):
+        # cycles are NOT expanders: gap -> 0 as n grows
+        assert spectral_gap(cycle_graph(64)) < spectral_gap(cycle_graph(16))
+
+    def test_single_vertex(self):
+        A = sp.csr_matrix(np.array([[1.0]]))
+        assert second_eigenvalue(A) == 0.0
+
+    def test_isolated_vertex_raises(self):
+        A = sp.csr_matrix(np.diag([1.0, 0.0]))
+        with pytest.raises(VirtualGraphError):
+            normalized_adjacency(A)
+
+
+class TestPCycleFamily:
+    @given(st.sampled_from([23, 53, 101, 199, 401]))
+    @settings(max_examples=10, deadline=None)
+    def test_family_gap_constant(self, p):
+        """[19]: the p-cycle family has a constant spectral gap."""
+        gap = spectral_gap(PCycle(p).adjacency_matrix())
+        assert gap > 0.02
+
+    def test_large_p_uses_sparse_path(self):
+        gap = spectral_gap(PCycle(1009).adjacency_matrix())
+        assert 0.01 < gap < 1.0
+
+
+class TestMultigraphInterface:
+    def test_matches_matrix_route(self):
+        # triangle with one doubled edge and a self-loop
+        edges = {(0, 1): 2, (1, 2): 1, (0, 2): 1, (2, 2): 1}
+        g1 = spectral_gap_of_multigraph([0, 1, 2], edges)
+        A = np.array(
+            [
+                [0.0, 2.0, 1.0],
+                [2.0, 0.0, 1.0],
+                [1.0, 1.0, 1.0],
+            ]
+        )
+        g2 = spectral_gap(sp.csr_matrix(A))
+        assert g1 == pytest.approx(g2, abs=1e-12)
+
+    def test_rejects_empty(self):
+        with pytest.raises(VirtualGraphError):
+            spectral_gap_of_multigraph([], {})
+
+    def test_ignores_zero_multiplicity(self):
+        edges = {(0, 1): 1, (1, 2): 1, (0, 2): 1, (1, 1): 0}
+        gap = spectral_gap_of_multigraph([0, 1, 2], edges)
+        assert gap == pytest.approx(spectral_gap(complete_graph(3)), abs=1e-12)

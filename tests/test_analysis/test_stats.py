@@ -1,0 +1,52 @@
+"""Benchmark statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import Summary, fit_log_curve, loglog_slope, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.mean == pytest.approx(3.0)
+        assert s.median == pytest.approx(3.0)
+        assert s.maximum == 5.0
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.count == 0
+        assert np.isnan(s.mean)
+
+    def test_row_formats(self):
+        assert "mean=" in summarize([1.0]).row()
+
+    def test_p95(self):
+        s = summarize(list(range(101)))
+        assert s.p95 == pytest.approx(95.0)
+
+
+class TestFits:
+    def test_log_fit_recovers_coefficients(self):
+        sizes = [2**k for k in range(4, 12)]
+        values = [5.0 * np.log2(n) + 3.0 for n in sizes]
+        a, b = fit_log_curve(sizes, values)
+        assert a == pytest.approx(5.0, abs=1e-9)
+        assert b == pytest.approx(3.0, abs=1e-9)
+
+    def test_log_fit_needs_two_points(self):
+        a, b = fit_log_curve([10], [1.0])
+        assert np.isnan(a) and np.isnan(b)
+
+    def test_loglog_slope_linear(self):
+        sizes = [2**k for k in range(4, 12)]
+        assert loglog_slope(sizes, [3 * n for n in sizes]) == pytest.approx(1.0, abs=1e-9)
+
+    def test_loglog_slope_constant(self):
+        sizes = [2**k for k in range(4, 12)]
+        assert abs(loglog_slope(sizes, [7.0] * len(sizes))) < 1e-9
+
+    def test_loglog_slope_quadratic(self):
+        sizes = [2**k for k in range(4, 10)]
+        assert loglog_slope(sizes, [n * n for n in sizes]) == pytest.approx(2.0, abs=1e-9)

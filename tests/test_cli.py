@@ -1,0 +1,49 @@
+"""The command-line experiment runner."""
+
+import pytest
+
+from repro.cli import ADVERSARIES, build_parser, main
+from repro.harness import OVERLAY_FACTORIES
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "dex" in out and "law-siu" in out
+        assert "degree-attack" in out
+
+    def test_default_run(self, capsys):
+        assert main(["--steps", "30", "--n0", "16", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "dex vs random" in out
+        assert "spectral gap" in out
+        assert "messages" in out
+
+    def test_baseline_run(self, capsys):
+        assert (
+            main(
+                [
+                    "--overlay",
+                    "law-siu",
+                    "--adversary",
+                    "degree-attack",
+                    "--steps",
+                    "20",
+                    "--n0",
+                    "16",
+                ]
+            )
+            == 0
+        )
+        assert "law-siu vs degree-attack" in capsys.readouterr().out
+
+    def test_every_registered_pair_has_factories(self):
+        for name, factory in ADVERSARIES.items():
+            assert callable(factory), name
+        for name, factory in OVERLAY_FACTORIES.items():
+            assert callable(factory), name
+
+    def test_parser_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--overlay", "bogus"])

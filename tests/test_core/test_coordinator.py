@@ -1,0 +1,65 @@
+"""The coordinator (Algorithm 4.7): exact counters, O(log n) update
+costs, and survival of targeted deletion."""
+
+from repro.adversary.adaptive import CoordinatorAttack
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.net.metrics import CostLedger
+from tests.conftest import drive_inserts
+
+
+class TestCounters:
+    def test_ground_truth_after_every_step(self, small_net):
+        for i in range(30):
+            if i % 4 == 3 and small_net.size > 8:
+                small_net.delete(small_net.random_node())
+            else:
+                small_net.insert()
+            assert small_net.coordinator.verify()
+
+    def test_initial_state(self, small_net):
+        c = small_net.coordinator
+        assert c.n == 16
+        assert c.spare == 16  # bootstrap loads are 4..8, all >= 2
+        assert c.low == 16
+
+    def test_thresholds(self):
+        net = DexNetwork.bootstrap(16, DexConfig(seed=3, theta=0.05))
+        c = net.coordinator
+        c.spare = 0
+        assert c.wants_inflate()
+        c.spare = net.size
+        assert not c.wants_inflate()
+
+    def test_update_cost_logarithmic(self, small_net):
+        drive_inserts(small_net, 30)
+        ledger = CostLedger()
+        some_node = small_net.random_node()
+        small_net.coordinator.charge_update(some_node, ledger)
+        # route + O(1) replication
+        assert ledger.messages <= 4 * small_net.config.walk_length(small_net.size)
+
+
+class TestCoordinatorUnderAttack:
+    def test_repeated_coordinator_kills(self, small_net):
+        attack = CoordinatorAttack(seed=5, insert_every=2)
+        for _ in range(30):
+            action = attack.next_action(small_net)
+            if action.kind == "insert":
+                small_net.insert(attach_to=action.attach_to)
+            else:
+                small_net.delete(action.node)
+            assert small_net.coordinator.verify()
+            # vertex 0 is always simulated somewhere
+            assert small_net.overlay.old.is_active(0) or (
+                small_net.overlay.new is not None
+                and small_net.overlay.new.is_active(0)
+            )
+
+    def test_kill_cost_constant_not_linear(self, small_net):
+        """Unlike the Section 3 global-knowledge strawman, killing the
+        coordinator costs O(log n), not Omega(n)."""
+        drive_inserts(small_net, 40)
+        n = small_net.size
+        report = small_net.delete(small_net.coordinator.node)
+        assert report.messages < n  # strawman would pay >= 3n

@@ -1,0 +1,107 @@
+"""Batched churn (Section 5 / Corollary 2)."""
+
+import pytest
+
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.core.multi import delete_batch, insert_batch
+from repro.errors import AdversaryError
+from repro.types import StepKind
+from tests.conftest import drive_inserts
+
+
+def batch_net(n0: int = 24, seed: int = 61) -> DexNetwork:
+    return DexNetwork.bootstrap(
+        n0, DexConfig(seed=seed, type2_mode="simplified", validate_every_step=True)
+    )
+
+
+class TestInsertBatch:
+    def test_batch_insert(self):
+        net = batch_net()
+        hosts = sorted(net.nodes())[:6]
+        pairs = [(net.fresh_id() + i, hosts[i]) for i in range(6)]
+        report = insert_batch(net, pairs)
+        assert report.kind is StepKind.BATCH
+        assert net.size == 30
+        net.check_invariants()
+
+    def test_attach_fanout_limited(self):
+        net = batch_net()
+        base = net.fresh_id()
+        pairs = [(base + i, 0) for i in range(6)]  # 6 > MAX_ATTACH_PER_NODE
+        with pytest.raises(AdversaryError):
+            insert_batch(net, pairs)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(AdversaryError):
+            insert_batch(batch_net(), [])
+
+    def test_oversized_batch_rejected(self):
+        net = batch_net()
+        base = net.fresh_id()
+        hosts = sorted(net.nodes())
+        pairs = [(base + i, hosts[i % len(hosts)]) for i in range(net.size + 1)]
+        with pytest.raises(AdversaryError):
+            insert_batch(net, pairs)
+
+    def test_batch_rounds_are_max_not_sum(self):
+        net = batch_net()
+        hosts = sorted(net.nodes())[:8]
+        pairs = [(net.fresh_id() + i, hosts[i]) for i in range(8)]
+        report = insert_batch(net, pairs)
+        # parallel healing: rounds far below 8 sequential recoveries
+        assert report.rounds <= 8 * net.config.walk_length(net.size)
+
+
+class TestDeleteBatch:
+    def test_batch_delete(self):
+        net = batch_net()
+        drive_inserts(net, 10)
+        victims = sorted(net.nodes())[:4]
+        report = delete_batch(net, victims)
+        assert report.kind is StepKind.BATCH
+        assert all(not net.graph.has_node(v) for v in victims)
+        net.check_invariants()
+
+    def test_below_minimum_rejected(self):
+        net = batch_net(n0=8)
+        with pytest.raises(AdversaryError):
+            delete_batch(net, sorted(net.nodes())[:7])
+
+    def test_missing_node_rejected(self):
+        net = batch_net()
+        with pytest.raises(AdversaryError):
+            delete_batch(net, [99999])
+
+    def test_surviving_neighbor_required(self):
+        """Deleting a node together with all its neighbors violates the
+        Section 5 condition."""
+        net = batch_net()
+        u = net.random_node()
+        victims = [u] + net.graph.distinct_neighbors(u)
+        with pytest.raises(AdversaryError):
+            delete_batch(net, victims)
+
+    def test_duplicates_collapsed(self):
+        net = batch_net()
+        drive_inserts(net, 4)
+        victim = sorted(net.nodes())[-1]
+        report = delete_batch(net, [victim, victim])
+        assert report.kind is StepKind.BATCH
+        assert not net.graph.has_node(victim)
+
+
+class TestBatchWithType2:
+    def test_sustained_batches_cross_inflation(self):
+        net = batch_net()
+        p0 = net.p
+        for _ in range(25):
+            hosts = sorted(net.nodes())
+            pairs = [
+                (net.fresh_id() + i, hosts[i % len(hosts)])
+                for i in range(max(2, net.size // 10))
+            ]
+            insert_batch(net, pairs)
+        assert net.p > p0  # at least one inflation happened inside batches
+        net.check_invariants()

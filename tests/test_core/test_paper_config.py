@@ -1,0 +1,50 @@
+"""Running with the paper's analysis constants (Eq. 3 theta).
+
+The proof constant theta = 1/(68*zeta + 1) ~ 0.0018 makes the type-2
+thresholds degenerate at laptop scale (theta*n < 1 for n < 545), so the
+triggers fire exactly when Spare/Low hit zero -- the algorithm must still
+heal correctly, just with later, rarer type-2 recoveries.
+"""
+
+import pytest
+
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.types import RecoveryType
+
+
+class TestPaperConstants:
+    def test_paper_theta_value(self):
+        config = DexConfig.paper()
+        assert config.theta == pytest.approx(1 / 545)
+        # degenerate threshold below n = 545
+        assert config.type1_threshold(100) == 1
+        assert config.coordinator_threshold(100) == 1
+
+    def test_insert_only_drive_still_inflates(self):
+        net = DexNetwork.bootstrap(
+            12, DexConfig.paper(seed=23, type2_mode="simplified")
+        )
+        p0 = net.p
+        recoveries = set()
+        for _ in range(120):
+            recoveries.add(net.insert().recovery)
+        assert RecoveryType.TYPE2_INFLATE in recoveries
+        assert net.p > p0
+        net.check_invariants()
+
+    def test_mixed_churn_stays_healthy(self):
+        net = DexNetwork.bootstrap(
+            12, DexConfig.paper(seed=29, validate_every_step=True)
+        )
+        for i in range(80):
+            if i % 3 == 2 and net.size > 8:
+                net.delete(net.random_node())
+            else:
+                net.insert()
+        assert net.spectral_gap() > 0.01
+        assert max(net.loads().values()) <= net.config.stagger_max_load
+
+    def test_paper_chunk_is_inverse_theta(self):
+        config = DexConfig.paper()
+        assert config.chunk_size == 545

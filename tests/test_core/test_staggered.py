@@ -1,0 +1,184 @@
+"""Staggered type-2 recovery (Section 4.4): worst-case per-step bounds,
+the 8*zeta transient load bound, and churn *during* the operation."""
+
+import pytest
+
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.types import RecoveryType
+from tests.conftest import drive_deletes, drive_inserts
+
+
+def staggered_net(n0: int = 16, seed: int = 23, **over) -> DexNetwork:
+    options = {"type2_mode": "staggered", "validate_every_step": True}
+    options.update(over)
+    return DexNetwork.bootstrap(n0, DexConfig(seed=seed, **options))
+
+
+def run_until_op_starts(net: DexNetwork, action="insert", limit=2000):
+    for _ in range(limit):
+        if action == "insert":
+            net.insert()
+        else:
+            net.delete(net.random_node())
+        if net.staggered is not None:
+            return
+    raise AssertionError("staggered operation never started")
+
+
+def run_until_op_ends(net: DexNetwork, action="insert", limit=5000):
+    for _ in range(limit):
+        if action == "insert":
+            net.insert()
+        else:
+            net.delete(net.random_node())
+        if net.staggered is None:
+            return
+    raise AssertionError("staggered operation never completed")
+
+
+class TestStaggeredInflation:
+    def test_operation_starts_and_completes(self):
+        net = staggered_net()
+        p0 = net.p
+        run_until_op_starts(net, "insert")
+        assert net.staggered.kind == "inflate"
+        assert 4 * p0 < net.staggered.p_new < 8 * p0
+        run_until_op_ends(net, "insert")
+        assert net.p == net.overlay.old.p > p0
+        net.check_invariants()
+
+    def test_loads_bounded_by_8zeta_throughout(self):
+        net = staggered_net(seed=29)
+        run_until_op_starts(net, "insert")
+        while net.staggered is not None:
+            net.insert()
+            assert max(net.loads().values()) <= net.config.stagger_max_load
+
+    def test_per_step_costs_stay_logarithmic(self):
+        """Lemma 9(a): every step during the operation is O(log n)
+        rounds/messages and O(1) topology changes -- unlike the one-shot
+        simplified rebuild."""
+        net = staggered_net(seed=31)
+        run_until_op_starts(net, "insert")
+        n = net.size
+        budget = net.config.walk_length(n)
+        chunk = net.config.chunk_size
+        step_messages = []
+        while net.staggered is not None:
+            report = net.insert()
+            step_messages.append(report.messages)
+            # messages O(chunk * log n) per step, never O(n log n)
+            assert report.messages <= 12 * chunk * budget
+            assert report.topology_changes <= 40 * chunk
+        assert step_messages
+
+    def test_spectral_gap_floor_during_operation(self):
+        """Lemma 9(b): constant spectral gap throughout."""
+        net = staggered_net(seed=37)
+        run_until_op_starts(net, "insert")
+        gaps = [net.spectral_gap()]
+        while net.staggered is not None:
+            net.insert()
+            gaps.append(net.spectral_gap())
+        assert len(gaps) >= 2
+        assert min(gaps) > 0.005
+
+    def test_deletions_during_inflation(self):
+        net = staggered_net(seed=41)
+        run_until_op_starts(net, "insert")
+        toggle = True
+        guard = 0
+        while net.staggered is not None and guard < 3000:
+            guard += 1
+            if toggle or net.size <= 8:
+                net.insert()
+            else:
+                net.delete(net.random_node())
+            toggle = not toggle
+        assert net.staggered is None
+        net.check_invariants()
+
+    def test_coordinator_continuous_across_swap(self):
+        net = staggered_net(seed=43)
+        run_until_op_starts(net, "insert")
+        run_until_op_ends(net, "insert")
+        assert net.coordinator.verify()
+        assert net.overlay.old.is_active(0)
+
+
+class TestStaggeredDeflation:
+    @pytest.fixture
+    def big_net(self):
+        net = staggered_net(seed=47)
+        drive_inserts(net, 260)
+        assert net.staggered is None or net.staggered.kind == "inflate"
+        while net.staggered is not None:
+            net.insert()
+        return net
+
+    def test_deletion_drive_deflates(self, big_net):
+        net = big_net
+        p0 = net.p
+        run_until_op_starts(net, "delete")
+        assert net.staggered.kind == "deflate"
+        assert p0 / 8 < net.staggered.p_new < p0 / 4
+        run_until_op_ends(net, "delete")
+        assert net.p < p0
+        net.check_invariants()
+
+    def test_surjectivity_after_deflation(self, big_net):
+        net = big_net
+        run_until_op_starts(net, "delete")
+        run_until_op_ends(net, "delete")
+        assert all(load >= 1 for load in net.loads().values())
+
+    def test_insertions_during_deflation(self, big_net):
+        net = big_net
+        run_until_op_starts(net, "delete")
+        saw_insert_during = False
+        guard = 0
+        while net.staggered is not None and guard < 4000:
+            guard += 1
+            if guard % 3 == 0:
+                report = net.insert()
+                saw_insert_during = True
+                assert net.load_of(report.node) >= 1
+            else:
+                net.delete(net.random_node())
+        assert saw_insert_during
+        net.check_invariants()
+
+
+class TestForcedCompletion:
+    def test_force_complete_is_clean(self):
+        net = staggered_net(seed=53)
+        run_until_op_starts(net, "insert")
+        from repro.net.metrics import CostLedger
+
+        net.staggered.force_complete(CostLedger())
+        assert net.staggered is None
+        net.check_invariants()
+
+
+class TestOscillation:
+    def test_repeated_inflate_deflate_cycles(self):
+        """Grow/shrink repeatedly across several staggered swaps."""
+        net = staggered_net(seed=59, validate_every_step=False)
+        swaps = 0
+        last_p = net.p
+        for phase in range(4):
+            if phase % 2 == 0:
+                for _ in range(200):
+                    net.insert()
+                    if net.p != last_p:
+                        swaps += 1
+                        last_p = net.p
+            else:
+                while net.size > 12:
+                    net.delete(net.random_node())
+                    if net.p != last_p:
+                        swaps += 1
+                        last_p = net.p
+        net.check_invariants()
+        assert swaps >= 2

@@ -1,0 +1,96 @@
+"""Staggered type-2 corner cases: churn aimed at the machinery itself."""
+
+import pytest
+
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.types import Layer
+
+
+def net_in_inflation(seed: int, n0: int = 16) -> DexNetwork:
+    net = DexNetwork.bootstrap(
+        n0, DexConfig(seed=seed, validate_every_step=True)
+    )
+    while net.staggered is None:
+        net.insert()
+    return net
+
+
+class TestChurnAimedAtTheOperation:
+    def test_delete_nodes_holding_new_vertices(self):
+        """Deleting nodes that already generated their clouds forces the
+        new-layer redistribution path."""
+        net = net_in_inflation(seed=67)
+        guard = 0
+        while net.staggered is not None and guard < 2000:
+            guard += 1
+            op = net.staggered
+            holders = [
+                u for u in net.nodes() if op.new.load(u) > 0 and net.size > 8
+            ]
+            if holders and guard % 2 == 0:
+                net.delete(sorted(holders)[0])
+            else:
+                net.insert()
+        net.check_invariants()
+
+    def test_delete_coordinator_mid_operation(self):
+        net = net_in_inflation(seed=71)
+        kills = 0
+        guard = 0
+        while net.staggered is not None and guard < 2000:
+            guard += 1
+            if guard % 3 == 0 and net.size > 8:
+                net.delete(net.coordinator.node)
+                kills += 1
+            else:
+                net.insert()
+        assert kills > 0
+        net.check_invariants()
+        assert net.coordinator.verify()
+
+    def test_insert_burst_mid_operation(self):
+        """A burst of insertions during phase 1 all get guaranteed
+        vertices (Section 4.4.1: 'simply assign a newly inflated
+        vertex')."""
+        net = net_in_inflation(seed=73)
+        inserted = []
+        for _ in range(20):
+            if net.staggered is None:
+                break
+            report = net.insert()
+            inserted.append(report.node)
+        for u in inserted:
+            if net.graph.has_node(u):
+                assert net.load_of(u) >= 1
+        net.check_invariants()
+
+    def test_intermediate_edges_fully_resolved(self):
+        """By the end of phase 1 every intermediate edge has been
+        converted into a proper new-cycle edge."""
+        net = net_in_inflation(seed=79)
+        while net.staggered is not None and net.staggered.phase == 1:
+            net.insert()
+        if net.staggered is not None:  # now in phase 2
+            assert net.overlay.intermediate_count() == 0
+            assert not net.staggered.pending
+        while net.staggered is not None:
+            net.insert()
+        net.check_invariants()
+
+    def test_processing_order_ends_at_coordinator_vertex(self):
+        net = net_in_inflation(seed=83)
+        op = net.staggered
+        assert op.vertex_at(0) == 1
+        assert op.vertex_at(op.p_old - 1) == 0  # vertex 0 last
+        assert op.position_of(0) == op.p_old - 1
+
+    def test_new_layer_loads_bounded_during_phase1(self):
+        net = net_in_inflation(seed=89)
+        while net.staggered is not None and net.staggered.phase == 1:
+            net.insert()
+            op = net.staggered
+            if op is None:
+                break
+            for u in net.nodes():
+                assert op.new.load(u) <= net.config.max_load

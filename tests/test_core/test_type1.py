@@ -1,0 +1,115 @@
+"""Type-1 recovery (Algorithms 4.2/4.3): correctness and cost shape."""
+
+import math
+
+import pytest
+
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.errors import AdversaryError
+from repro.types import RecoveryType, StepKind
+from tests.conftest import drive_deletes, drive_inserts
+
+
+class TestInsertion:
+    def test_insert_heals_with_type1(self, small_net):
+        report = small_net.insert()
+        assert report.kind is StepKind.INSERT
+        assert report.recovery is RecoveryType.TYPE1
+        assert small_net.size == 17
+
+    def test_new_node_simulates_exactly_one_vertex(self, small_net):
+        report = small_net.insert()
+        assert small_net.load_of(report.node) == 1
+
+    def test_attachment_edge_dropped_unless_required(self, small_net):
+        report = small_net.insert()
+        u = report.node
+        # remaining edges of u are exactly its virtual edges
+        assert small_net.graph.degree(u) == 3
+
+    def test_duplicate_id_rejected(self, small_net):
+        with pytest.raises(AdversaryError):
+            small_net.insert(node_id=0)
+
+    def test_missing_attach_point_rejected(self, small_net):
+        with pytest.raises(AdversaryError):
+            small_net.insert(attach_to=999)
+
+    def test_costs_logarithmic_shape(self, small_net):
+        drive_inserts(small_net, 20)
+        n = small_net.size
+        budget = small_net.config.walk_length(n)
+        reports = [small_net.insert() for _ in range(10)]
+        for report in reports:
+            if report.recovery is RecoveryType.TYPE1:
+                # one walk + coordinator route + replication: O(log n)
+                assert report.rounds <= 6 * budget
+                assert report.messages <= 12 * budget
+
+    def test_topology_changes_constant(self, small_net):
+        for _ in range(10):
+            report = small_net.insert()
+            if report.recovery is RecoveryType.TYPE1:
+                assert report.topology_changes <= 24
+
+
+class TestDeletion:
+    def test_delete_heals(self, small_net):
+        drive_inserts(small_net, 5)
+        victim = small_net.random_node()
+        report = small_net.delete(victim)
+        assert report.kind is StepKind.DELETE
+        assert not small_net.graph.has_node(victim)
+
+    def test_missing_node_rejected(self, small_net):
+        with pytest.raises(AdversaryError):
+            small_net.delete(12345)
+
+    def test_minimum_size_protected(self):
+        config = DexConfig(seed=1, min_network_size=4)
+        net = DexNetwork.bootstrap(4, config)
+        with pytest.raises(AdversaryError):
+            net.delete(0)
+
+    def test_surviving_loads_bounded(self, small_net):
+        drive_inserts(small_net, 20)
+        drive_deletes(small_net, 15)
+        bound = small_net.config.max_load
+        if small_net.staggered is not None:
+            bound = small_net.config.stagger_max_load
+        assert all(load <= bound for load in small_net.loads().values())
+
+    def test_coordinator_deletion_survivable(self, small_net):
+        for _ in range(8):
+            coordinator = small_net.coordinator.node
+            small_net.delete(coordinator)
+            small_net.insert()
+            assert small_net.coordinator.verify()
+
+    def test_every_deleted_vertex_rehomed(self, small_net):
+        """No vertex is lost: total load equals the active vertex count
+        across live layers."""
+        drive_inserts(small_net, 10)
+        for _ in range(8):
+            small_net.delete(small_net.random_node())
+            total = sum(small_net.loads().values())
+            expected = small_net.overlay.old.active_count
+            if small_net.overlay.new is not None:
+                expected += small_net.overlay.new.active_count
+            assert total == expected
+
+
+class TestConnectivityUnderChurn:
+    def test_always_connected(self, small_net):
+        for i in range(40):
+            if i % 3 == 0 and small_net.size > 8:
+                small_net.delete(small_net.random_node())
+            else:
+                small_net.insert()
+            assert small_net.graph.is_connected()
+
+    def test_spectral_gap_floor(self, small_net):
+        drive_inserts(small_net, 30)
+        drive_deletes(small_net, 20)
+        assert small_net.spectral_gap() > 0.01

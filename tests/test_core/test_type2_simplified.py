@@ -1,0 +1,119 @@
+"""Simplified type-2 recovery (Algorithms 4.5/4.6) and its spacing
+(Lemma 8)."""
+
+import pytest
+
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.types import RecoveryType
+from tests.conftest import drive_inserts
+
+
+def simplified_net(n0: int = 16, seed: int = 11) -> DexNetwork:
+    return DexNetwork.bootstrap(
+        n0,
+        DexConfig(seed=seed, type2_mode="simplified", validate_every_step=True),
+    )
+
+
+class TestInflation:
+    def test_insertion_drive_triggers_inflation(self):
+        net = simplified_net()
+        p_before = net.p
+        recoveries = [net.insert().recovery for _ in range(120)]
+        assert RecoveryType.TYPE2_INFLATE in recoveries
+        assert net.p > p_before
+
+    def test_new_prime_in_paper_range(self):
+        net = simplified_net()
+        p_before = net.p
+        while net.p == p_before:
+            net.insert()
+        assert 4 * p_before < net.p < 8 * p_before
+
+    def test_inflating_step_heals_the_insertion(self):
+        net = simplified_net()
+        report = None
+        while report is None or report.recovery is not RecoveryType.TYPE2_INFLATE:
+            report = net.insert()
+        assert net.load_of(report.node) >= 1
+        net.check_invariants()
+
+    def test_loads_balanced_after_inflation(self):
+        net = simplified_net()
+        p_before = net.p
+        while net.p == p_before:
+            net.insert()
+        assert max(net.loads().values()) <= net.config.max_load
+        assert min(net.loads().values()) >= 1
+
+    def test_inflation_cost_is_linear_not_per_step(self):
+        """Lemma 5: the inflation step costs O(n) topology changes, but
+        type-1 steps stay O(1)."""
+        net = simplified_net()
+        type1_changes, inflate_changes = [], []
+        for _ in range(120):
+            report = net.insert()
+            if report.recovery is RecoveryType.TYPE2_INFLATE:
+                inflate_changes.append(report.topology_changes)
+            else:
+                type1_changes.append(report.topology_changes)
+        assert inflate_changes
+        assert max(type1_changes) <= 30
+        assert min(inflate_changes) > 3 * max(type1_changes)
+
+
+class TestDeflation:
+    @pytest.fixture
+    def grown_net(self):
+        net = simplified_net(seed=13)
+        drive_inserts(net, 150)  # at least one inflation, many nodes
+        return net
+
+    def test_deletion_drive_triggers_deflation(self, grown_net):
+        net = grown_net
+        p_before = net.p
+        saw_deflate = False
+        while net.size > 12:
+            report = net.delete(net.random_node())
+            if report.recovery is RecoveryType.TYPE2_DEFLATE:
+                saw_deflate = True
+                break
+        assert saw_deflate
+        assert net.p < p_before
+        net.check_invariants()
+
+    def test_deflation_prime_in_paper_range(self, grown_net):
+        net = grown_net
+        p_before = net.p
+        while net.size > 12 and net.p == p_before:
+            net.delete(net.random_node())
+        assert p_before / 8 < net.p < p_before / 4
+
+    def test_surjectivity_after_deflation(self, grown_net):
+        net = grown_net
+        p_before = net.p
+        while net.size > 12 and net.p == p_before:
+            net.delete(net.random_node())
+        assert all(load >= 1 for load in net.loads().values())
+        assert max(net.loads().values()) <= net.config.max_load
+
+
+class TestLemma8Spacing:
+    def test_type2_steps_are_rare(self):
+        """Lemma 8: consecutive type-2 recoveries are separated by
+        Omega(n) type-1 steps."""
+        net = simplified_net(seed=17)
+        type2_steps = []
+        sizes_at_type2 = []
+        for step in range(500):
+            report = net.insert()
+            if report.recovery is RecoveryType.TYPE2_INFLATE:
+                type2_steps.append(step)
+                sizes_at_type2.append(net.size)
+        assert len(type2_steps) >= 2
+        for (s1, s2), n_at in zip(
+            zip(type2_steps, type2_steps[1:]), sizes_at_type2
+        ):
+            # delta >= delta_const * n with a conservative constant
+            assert s2 - s1 >= n_at / 4

@@ -1,0 +1,38 @@
+"""DHT key hashing."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.hashing import hash_to_vertex
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert hash_to_vertex("alpha", 101) == hash_to_vertex("alpha", 101)
+
+    @given(st.text(max_size=40), st.sampled_from([23, 101, 1009]))
+    @settings(max_examples=100)
+    def test_in_range(self, key, p):
+        assert 0 <= hash_to_vertex(key, p) < p
+
+    def test_different_moduli_differ(self):
+        key = "some-key"
+        values = {hash_to_vertex(key, p) for p in (101, 103, 107, 109)}
+        assert len(values) > 1
+
+    def test_rough_uniformity(self):
+        p = 31
+        counts = collections.Counter(
+            hash_to_vertex(f"key-{i}", p) for i in range(31 * 200)
+        )
+        assert len(counts) == p
+        expected = 200
+        assert max(counts.values()) < 2 * expected
+        assert min(counts.values()) > expected / 2
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            hash_to_vertex("x", 1)

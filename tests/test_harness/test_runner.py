@@ -1,0 +1,50 @@
+"""Churn runner and table formatting."""
+
+import pytest
+
+from repro.adversary import RandomChurn
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.harness.report import Table
+from repro.harness.runner import run_churn
+
+
+class TestRunner:
+    def test_series_lengths(self):
+        net = DexNetwork.bootstrap(16, DexConfig(seed=101))
+        result = run_churn(net, RandomChurn(0.5, seed=101), steps=60, sample_every=20)
+        assert result.steps == 60
+        assert len(result.ledgers) == 60
+        # initial sample + every 20 + final
+        assert len(result.gap_samples) >= 4
+        assert result.size_samples[0] == (0, 16)
+
+    def test_cost_summary(self):
+        net = DexNetwork.bootstrap(16, DexConfig(seed=103))
+        result = run_churn(net, RandomChurn(0.5, seed=103), steps=30, sample_every=10)
+        summary = result.cost_summary("messages")
+        assert summary.count == 30
+        assert summary.mean > 0
+
+    def test_min_gap_positive_for_dex(self):
+        net = DexNetwork.bootstrap(16, DexConfig(seed=105))
+        result = run_churn(net, RandomChurn(0.5, seed=105), steps=40, sample_every=10)
+        assert result.min_gap > 0.01
+
+
+class TestTable:
+    def test_render(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("alpha", 1.23456)
+        table.add_row("beta", 7)
+        table.add_note("a note")
+        text = table.render()
+        assert "demo" in text
+        assert "alpha" in text
+        assert "1.235" in text
+        assert "note: a note" in text
+
+    def test_arity_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)

@@ -1,0 +1,89 @@
+"""End-to-end integration: long churn runs under both type-2 modes with
+full invariant validation, DHT attached, against adaptive adversaries."""
+
+import pytest
+
+from repro.adversary import (
+    CoordinatorAttack,
+    DegreeAttack,
+    LowLoadAttack,
+    OscillatingChurn,
+    RandomChurn,
+    SpareDepleter,
+)
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.dht.dht import DexDHT
+from repro.harness.runner import run_churn
+
+
+@pytest.mark.parametrize("mode", ["staggered", "simplified"])
+class TestLongChurn:
+    def test_mixed_churn_with_validation(self, mode):
+        net = DexNetwork.bootstrap(
+            16, DexConfig(seed=7, type2_mode=mode, validate_every_step=True)
+        )
+        dht = DexDHT(net)
+        for i in range(40):
+            dht.put(f"k{i}", i)
+        result = run_churn(net, RandomChurn(0.55, seed=7), steps=250, sample_every=50)
+        assert result.skipped_actions == 0
+        assert result.min_gap > 0.01
+        for i in range(40):
+            assert dht.get(f"k{i}") == i
+
+    def test_growth_then_collapse(self, mode):
+        net = DexNetwork.bootstrap(
+            16, DexConfig(seed=9, type2_mode=mode, validate_every_step=True)
+        )
+        for _ in range(300):
+            net.insert()
+        p_grown = net.p
+        while net.size > 12:
+            net.delete(net.random_node())
+        net.check_invariants()
+        assert net.p <= p_grown
+        assert net.spectral_gap() > 0.01
+
+
+class TestAdaptiveAdversaries:
+    @pytest.mark.parametrize(
+        "adversary_cls", [DegreeAttack, CoordinatorAttack, SpareDepleter, LowLoadAttack]
+    )
+    def test_adaptive_attacks_survived(self, adversary_cls):
+        net = DexNetwork.bootstrap(
+            20, DexConfig(seed=11, validate_every_step=True)
+        )
+        adversary = adversary_cls(seed=11)
+        result = run_churn(net, adversary, steps=120, sample_every=40)
+        assert result.skipped_actions == 0
+        assert result.min_gap > 0.01
+        bound = (
+            net.config.stagger_max_load
+            if net.staggered is not None
+            else net.config.max_load
+        )
+        assert max(net.loads().values()) <= bound
+
+    def test_oscillation_across_many_swaps(self):
+        net = DexNetwork.bootstrap(16, DexConfig(seed=13))
+        run_churn(net, OscillatingChurn(burst=120, seed=13), steps=700, sample_every=100)
+        net.check_invariants()
+        assert net.spectral_gap() > 0.01
+
+
+class TestDeterminism:
+    def test_same_seed_same_history(self):
+        def run(seed):
+            net = DexNetwork.bootstrap(16, DexConfig(seed=seed))
+            reports = [net.insert() for _ in range(60)]
+            return [(r.recovery, r.messages, r.n_after, r.p) for r in reports]
+
+        assert run(42) == run(42)
+
+    def test_different_seed_differs(self):
+        def run(seed):
+            net = DexNetwork.bootstrap(16, DexConfig(seed=seed))
+            return [net.insert().messages for _ in range(40)]
+
+        assert run(1) != run(2)

@@ -1,0 +1,109 @@
+"""The synchronous CONGEST engine: delivery semantics and validation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.engine import SyncEngine
+from repro.net.message import CONGEST_WORD_LIMIT, Message
+from repro.net.topology import DynamicMultigraph
+
+
+def path_graph(n: int) -> DynamicMultigraph:
+    g = DynamicMultigraph()
+    for u in range(n):
+        g.add_node(u)
+    for u in range(n - 1):
+        g.add_edge(u, u + 1)
+    return g
+
+
+class _RelayProc:
+    """Forwards a token to the right until it reaches the last node."""
+
+    def __init__(self, last: int):
+        self.last = last
+        self.arrived_round: int | None = None
+
+    def on_round(self, node, round_no, inbox):
+        out = []
+        for msg in inbox:
+            if msg.kind == "token":
+                if node == self.last:
+                    self.arrived_round = round_no
+                else:
+                    out.append(Message.make(node, node + 1, "token"))
+        return out
+
+
+class TestEngine:
+    def test_round_synchrony(self):
+        g = path_graph(5)
+        proc = _RelayProc(last=4)
+        engine = SyncEngine(g, proc)
+        rounds = engine.run([Message.make(0, 0, "token")])
+        # wake-up in round 1, then one hop per round: arrives in round 5
+        assert proc.arrived_round == 5
+        assert rounds == 5
+        assert engine.messages_sent == 4  # the self wake-up is free
+
+    def test_ledger_charged(self):
+        from repro.net.metrics import CostLedger
+
+        g = path_graph(3)
+        ledger = CostLedger()
+        engine = SyncEngine(g, _RelayProc(last=2), ledger=ledger)
+        engine.run([Message.make(0, 0, "token")])
+        assert ledger.messages == 2
+        assert ledger.rounds == 3
+
+    def test_non_neighbor_message_rejected(self):
+        g = path_graph(4)
+
+        class Cheater:
+            def on_round(self, node, round_no, inbox):
+                return [Message.make(0, 3, "jump")] if inbox else []
+
+        with pytest.raises(SimulationError):
+            SyncEngine(g, Cheater()).run([Message.make(0, 0, "go")])
+
+    def test_congest_limit_enforced(self):
+        g = path_graph(2)
+
+        class Chatty:
+            def on_round(self, node, round_no, inbox):
+                if inbox and inbox[0].kind == "go":
+                    payload = {f"f{i}": i for i in range(CONGEST_WORD_LIMIT + 1)}
+                    return [Message.make(0, 1, "big", **payload)]
+                return []
+
+        with pytest.raises(SimulationError):
+            SyncEngine(g, Chatty()).run([Message.make(0, 0, "go")])
+
+    def test_runaway_protocol_detected(self):
+        g = path_graph(2)
+
+        class PingPong:
+            def on_round(self, node, round_no, inbox):
+                return [Message.make(node, 1 - node, "ping") for _ in inbox]
+
+        with pytest.raises(SimulationError):
+            SyncEngine(g, PingPong()).run(
+                [Message.make(0, 0, "ping")], max_rounds=50
+            )
+
+
+class TestMessage:
+    def test_payload_roundtrip(self):
+        m = Message.make(1, 2, "test", a=5, b="x")
+        assert m.get("a") == 5
+        assert m.get("b") == "x"
+        assert m.get("missing", 42) == 42
+
+    def test_size_words(self):
+        assert Message.make(0, 1, "k", a=1).size_words() == 1
+        assert Message.make(0, 1, "k", a=(1, 2, 3)).size_words() == 3
+
+    def test_unserializable_payload(self):
+        m = Message.make(0, 1, "k", bad=object())
+        with pytest.raises(SimulationError):
+            m.size_words()

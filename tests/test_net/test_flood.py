@@ -1,0 +1,73 @@
+"""Flood/echo aggregation: the engine execution and the analytic cost
+model must agree (DESIGN.md substitution 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flood import flood_echo_analytic, flood_echo_engine
+from repro.net.metrics import CostLedger
+from repro.net.topology import DynamicMultigraph
+
+
+def random_connected_graph(n: int, extra: int, seed: int) -> DynamicMultigraph:
+    rng = random.Random(seed)
+    g = DynamicMultigraph()
+    for u in range(n):
+        g.add_node(u)
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        g.add_edge(order[i], order[rng.randrange(i)])
+    for _ in range(extra):
+        u, v = rng.sample(range(n), 2)
+        if g.multiplicity(u, v) == 0:
+            g.add_edge(u, v)
+    return g
+
+
+class TestAgreement:
+    @given(
+        st.integers(min_value=2, max_value=24),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_engine_matches_analytic(self, n, extra, seed):
+        g = random_connected_graph(n, extra, seed)
+        origin = seed % n
+        value_of = lambda u: u + 1  # noqa: E731
+
+        ledger_engine = CostLedger()
+        result_engine = flood_echo_engine(g, origin, value_of, ledger_engine)
+        ledger_analytic = CostLedger()
+        result_analytic = flood_echo_analytic(g, origin, value_of, ledger_analytic)
+
+        assert result_engine == result_analytic == sum(range(1, n + 1))
+        assert ledger_engine.messages == ledger_analytic.messages
+        # rounds agree up to the +2 handshake slack of the closed form
+        assert abs(ledger_engine.rounds - ledger_analytic.rounds) <= 3
+
+
+class TestFloodBasics:
+    def test_single_node(self):
+        g = DynamicMultigraph()
+        g.add_node(0)
+        assert flood_echo_engine(g, 0, lambda u: 7) == 7
+        assert flood_echo_analytic(g, 0, lambda u: 7) == 7
+
+    def test_counts_predicate_membership(self):
+        g = random_connected_graph(10, 5, 3)
+        member = {2, 4, 6}
+        count = flood_echo_engine(g, 0, lambda u: 1 if u in member else 0)
+        assert count == 3
+
+    def test_messages_scale_with_edges(self):
+        sparse = random_connected_graph(20, 0, 1)
+        dense = random_connected_graph(20, 60, 1)
+        l1, l2 = CostLedger(), CostLedger()
+        flood_echo_analytic(sparse, 0, lambda u: 1, l1)
+        flood_echo_analytic(dense, 0, lambda u: 1, l2)
+        assert l2.messages > l1.messages

@@ -1,0 +1,73 @@
+"""Virtual-path routing and congestion-scheduled permutation routing."""
+
+import math
+import random
+
+import pytest
+
+from repro.net.routing import permutation_routing, route_cost, route_real_path
+from repro.virtual.pcycle import PCycle
+
+
+class TestRouteCost:
+    def test_identity_mapping_matches_distance(self):
+        z = PCycle(53)
+        assert route_cost(z, lambda v: v, 3, 40) == z.distance(3, 40)
+
+    def test_contraction_shortens(self):
+        z = PCycle(53)
+        # 5 hosts; routing cost can only shrink under contraction (Fact 1)
+        host_of = lambda v: v % 5  # noqa: E731
+        for dst in (7, 22, 40):
+            assert route_cost(z, host_of, 0, dst) <= z.distance(0, dst)
+
+    def test_same_host_is_free(self):
+        z = PCycle(53)
+        assert route_cost(z, lambda v: 0, 3, 40) == 0
+
+    def test_real_path_endpoints(self):
+        z = PCycle(53)
+        host_of = lambda v: v // 8  # noqa: E731
+        path = route_real_path(z, host_of, 0, 40)
+        assert path[0] == host_of(0)
+        assert path[-1] == host_of(40)
+        # consecutive entries are distinct (compressed)
+        assert all(a != b for a, b in zip(path, path[1:]))
+
+
+class TestPermutationRouting:
+    def test_all_packets_delivered_and_counted(self):
+        z = PCycle(101)
+        rng = random.Random(0)
+        dsts = list(range(101))
+        rng.shuffle(dsts)
+        packets = list(zip(range(101), dsts))
+        rounds, messages = permutation_routing(z, packets, rng)
+        total_distance = sum(z.distance(s, d) for s, d in packets)
+        assert messages == total_distance
+        assert rounds >= max(z.distance(s, d) for s, d in packets)
+
+    def test_polylog_rounds_on_expander(self):
+        """The stand-in for Cor 7.7.3 of [28]: a full permutation routes
+        in polylog rounds on the constant-degree expander."""
+        p = 199
+        z = PCycle(p)
+        rng = random.Random(1)
+        dsts = list(range(p))
+        rng.shuffle(dsts)
+        rounds, _ = permutation_routing(z, list(zip(range(p), dsts)), rng)
+        assert rounds <= 12 * math.ceil(math.log2(p)) ** 2
+
+    def test_empty_and_trivial(self):
+        z = PCycle(23)
+        assert permutation_routing(z, []) == (0, 0)
+        rounds, messages = permutation_routing(z, [(5, 5)])
+        assert (rounds, messages) == (0, 0)
+
+    def test_contention_on_shared_edge(self):
+        z = PCycle(23)
+        # many packets from the same source must serialize
+        packets = [(0, 11)] * 6
+        rounds, messages = permutation_routing(z, packets)
+        assert messages == 6 * z.distance(0, 11)
+        assert rounds >= 6  # at most one per round leaves vertex 0 per edge

@@ -1,0 +1,163 @@
+"""Dynamic multigraph: multiplicities, self-loop conventions, and
+topology-change accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.net.topology import DynamicMultigraph
+
+
+def triangle() -> DynamicMultigraph:
+    g = DynamicMultigraph()
+    for u in range(3):
+        g.add_node(u)
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    g.add_edge(0, 2)
+    return g
+
+
+class TestNodes:
+    def test_add_remove(self):
+        g = DynamicMultigraph()
+        g.add_node(7)
+        assert g.has_node(7) and g.num_nodes == 1
+        g.remove_node(7)
+        assert not g.has_node(7)
+
+    def test_duplicate_add_raises(self):
+        g = DynamicMultigraph()
+        g.add_node(1)
+        with pytest.raises(TopologyError):
+            g.add_node(1)
+
+    def test_remove_with_edges_raises(self):
+        g = triangle()
+        with pytest.raises(TopologyError):
+            g.remove_node(0)
+
+    def test_drop_node_with_edges(self):
+        g = triangle()
+        lost = g.drop_node_with_edges(0)
+        assert dict(lost) == {1: 1, 2: 1}
+        assert g.num_nodes == 2
+        assert g.multiplicity(1, 2) == 1
+
+    def test_missing_node_raises(self):
+        g = DynamicMultigraph()
+        with pytest.raises(TopologyError):
+            g.degree(5)
+
+
+class TestEdges:
+    def test_multiplicity_counting(self):
+        g = triangle()
+        g.add_edge(0, 1, mult=2)
+        assert g.multiplicity(0, 1) == 3
+        assert g.multiplicity(1, 0) == 3
+        g.remove_edge(0, 1, mult=2)
+        assert g.multiplicity(0, 1) == 1
+
+    def test_remove_more_than_present_raises(self):
+        g = triangle()
+        with pytest.raises(TopologyError):
+            g.remove_edge(0, 1, mult=2)
+
+    def test_self_loop_weight(self):
+        g = triangle()
+        g.add_edge(0, 0, mult=1)  # virtual self-loop: degree +1
+        assert g.degree(0) == 3
+        g.add_edge(0, 0, mult=2)  # contracted pair: degree +2
+        assert g.degree(0) == 5
+        assert g.connection_count(0) == 2  # loops are not connections
+
+    def test_degree_sums_multiplicities(self):
+        g = triangle()
+        g.add_edge(0, 1, mult=3)
+        assert g.degree(0) == 2 + 3
+        assert g.connection_count(0) == 2
+
+    def test_distinct_neighbors_excludes_loops(self):
+        g = triangle()
+        g.add_edge(1, 1)
+        assert sorted(g.distinct_neighbors(1)) == [0, 2]
+        # but the loop shows in the multiplicity view (for walks)
+        assert (1, 1) in g.neighbor_multiplicities(1)
+
+    def test_nonpositive_multiplicity_rejected(self):
+        g = triangle()
+        with pytest.raises(TopologyError):
+            g.add_edge(0, 1, mult=0)
+        with pytest.raises(TopologyError):
+            g.remove_edge(0, 1, mult=-1)
+
+
+class TestTopologyChanges:
+    def test_connection_transitions_counted(self):
+        g = DynamicMultigraph()
+        g.add_node(0)
+        g.add_node(1)
+        base = g.topology_changes  # 2 node events
+        g.add_edge(0, 1)  # new connection: +1
+        g.add_edge(0, 1)  # multiplicity bump: +0
+        g.remove_edge(0, 1)  # still connected: +0
+        g.remove_edge(0, 1)  # connection destroyed: +1
+        assert g.topology_changes - base == 2
+
+    def test_self_loops_never_counted(self):
+        g = DynamicMultigraph()
+        g.add_node(0)
+        base = g.topology_changes
+        g.add_edge(0, 0)
+        g.remove_edge(0, 0)
+        assert g.topology_changes == base
+
+
+class TestQueries:
+    def test_bfs_and_eccentricity(self):
+        g = triangle()
+        g.add_node(3)
+        g.add_edge(2, 3)
+        assert g.bfs_distances(0) == {0: 0, 1: 1, 2: 1, 3: 2}
+        assert g.eccentricity(0) == 2
+        assert g.is_connected()
+
+    def test_disconnected(self):
+        g = triangle()
+        g.add_node(9)
+        assert not g.is_connected()
+        with pytest.raises(TopologyError):
+            g.eccentricity(0)
+
+    def test_counts(self):
+        g = triangle()
+        g.add_edge(0, 1)  # double edge
+        g.add_edge(2, 2)  # loop
+        assert g.num_connections == 3
+        assert g.num_edge_units == 5
+        assert g.max_degree() == g.degree(1) if g.degree(1) >= g.degree(2) else True
+
+    def test_sparse_export(self):
+        g = triangle()
+        g.add_edge(0, 1)
+        g.add_edge(2, 2, mult=2)
+        order, A = g.to_sparse_adjacency()
+        assert order == [0, 1, 2]
+        assert A[0, 1] == 2 and A[1, 0] == 2
+        assert A[2, 2] == 2
+        assert (A != A.T).nnz == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=30))
+    @settings(max_examples=60)
+    def test_symmetry_invariant(self, edges):
+        g = DynamicMultigraph()
+        for u in range(6):
+            g.add_node(u)
+        for u, v in edges:
+            g.add_edge(u, v)
+        for u in range(6):
+            for v, m in g.neighbor_multiplicities(u):
+                if u != v:
+                    assert g.multiplicity(v, u) == m

@@ -1,0 +1,129 @@
+"""Random-walk primitives: lengths, predicates, stationarity, and the
+congestion-limited parallel walks of Lemma 11."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.topology import DynamicMultigraph
+from repro.net.walks import parallel_walks, random_walk, virtual_walk
+from repro.virtual.pcycle import PCycle
+
+
+def pcycle_graph(p: int) -> DynamicMultigraph:
+    z = PCycle(p)
+    g = DynamicMultigraph()
+    for u in z.vertices():
+        g.add_node(u)
+    for a, b in z.edges():
+        g.add_edge(a, b, mult=1)
+    return g
+
+
+class TestRandomWalk:
+    def test_walk_length_respected(self):
+        g = pcycle_graph(23)
+        rng = random.Random(0)
+        result = random_walk(g, 0, 10, rng)
+        assert result.hops == 10
+        assert result.found  # no predicate: completing == success
+
+    def test_stop_predicate(self):
+        g = pcycle_graph(23)
+        rng = random.Random(1)
+        target = {5}
+        result = random_walk(g, 5, 500, rng, stop=lambda u: u in target)
+        assert result.found
+        assert result.end == 5
+        assert result.hops >= 1  # the walk leaves before checking
+
+    def test_predicate_never_satisfied(self):
+        g = pcycle_graph(23)
+        result = random_walk(g, 0, 8, random.Random(2), stop=lambda u: False)
+        assert not result.found
+        assert result.hops == 8
+
+    def test_excluded_nodes_never_visited(self):
+        g = pcycle_graph(23)
+        excluded = frozenset({1, 22})  # both neighbors on the ring of 0
+        result = random_walk(
+            g, 0, 50, random.Random(3), excluded=excluded, keep_trace=True
+        )
+        assert excluded.isdisjoint(result.trace)
+
+    def test_stuck_token_stays(self):
+        g = DynamicMultigraph()
+        g.add_node(0)
+        g.add_node(1)
+        g.add_edge(0, 1)
+        result = random_walk(g, 0, 5, random.Random(0), excluded=frozenset({1}))
+        assert result.end == 0
+        assert not result.found
+
+    def test_negative_length_rejected(self):
+        g = pcycle_graph(23)
+        with pytest.raises(TopologyError):
+            random_walk(g, 0, -1, random.Random(0))
+
+    def test_distribution_approaches_stationary(self):
+        """On the 3-regular p-cycle the stationary distribution is
+        uniform; long walks should spread mass broadly (chi-square-ish
+        sanity, not a strict test)."""
+        p = 53
+        g = pcycle_graph(p)
+        rng = random.Random(4)
+        counts = Counter(
+            random_walk(g, 0, 6 * math.ceil(math.log2(p)), rng).end
+            for _ in range(2000)
+        )
+        assert len(counts) > p // 2  # visited most of the graph
+        assert max(counts.values()) < 2000 * 10 / p  # nothing hogs the mass
+
+
+class TestVirtualWalk:
+    def test_hops_counted_only_across_hosts(self):
+        z = PCycle(23)
+        host_of = lambda v: v // 4  # noqa: E731  contiguous arcs
+        end, hops = virtual_walk(z, host_of, 0, 30, random.Random(5))
+        assert 0 <= end < 23
+        assert hops <= 30
+
+    def test_single_host_costs_nothing(self):
+        z = PCycle(23)
+        end, hops = virtual_walk(z, lambda v: 0, 0, 50, random.Random(6))
+        assert hops == 0
+
+    def test_stop_predicate(self):
+        z = PCycle(23)
+        end, hops = virtual_walk(
+            z, lambda v: v, 0, 500, random.Random(7), stop=lambda v, h: v == 11
+        )
+        assert end == 11
+
+
+class TestParallelWalks(object):
+    def test_all_tokens_complete(self):
+        p = 53
+        g = pcycle_graph(p)
+        starts = list(range(p))
+        length = 2 * math.ceil(math.log2(p))
+        ends, rounds = parallel_walks(g, starts, length, random.Random(8))
+        assert len(ends) == p
+        assert rounds >= length
+
+    def test_lemma11_round_bound(self):
+        """n simultaneous walks of Theta(log n) complete in O(log^2 n)
+        rounds (Lemma 11); check with a generous constant."""
+        p = 101
+        g = pcycle_graph(p)
+        length = math.ceil(math.log2(p))
+        _, rounds = parallel_walks(g, list(range(p)), length, random.Random(9))
+        assert rounds <= 30 * math.ceil(math.log2(p)) ** 2
+
+    def test_single_token_no_congestion(self):
+        g = pcycle_graph(23)
+        _, rounds = parallel_walks(g, [0], 10, random.Random(10))
+        assert rounds == 10

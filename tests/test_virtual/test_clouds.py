@@ -1,0 +1,140 @@
+"""The inflation/deflation cloud maps: the bijection claims of Lemmas
+4(b) and 6(b) as executable properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VirtualGraphError
+from repro.virtual.clouds import (
+    deflation_cloud,
+    deflation_image,
+    dominating_vertex,
+    inflation_cloud,
+    inflation_cloud_size,
+    inflation_parent,
+    is_dominating,
+)
+from repro.virtual.primes import deflation_prime, inflation_prime, is_prime
+
+prime_st = st.sampled_from([5, 7, 11, 13, 17, 23, 29, 41, 53, 97, 101, 151])
+big_prime_st = st.sampled_from([41, 53, 97, 151, 251, 499, 997])
+
+
+class TestInflation:
+    @given(prime_st)
+    @settings(max_examples=30, deadline=None)
+    def test_clouds_partition_new_vertex_set(self, p_old):
+        """Lemma 4(b): the clouds are a bijective cover of Z_{p_new}."""
+        p_new = inflation_prime(p_old)
+        seen: list[int] = []
+        for x in range(p_old):
+            seen.extend(inflation_cloud(x, p_old, p_new))
+        assert sorted(seen) == list(range(p_new))
+
+    @given(prime_st, st.data())
+    def test_cloud_size_bounds(self, p_old, data):
+        """Cloud sizes lie in {floor(alpha), ceil(alpha)} subset [4, 8]."""
+        p_new = inflation_prime(p_old)
+        x = data.draw(st.integers(min_value=0, max_value=p_old - 1))
+        size = inflation_cloud_size(x, p_old, p_new)
+        assert 4 <= size <= 8  # zeta bound (Section 3.1)
+        assert size == len(inflation_cloud(x, p_old, p_new))
+
+    @given(prime_st, st.data())
+    def test_parent_inverts_cloud(self, p_old, data):
+        p_new = inflation_prime(p_old)
+        y = data.draw(st.integers(min_value=0, max_value=p_new - 1))
+        x = inflation_parent(y, p_old, p_new)
+        assert y in inflation_cloud(x, p_old, p_new)
+
+    def test_cloud_of_zero_starts_at_zero(self):
+        # vertex 0's cloud contains new vertex 0 (coordinator continuity)
+        p_old, p_new = 23, inflation_prime(23)
+        assert inflation_cloud(0, p_old, p_new)[0] == 0
+
+    def test_rejects_wrong_direction(self):
+        with pytest.raises(VirtualGraphError):
+            inflation_cloud(0, 23, 11)
+        with pytest.raises(VirtualGraphError):
+            inflation_parent(0, 23, 11)
+
+    def test_rejects_out_of_range(self):
+        p_new = inflation_prime(23)
+        with pytest.raises(VirtualGraphError):
+            inflation_cloud(23, 23, p_new)
+        with pytest.raises(VirtualGraphError):
+            inflation_parent(p_new, 23, p_new)
+
+
+class TestDeflation:
+    @given(big_prime_st)
+    @settings(max_examples=30, deadline=None)
+    def test_image_surjective_onto_new_set(self, p_old):
+        """Lemma 6(b): every new vertex is hit, exactly Z_{p_new}."""
+        p_new = deflation_prime(p_old)
+        images = {deflation_image(x, p_old, p_new) for x in range(p_old)}
+        assert images == set(range(p_new))
+
+    @given(big_prime_st)
+    @settings(max_examples=20, deadline=None)
+    def test_dominating_count_equals_p_new(self, p_old):
+        p_new = deflation_prime(p_old)
+        dominating = [x for x in range(p_old) if is_dominating(x, p_old, p_new)]
+        assert len(dominating) == p_new
+
+    @given(big_prime_st, st.data())
+    def test_dominating_vertex_is_min_of_cloud(self, p_old, data):
+        p_new = deflation_prime(p_old)
+        y = data.draw(st.integers(min_value=0, max_value=p_new - 1))
+        cloud = deflation_cloud(y, p_old, p_new)
+        dom = dominating_vertex(y, p_old, p_new)
+        assert dom == min(cloud)
+        assert is_dominating(dom, p_old, p_new)
+        assert all(deflation_image(x, p_old, p_new) == y for x in cloud)
+
+    @given(big_prime_st)
+    @settings(max_examples=20, deadline=None)
+    def test_deflation_clouds_partition_old_set(self, p_old):
+        p_new = deflation_prime(p_old)
+        seen: list[int] = []
+        for y in range(p_new):
+            seen.extend(deflation_cloud(y, p_old, p_new))
+        assert sorted(seen) == list(range(p_old))
+
+    @given(big_prime_st, st.data())
+    def test_cloud_size_bounds(self, p_old, data):
+        p_new = deflation_prime(p_old)
+        y = data.draw(st.integers(min_value=0, max_value=p_new - 1))
+        size = len(deflation_cloud(y, p_old, p_new))
+        assert 4 <= size <= 9  # alpha in (4, 8): floor/ceil + boundary cell
+
+    def test_vertex_zero_dominates_itself(self):
+        p_old = 997
+        p_new = deflation_prime(p_old)
+        assert is_dominating(0, p_old, p_new)
+        assert deflation_image(0, p_old, p_new) == 0
+        assert dominating_vertex(0, p_old, p_new) == 0
+
+    def test_rejects_wrong_direction(self):
+        with pytest.raises(VirtualGraphError):
+            deflation_image(0, 11, 23)
+        with pytest.raises(VirtualGraphError):
+            dominating_vertex(0, 11, 23)
+
+
+class TestRoundTrips:
+    @given(st.integers(min_value=10, max_value=400))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_prime_pairs(self, n):
+        """The maps stay consistent for every inflation pair produced by
+        the algorithm's own prime selection."""
+        from repro.virtual.primes import initial_prime
+
+        p_old = initial_prime(n)
+        p_new = inflation_prime(p_old)
+        assert is_prime(p_old) and is_prime(p_new)
+        # spot-check bijection on a stride of vertices
+        for y in range(0, p_new, max(1, p_new // 97)):
+            x = inflation_parent(y, p_old, p_new)
+            assert y in inflation_cloud(x, p_old, p_new)

@@ -1,0 +1,101 @@
+"""Vertex contraction and the spectral monotonicity it relies on
+(Lemma 10 / Lemma 1)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.spectral import second_eigenvalue
+from repro.errors import VirtualGraphError
+from repro.virtual.contraction import contract_adjacency, quotient_multigraph
+from repro.virtual.pcycle import PCycle
+
+primes = st.sampled_from([23, 29, 41, 53, 97])
+
+
+def balanced_labels(p: int, m: int) -> list[int]:
+    """Contiguous-arc contraction onto m blocks (the bootstrap mapping)."""
+    return [min(z * m // p, m - 1) for z in range(p)]
+
+
+class TestQuotient:
+    def test_row_sums_preserved(self):
+        z = PCycle(23)
+        A = z.adjacency_matrix()
+        labels = balanced_labels(23, 7)
+        H = quotient_multigraph(A, labels)
+        assert H.shape == (7, 7)
+        # total degree mass is preserved: each block's row sum is
+        # 3 * (#vertices contracted into it)
+        sums = np.asarray(H.sum(axis=1)).ravel()
+        sizes = np.bincount(labels)
+        assert np.array_equal(sums, 3 * sizes)
+
+    def test_symmetry(self):
+        z = PCycle(29)
+        H = quotient_multigraph(z.adjacency_matrix(), balanced_labels(29, 5))
+        assert (H != H.T).nnz == 0
+
+    def test_identity_contraction(self):
+        z = PCycle(23)
+        A = z.adjacency_matrix()
+        H = quotient_multigraph(A, list(range(23)))
+        assert (H != A).nnz == 0
+
+    def test_rejects_gapped_labels(self):
+        z = PCycle(23)
+        labels = [0] * 23
+        labels[0] = 2  # block 1 missing
+        with pytest.raises(VirtualGraphError):
+            quotient_multigraph(z.adjacency_matrix(), labels)
+
+    def test_rejects_wrong_length(self):
+        z = PCycle(23)
+        with pytest.raises(VirtualGraphError):
+            quotient_multigraph(z.adjacency_matrix(), [0, 1, 2])
+
+    def test_dict_interface(self):
+        z = PCycle(23)
+        labels = balanced_labels(23, 7)
+        H1 = quotient_multigraph(z.adjacency_matrix(), labels)
+        H2 = contract_adjacency(z.adjacency_matrix(), dict(enumerate(labels)))
+        assert (H1 != H2).nnz == 0
+
+
+class TestLemma10:
+    """Contraction does not increase lambda (within numerical tolerance)."""
+
+    TOLERANCE = 1e-8
+
+    @given(primes, st.integers(min_value=3, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_balanced_contraction_monotone(self, p, m):
+        z = PCycle(p)
+        A = z.adjacency_matrix()
+        lam_g = second_eigenvalue(A)
+        H = quotient_multigraph(A, balanced_labels(p, min(m, p)))
+        lam_h = second_eigenvalue(H)
+        assert lam_h <= lam_g + self.TOLERANCE
+
+    @given(primes, st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_random_balanced_contraction_monotone(self, p, rnd):
+        """Random (not contiguous) surjective mappings with bounded block
+        size also keep the gap (this is what DEX's balanced mapping is)."""
+        z = PCycle(p)
+        m = max(3, p // 6)
+        labels = [i % m for i in range(p)]
+        rnd.shuffle(labels)
+        lam_g = second_eigenvalue(z.adjacency_matrix())
+        lam_h = second_eigenvalue(quotient_multigraph(z.adjacency_matrix(), labels))
+        assert lam_h <= lam_g + self.TOLERANCE
+
+    def test_complete_graph_contracts_cleanly(self):
+        n = 8
+        A = sp.csr_matrix(np.ones((n, n)) - np.eye(n))
+        lam_g = second_eigenvalue(A)
+        labels = [i // 2 for i in range(n)]
+        lam_h = second_eigenvalue(quotient_multigraph(A, labels))
+        assert lam_h <= lam_g + self.TOLERANCE

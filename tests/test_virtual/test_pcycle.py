@@ -1,0 +1,131 @@
+"""Structure of the p-cycle expander family (Definition 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VirtualGraphError
+from repro.virtual.pcycle import PCycle, cached_pcycle
+from tests.conftest import SMALL_PRIMES
+
+primes = st.sampled_from(SMALL_PRIMES)
+bigger_primes = st.sampled_from([53, 67, 97, 101, 151, 199, 251])
+
+
+class TestConstruction:
+    def test_rejects_composite(self):
+        with pytest.raises(VirtualGraphError):
+            PCycle(9)
+
+    def test_rejects_small_primes(self):
+        with pytest.raises(VirtualGraphError):
+            PCycle(3)
+
+    def test_vertices(self):
+        z = PCycle(23)
+        assert len(z) == 23
+        assert list(z.vertices()) == list(range(23))
+        assert 22 in z and 23 not in z
+
+    def test_equality_and_hash(self):
+        assert PCycle(23) == PCycle(23)
+        assert PCycle(23) != PCycle(29)
+        assert len({PCycle(23), PCycle(23), PCycle(29)}) == 2
+
+
+class TestStructure:
+    @given(primes)
+    def test_three_regular(self, p):
+        z = PCycle(p)
+        for x in z.vertices():
+            assert len(z.neighbor_multiset(x)) == 3
+            assert z.degree(x) == 3
+
+    @given(primes)
+    def test_self_loops_exactly_at_0_1_pminus1(self, p):
+        z = PCycle(p)
+        loops = {x for x in z.vertices() if z.has_self_loop(x)}
+        assert loops == {0, 1, p - 1}
+
+    @given(primes, st.data())
+    def test_inverse_is_involution(self, p, data):
+        z = PCycle(p)
+        x = data.draw(st.integers(min_value=1, max_value=p - 1))
+        inv = z.inverse(x)
+        assert 1 <= inv <= p - 1
+        assert z.inverse(inv) == x
+        assert (x * inv) % p == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(VirtualGraphError):
+            PCycle(23).inverse(0)
+
+    @given(primes)
+    def test_neighbor_relation_symmetric(self, p):
+        z = PCycle(p)
+        for x in z.vertices():
+            for y in z.distinct_neighbors(x):
+                assert x in z.distinct_neighbors(y) or x == y
+
+    @given(primes)
+    def test_edges_match_neighbor_multisets(self, p):
+        z = PCycle(p)
+        # each vertex's incidences from the edge list == 3
+        incidence = {x: 0 for x in z.vertices()}
+        for a, b in z.edges():
+            if a == b:
+                incidence[a] += 1
+            else:
+                incidence[a] += 1
+                incidence[b] += 1
+        assert all(count == 3 for count in incidence.values())
+
+    @given(primes)
+    def test_adjacency_rows_sum_to_three(self, p):
+        A = PCycle(p).adjacency_matrix()
+        sums = np.asarray(A.sum(axis=1)).ravel()
+        assert np.all(sums == 3)
+        assert (A != A.T).nnz == 0  # symmetric
+
+    def test_vertex_bounds_checked(self):
+        z = PCycle(23)
+        with pytest.raises(VirtualGraphError):
+            z.neighbor_multiset(23)
+        with pytest.raises(VirtualGraphError):
+            z.neighbor_multiset(-1)
+
+
+class TestPaths:
+    @given(bigger_primes, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_shortest_path_matches_bfs(self, p, data):
+        z = PCycle(p)
+        src = data.draw(st.integers(min_value=0, max_value=p - 1))
+        dst = data.draw(st.integers(min_value=0, max_value=p - 1))
+        path = z.shortest_path(src, dst)
+        assert path[0] == src and path[-1] == dst
+        # consecutive vertices are neighbors
+        for a, b in zip(path, path[1:]):
+            assert b in z.distinct_neighbors(a)
+        # exact optimality against a reference full BFS
+        assert len(path) - 1 == z.bfs_distances(src)[dst]
+
+    def test_trivial_path(self):
+        z = PCycle(23)
+        assert z.shortest_path(5, 5) == [5]
+        assert z.distance(5, 5) == 0
+
+    @given(primes)
+    def test_connected(self, p):
+        z = PCycle(p)
+        assert len(z.bfs_distances(0)) == p
+
+    def test_diameter_logarithmic(self):
+        # the family has O(log p) diameter; check a generous constant
+        for p in (101, 499, 997):
+            ecc = PCycle(p).eccentricity(0)
+            assert ecc <= 6 * np.log2(p)
+
+    def test_cached_pcycle_identity(self):
+        assert cached_pcycle(23) is cached_pcycle(23)

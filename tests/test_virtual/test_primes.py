@@ -1,0 +1,107 @@
+"""Primality and Bertrand-range prime selection (Section 4 setup)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VirtualGraphError
+from repro.virtual.primes import (
+    deflation_prime,
+    inflation_prime,
+    initial_prime,
+    is_prime,
+    next_prime_in,
+)
+
+
+def _trial_division(n: int) -> bool:
+    if n < 2:
+        return False
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            return False
+        d += 1
+    return True
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        expected = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+        for n in range(50):
+            assert is_prime(n) == (n in expected)
+
+    def test_negative_and_zero(self):
+        assert not is_prime(-7)
+        assert not is_prime(0)
+        assert not is_prime(1)
+
+    def test_carmichael_numbers_rejected(self):
+        # classic Fermat pseudoprimes must not fool Miller-Rabin
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041):
+            assert not is_prime(carmichael)
+
+    def test_large_known_prime(self):
+        assert is_prime(2_147_483_647)  # Mersenne prime 2^31 - 1
+        assert not is_prime(2_147_483_647 * 3)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    @settings(max_examples=300)
+    def test_matches_trial_division(self, n):
+        assert is_prime(n) == _trial_division(n)
+
+
+class TestNextPrimeIn:
+    def test_finds_smallest(self):
+        assert next_prime_in(10, 20) == 11
+        assert next_prime_in(13, 20) == 17  # open interval excludes 13
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(VirtualGraphError):
+            next_prime_in(24, 25)
+        with pytest.raises(VirtualGraphError):
+            next_prime_in(10, 10)
+
+    def test_no_prime_in_range_raises(self):
+        with pytest.raises(VirtualGraphError):
+            next_prime_in(24, 29)  # 25..28 are all composite
+
+
+class TestPaperRanges:
+    @given(st.integers(min_value=2, max_value=5_000))
+    @settings(max_examples=200)
+    def test_initial_prime_in_range(self, n0):
+        p = initial_prime(n0)
+        assert 4 * n0 < p < 8 * n0
+        assert is_prime(p)
+
+    @given(st.integers(min_value=5, max_value=100_000).filter(is_prime))
+    @settings(max_examples=200)
+    def test_inflation_prime_in_range(self, p):
+        q = inflation_prime(p)
+        assert 4 * p < q < 8 * p
+        assert is_prime(q)
+
+    @given(st.integers(min_value=41, max_value=1_000_000).filter(is_prime))
+    @settings(max_examples=200)
+    def test_deflation_prime_in_range(self, p):
+        q = deflation_prime(p)
+        assert p / 8 < q < p / 4
+        assert is_prime(q)
+        assert q >= 5  # smallest supported p-cycle
+
+    def test_initial_prime_rejects_tiny(self):
+        with pytest.raises(VirtualGraphError):
+            initial_prime(1)
+
+    def test_deflation_rejects_small(self):
+        with pytest.raises(VirtualGraphError):
+            deflation_prime(40)
+
+    def test_inflation_deflation_roughly_inverse(self):
+        # inflating then deflating lands near the original size
+        p = 101
+        q = inflation_prime(p)
+        r = deflation_prime(q)
+        assert q / 8 < r < q / 4
+        assert 0.5 * p < r < 2 * p
