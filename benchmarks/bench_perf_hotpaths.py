@@ -1,0 +1,79 @@
+"""Perf-regression benchmark: hot-path timings via the harness in
+:mod:`repro.harness.perf`.
+
+Unlike the E-series benchmarks (which regenerate paper claims), this one
+guards the *simulator's own* speed: it times bootstrap, the churn step,
+walk hops and spectral measurements, emits the table, and -- when the
+repo-root ``BENCH_perf.json`` carries a recorded baseline for the same
+size -- asserts we have not regressed an order of magnitude against it.
+
+Run the full recorded suite (n up to 4096, 200-step loops) with::
+
+    PYTHONPATH=src python -m repro.harness.perf --label after --out BENCH_perf.json
+
+The pytest entry point below uses a small size so CI smoke runs finish
+in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from benchmarks._util import emit
+from repro.harness.perf import run_suite
+from repro.harness.report import Table
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_RECORDED = _REPO_ROOT / "BENCH_perf.json"
+
+#: a smoke run may be slower than the recorded baseline (CI machines,
+#: cold caches) but not by this factor -- catches O(n) creep on the
+#: O(log n) paths without flaking on machine variance
+_REGRESSION_FACTOR = 25.0
+
+
+def test_perf_hotpaths(request):
+    sizes = (64, 256)
+    steps = 60
+    suite = run_suite(sizes=sizes, churn_steps=steps, seed=11)
+
+    table = Table(
+        title=f"perf hot paths ({steps}-step churn, validation off)",
+        columns=[
+            "n",
+            "bootstrap s",
+            "churn ms/step",
+            "walk us/hop",
+            "spectral ms",
+        ],
+    )
+    for n in sizes:
+        row = suite[f"n{n}"]
+        table.add_row(
+            n,
+            f"{row['bootstrap_s']:.4f}",
+            f"{row['churn_per_step_ms']:.4f}",
+            f"{row['walk_us_per_hop']:.2f}",
+            f"{row['spectral_ms_per_call']:.2f}",
+        )
+    emit(request, table)
+
+    for n in sizes:
+        row = suite[f"n{n}"]
+        assert row["churn_total_s"] > 0
+        assert row["churn_per_step_ms"] < 50, "churn step should be sub-50ms even on CI"
+
+    if _RECORDED.exists():
+        recorded = json.loads(_RECORDED.read_text())
+        baseline = recorded.get("runs", {}).get("after", {})
+        for n in sizes:
+            base = baseline.get(f"n{n}")
+            if not base:
+                continue
+            measured = suite[f"n{n}"]["churn_per_step_ms"]
+            allowed = base["churn_per_step_ms"] * _REGRESSION_FACTOR
+            assert measured <= allowed, (
+                f"churn step at n={n} regressed: {measured:.3f}ms vs recorded "
+                f"{base['churn_per_step_ms']:.3f}ms (x{_REGRESSION_FACTOR} budget)"
+            )

@@ -47,5 +47,11 @@ class Adversary(Protocol):
 
 
 def pick_random_node(view: NetworkView, rng: random.Random) -> NodeId:
+    """Uniform node pick.  DEX networks expose an O(1) sampler backed by
+    the topology's live-node array; baseline overlays without one fall
+    back to the O(n log n) sorted scan."""
+    sampler = getattr(view, "sample_node", None)
+    if sampler is not None:
+        return sampler(rng)
     nodes = sorted(view.nodes())
     return nodes[rng.randrange(len(nodes))]

@@ -4,6 +4,7 @@ Theorem 2), the Expander Mixing Lemma (Lemma 12), and mixing times.
 """
 
 from repro.analysis.spectral import (
+    SpectralTracker,
     normalized_adjacency,
     second_eigenvalue,
     spectral_gap,
@@ -21,6 +22,7 @@ from repro.analysis.mixing import (
 from repro.analysis.stats import Summary, summarize, fit_log_curve, loglog_slope
 
 __all__ = [
+    "SpectralTracker",
     "normalized_adjacency",
     "second_eigenvalue",
     "spectral_gap",

@@ -27,7 +27,17 @@ from repro.types import Layer, NodeId
 
 
 class Coordinator:
-    """Replicated Spare/Low/size counters at the host of vertex 0."""
+    """Replicated Spare/Low/size counters at the host of vertex 0.
+
+    The counters are maintained from *exact deltas* pushed by the overlay
+    (Spare/Low membership transitions of the primary layer) and by the
+    graph (node joins/leaves) -- O(1) bookkeeping per event instead of a
+    per-step recomputation.  :meth:`sync` resnapshots from ground truth
+    and runs only at construction and on primary-layer swaps, where the
+    simplified type-2 teardown rebuilds the sets wholesale;
+    :meth:`verify` remains the I8 oracle comparing the replicated
+    counters against a from-scratch recount.
+    """
 
     def __init__(self, overlay: Overlay, config: DexConfig):
         self.overlay = overlay
@@ -35,6 +45,32 @@ class Coordinator:
         self.n = 0
         self.spare = 0
         self.low = 0
+        overlay.add_listener(self)
+        overlay.graph.node_listeners.append(self._on_node_delta)
+        self.sync()
+
+    def detach(self) -> None:
+        """Unsubscribe from the overlay and graph (a coordinator holds a
+        listener registration for the overlay's lifetime otherwise --
+        call this before discarding one or rebuilding a network over the
+        same overlay)."""
+        self.overlay.remove_listener(self)
+        try:
+            self.overlay.graph.node_listeners.remove(self._on_node_delta)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # delta consumption (overlay / graph change-listener hooks)
+    # ------------------------------------------------------------------
+    def _on_node_delta(self, delta: int) -> None:
+        self.n += delta
+
+    def on_primary_counts(self, spare_delta: int, low_delta: int) -> None:
+        self.spare += spare_delta
+        self.low += low_delta
+
+    def on_primary_replaced(self) -> None:
         self.sync()
 
     # ------------------------------------------------------------------
@@ -59,19 +95,18 @@ class Coordinator:
 
     # ------------------------------------------------------------------
     def sync(self) -> None:
-        """Set counters to ground truth (the deltas of Algorithm 4.7 are
-        exact, so this models a faithfully-updated coordinator)."""
+        """Resnapshot counters from ground truth (construction and
+        primary-layer swaps only; steady-state updates arrive as deltas)."""
         self.n = self.overlay.graph.num_nodes
         self.spare = self.overlay.old.spare_count()
         self.low = self.overlay.old.low_count()
 
     def charge_update(self, from_node: NodeId, ledger: CostLedger) -> None:
         """Charge the cost of routing a delta from ``from_node`` to the
-        coordinator plus the O(1) replication to its neighbors, and apply
-        the delta (the report carries the step's exact load changes, so
-        the counters reflect the in-progress state -- Algorithm 4.7
-        lines 5-6 and 11-12)."""
-        self.sync()
+        coordinator plus the O(1) replication to its neighbors (the
+        report carries the step's exact load changes, which the
+        change-listener hooks have already applied to the counters --
+        Algorithm 4.7 lines 5-6 and 11-12)."""
         layer = self.routing_layer()
         lm = self.overlay.layer(layer)
         vertices = lm.vertices_of(from_node)

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Iterator
 
-from repro.analysis.spectral import spectral_gap
+from repro.analysis.spectral import SpectralTracker
 from repro.core import invariants
 from repro.core.config import DexConfig
 from repro.core.coordinator import Coordinator
@@ -60,6 +60,7 @@ class DexNetwork:
         self.metrics = MetricsLog()
         self._next_id = max(overlay.graph.nodes(), default=-1) + 1
         self._observers: list["DexDHT"] = []
+        self._spectral = SpectralTracker()
 
     # ------------------------------------------------------------------
     # construction
@@ -133,9 +134,10 @@ class DexNetwork:
         return max(self.graph.connection_count(u) for u in self.graph.nodes())
 
     def spectral_gap(self) -> float:
-        """Measured ``1 - lambda(G_t)`` of the live multigraph."""
-        _, adjacency = self.graph.to_sparse_adjacency()
-        return spectral_gap(adjacency)
+        """Measured ``1 - lambda(G_t)`` of the live multigraph (warm-started
+        across calls: the tracker reuses the previous Lanczos eigenvector)."""
+        order, adjacency = self.graph.to_sparse_adjacency()
+        return self._spectral.gap(order, adjacency)
 
     def spare_count(self) -> int:
         return self.overlay.old.spare_count()
@@ -149,8 +151,14 @@ class DexNetwork:
         return self._next_id
 
     def random_node(self) -> NodeId:
-        nodes = sorted(self.graph.nodes())
-        return nodes[self.rng.randrange(len(nodes))]
+        """Uniform node sample from the network's own RNG; O(1) via the
+        topology's live-node array."""
+        return self.graph.random_node(self.rng)
+
+    def sample_node(self, rng: random.Random) -> NodeId:
+        """Uniform node sample from a caller-supplied RNG (adversaries
+        keep their own randomness stream, Section 2)."""
+        return self.graph.random_node(rng)
 
     # ------------------------------------------------------------------
     # adversarial steps
@@ -214,19 +222,16 @@ class DexNetwork:
             op.advance(ledger)
             forced = op.forced
         # Coordinator bookkeeping (Algorithm 4.7): the initiator reports
-        # the step's deltas along a virtual shortest path.
+        # the step's deltas along a virtual shortest path (the counters
+        # themselves are already current via the change-listener hooks).
         if self.graph.has_node(locus):
             self.coordinator.charge_update(locus, ledger)
-        self.coordinator.sync()
         # Early staggered triggers.
         if self.config.type2_mode == "staggered" and self.staggered is None:
             if self.coordinator.wants_inflate():
                 self.start_staggered_inflate(ledger)
             elif self.coordinator.wants_deflate() and self.can_deflate():
                 self.start_staggered_deflate(ledger)
-            # the trigger step already processed its first chunk, which
-            # may have rebalanced loads
-            self.coordinator.sync()
 
         self.step_count += 1
         ledger.topology_changes = self.graph.topology_changes - topo_before
@@ -269,13 +274,12 @@ class DexNetwork:
 
     def on_staggered_complete(self, op: StaggeredOp, ledger: CostLedger) -> None:
         self.staggered = None
-        self.coordinator.sync()
         for observer in self._observers:
             observer.on_cycle_swapped(self, ledger)
 
     def on_cycle_replaced(self, pcycle: PCycle, ledger: CostLedger) -> None:
-        """Called by the simplified type-2 procedures after the swap."""
-        self.coordinator.sync()
+        """Called by the simplified type-2 procedures after the swap (the
+        coordinator resnapshots via the overlay's primary-swap event)."""
         for observer in self._observers:
             observer.on_cycle_swapped(self, ledger)
 

@@ -80,8 +80,16 @@ def check_mapping_sets(overlay: Overlay) -> None:
         overlay.new.verify()
 
 
+def check_cached_aggregates(overlay: Overlay) -> None:
+    """The incremental caches (degrees, node array, edge units, neighbor
+    CDFs, intermediate endpoints) match a from-scratch recomputation."""
+    overlay.graph.verify_caches()
+    overlay.verify_intermediate_cache()
+
+
 def check_all(overlay: Overlay, config: DexConfig) -> None:
     check_mapping_sets(overlay)
+    check_cached_aggregates(overlay)
     check_surjectivity(overlay)
     check_balance(overlay, config)
     check_degrees(overlay)

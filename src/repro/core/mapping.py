@@ -20,7 +20,7 @@ real multigraph whenever vertices activate, deactivate or move.
 from __future__ import annotations
 
 import random
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.errors import MappingError
 from repro.types import NodeId, Vertex
@@ -30,7 +30,15 @@ from repro.virtual.pcycle import PCycle
 class LayerMapping:
     """Host assignment for the active vertices of one p-cycle."""
 
-    __slots__ = ("pcycle", "low_threshold", "host", "sim", "spare", "low")
+    __slots__ = (
+        "pcycle",
+        "low_threshold",
+        "host",
+        "sim",
+        "spare",
+        "low",
+        "on_counts_delta",
+    )
 
     def __init__(self, pcycle: PCycle, low_threshold: int):
         self.pcycle = pcycle
@@ -41,6 +49,11 @@ class LayerMapping:
         self.spare: set[NodeId] = set()
         #: nodes with 1 <= load <= low_threshold (Low, Eq. 1)
         self.low: set[NodeId] = set()
+        #: change-listener hook ``f(node, spare_delta, low_delta)`` fired
+        #: on every Spare/Low membership transition; the overlay wires the
+        #: primary layer's hook to the coordinator's exact-delta counters
+        #: (Algorithm 4.7)
+        self.on_counts_delta: Callable[[NodeId, int, int], None] | None = None
 
     # ------------------------------------------------------------------
     # queries
@@ -106,14 +119,24 @@ class LayerMapping:
     # ------------------------------------------------------------------
     def _sets_after_change(self, u: NodeId) -> None:
         load = self.load(u)
+        spare_delta = 0
+        low_delta = 0
         if load >= 2:
-            self.spare.add(u)
-        else:
+            if u not in self.spare:
+                self.spare.add(u)
+                spare_delta = 1
+        elif u in self.spare:
             self.spare.discard(u)
+            spare_delta = -1
         if 1 <= load <= self.low_threshold:
-            self.low.add(u)
-        else:
+            if u not in self.low:
+                self.low.add(u)
+                low_delta = 1
+        elif u in self.low:
             self.low.discard(u)
+            low_delta = -1
+        if (spare_delta or low_delta) and self.on_counts_delta is not None:
+            self.on_counts_delta(u, spare_delta, low_delta)
 
     def assign(self, z: Vertex, u: NodeId) -> None:
         self.pcycle.check_vertex(z)

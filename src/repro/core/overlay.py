@@ -27,12 +27,21 @@ real node contributes weight 2 (degree-preserving contraction).
 from __future__ import annotations
 
 from collections import Counter
+from typing import Protocol
 
 from repro.core.mapping import LayerMapping
 from repro.errors import MappingError
 from repro.net.topology import DynamicMultigraph
 from repro.types import Layer, NodeId, Vertex
 from repro.virtual.pcycle import PCycle
+
+
+class OverlayListener(Protocol):
+    """What overlay subscribers (the coordinator) must implement."""
+
+    def on_primary_counts(self, spare_delta: int, low_delta: int) -> None: ...
+
+    def on_primary_replaced(self) -> None: ...
 
 
 class Overlay:
@@ -47,6 +56,37 @@ class Overlay:
         # toward the same future neighbor).
         self.inter_by_new: dict[Vertex, Counter[Vertex]] = {}
         self.inter_by_old: dict[Vertex, Counter[Vertex]] = {}
+        #: incremental per-node count of intermediate-edge endpoints
+        #: (replaces the O(#intermediates) scan on the degree hot path)
+        self._inter_endpoints: Counter[NodeId] = Counter()
+        self._listeners: list[OverlayListener] = []
+        self._wire_primary()
+
+    # ------------------------------------------------------------------
+    # change listeners (exact deltas for the coordinator, Algorithm 4.7)
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: OverlayListener) -> None:
+        """Subscribe to primary-layer Spare/Low deltas and layer swaps."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: OverlayListener) -> None:
+        """Unsubscribe (no-op if not subscribed)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _wire_primary(self) -> None:
+        self.old.on_counts_delta = self._emit_counts_delta
+
+    def _emit_counts_delta(self, _u: NodeId, spare_delta: int, low_delta: int) -> None:
+        for listener in self._listeners:
+            listener.on_primary_counts(spare_delta, low_delta)
+
+    def _emit_primary_replaced(self) -> None:
+        for listener in self._listeners:
+            listener.on_primary_replaced()
 
     # ------------------------------------------------------------------
     # helpers
@@ -143,6 +183,12 @@ class Overlay:
                     for _ in range(count):
                         self._pair_remove(old_node, hx)
                         self._pair_add(new_node, hx)
+        if riders:
+            moved = sum(riders.values())
+            self._inter_endpoints[old_node] -= moved
+            if self._inter_endpoints[old_node] <= 0:
+                del self._inter_endpoints[old_node]
+            self._inter_endpoints[new_node] += moved
         lm.reassign(z, new_node)
         return old_node
 
@@ -157,6 +203,8 @@ class Overlay:
         self._pair_add(hy, hx)
         self.inter_by_new.setdefault(y_new, Counter())[x_old] += 1
         self.inter_by_old.setdefault(x_old, Counter())[y_new] += 1
+        self._inter_endpoints[hy] += 1
+        self._inter_endpoints[hx] += 1
 
     def remove_intermediate(self, y_new: Vertex, x_old: Vertex) -> None:
         by_new = self.inter_by_new.get(y_new)
@@ -168,6 +216,10 @@ class Overlay:
         hy = self.new.host_of(y_new)
         hx = self.old.host_of(x_old)
         self._pair_remove(hy, hx)
+        for h in (hy, hx):
+            self._inter_endpoints[h] -= 1
+            if self._inter_endpoints[h] <= 0:
+                del self._inter_endpoints[h]
         by_new[x_old] -= 1
         if by_new[x_old] == 0:
             del by_new[x_old]
@@ -184,7 +236,13 @@ class Overlay:
         return sum(sum(c.values()) for c in self.inter_by_new.values())
 
     def intermediate_endpoints(self, u: NodeId) -> int:
-        """Intermediate edge endpoints at node ``u`` (for degree checks)."""
+        """Intermediate edge endpoints at node ``u``, O(1) from the
+        incremental counter."""
+        return self._inter_endpoints.get(u, 0)
+
+    def scan_intermediate_endpoints(self, u: NodeId) -> int:
+        """From-scratch recount of :meth:`intermediate_endpoints` -- the
+        oracle the invariant checker compares the counter against."""
         total = 0
         for y, targets in self.inter_by_new.items():
             assert self.new is not None
@@ -196,6 +254,24 @@ class Overlay:
                 if hx == u:
                     total += count
         return total
+
+    def verify_intermediate_cache(self) -> None:
+        """Check the incremental endpoint counter against a full recount."""
+        recount: Counter[NodeId] = Counter()
+        for y, targets in self.inter_by_new.items():
+            assert self.new is not None
+            hy = self.new.host_of(y)
+            for x, count in targets.items():
+                recount[hy] += count
+                recount[self.old.host_of(x)] += count
+        if any(c <= 0 for c in self._inter_endpoints.values()):
+            raise MappingError(
+                "intermediate endpoint counter holds a non-positive entry"
+            )
+        if dict(self._inter_endpoints) != dict(recount):
+            raise MappingError(
+                "intermediate endpoint counters diverged from recount"
+            )
 
     # ------------------------------------------------------------------
     # wholesale layer replacement (simplified type-2, Algorithms 4.5/4.6)
@@ -220,12 +296,15 @@ class Overlay:
         new_layer = LayerMapping(pcycle, self.old.low_threshold)
         for z, node in hosts.items():
             new_layer.assign(z, node)
+        self.old.on_counts_delta = None
         self.old = new_layer
+        self._wire_primary()
         for a, b in pcycle.edges():
             if a == b:
                 self.graph.add_edge(hosts[a], hosts[a], mult=1)
             else:
                 self._pair_add(hosts[a], hosts[b])
+        self._emit_primary_replaced()
 
     def _teardown_all_old_edges(self) -> None:
         pcycle = self.old.pcycle
@@ -261,8 +340,11 @@ class Overlay:
             )
         if self.inter_by_new or self.inter_by_old:
             raise MappingError("intermediate edges remain at promotion")
+        self.old.on_counts_delta = None
         self.old = self.new
         self.new = None
+        self._wire_primary()
+        self._emit_primary_replaced()
 
     # ------------------------------------------------------------------
     # verification (invariant I3/I4)
@@ -279,6 +361,8 @@ class Overlay:
                 for nb in lm.pcycle.neighbor_multiset(z):
                     if nb == z or lm.is_active(nb):
                         total += 1
+        # O(1) cached count: check_all audits it against the recount
+        # (verify_intermediate_cache) before the per-node degree sweep.
         return total + self.intermediate_endpoints(u)
 
     def rebuild_expected_graph(self) -> dict[tuple[NodeId, NodeId], int]:

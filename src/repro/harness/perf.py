@@ -1,0 +1,222 @@
+"""Perf-regression harness: hot-path timings -> ``BENCH_perf.json``.
+
+Times the four hot paths of the simulator -- bootstrap, the
+insert/delete churn step, random-walk hops, and repeated spectral-gap
+measurements -- at several network sizes, and merges the results into a
+machine-readable report so successive PRs can compare against a recorded
+baseline instead of folklore.
+
+Report format (schema ``dex-perf/1``)::
+
+    {
+      "schema": "dex-perf/1",
+      "churn_steps": 200,            # steps per churn loop
+      "sizes": [256, 1024, 4096],
+      "runs": {
+        "<label>": {                 # e.g. "before" / "after"
+          "meta": {"python": "...", "platform": "...", "created": "..."},
+          "n256": {
+            "bootstrap_s": 0.004,
+            "churn_total_s": 0.055,  # insert+delete loop, validation off
+            "churn_per_step_ms": 0.274,
+            "walk_us_per_hop": 1.9,
+            "spectral_ms_per_call": 1.2
+          },
+          ...
+        }
+      },
+      "speedup": {"n4096": {"churn": 8.1, ...}}   # before/after ratios
+    }
+
+Timings use ``time.perf_counter`` around single passes (the loops are
+long enough to dominate timer noise); the churn loop runs with
+``validate_every_step=False`` -- the invariant oracle is what the *tests*
+exercise, the harness measures the production path.
+
+CLI::
+
+    PYTHONPATH=src python -m repro.harness.perf \
+        --label after --sizes 256 1024 4096 --steps 200 --out BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import random
+import sys
+import time
+from datetime import datetime, timezone
+from typing import Sequence
+
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.net.walks import random_walk
+
+SCHEMA = "dex-perf/1"
+DEFAULT_SIZES = (256, 1024, 4096)
+DEFAULT_STEPS = 200
+#: ratios are reported for these (label_before, label_after) pairs
+_SPEEDUP_PAIR = ("before", "after")
+
+
+def _build(n: int, seed: int) -> DexNetwork:
+    config = DexConfig(validate_every_step=False)
+    return DexNetwork.bootstrap(n, config=config, seed=seed)
+
+
+def bench_bootstrap(n: int, seed: int) -> float:
+    t0 = time.perf_counter()
+    _build(n, seed)
+    return time.perf_counter() - t0
+
+
+def bench_churn(n: int, steps: int, seed: int) -> tuple[float, DexNetwork]:
+    """Alternating insert/delete loop at size ~n; returns (seconds, net)."""
+    net = _build(n, seed)
+    t0 = time.perf_counter()
+    for i in range(steps):
+        if i % 2 == 0:
+            net.insert()
+        else:
+            net.delete(net.random_node())
+    return time.perf_counter() - t0, net
+
+
+def bench_walks(net: DexNetwork, tokens: int, length: int, seed: int) -> float:
+    """Microseconds per walk hop over ``tokens`` weighted walks."""
+    rng = random.Random(seed)
+    starts = [net.random_node() for _ in range(tokens)]
+    hops = 0
+    t0 = time.perf_counter()
+    for start in starts:
+        result = random_walk(net.graph, start, length, rng)
+        hops += max(result.hops, 1)
+    elapsed = time.perf_counter() - t0
+    return elapsed / max(hops, 1) * 1e6
+
+
+def bench_spectral(net: DexNetwork, repeats: int) -> float:
+    """Milliseconds per spectral-gap measurement under light churn (the
+    repeated-measurement pattern of the experiment runner)."""
+    t0 = time.perf_counter()
+    for i in range(repeats):
+        net.spectral_gap()
+        if i + 1 < repeats:  # perturb so repeats are not trivially cached
+            net.insert()
+            net.delete(net.random_node())
+    elapsed = time.perf_counter() - t0
+    return elapsed / max(repeats, 1) * 1e3
+
+
+def run_suite(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    churn_steps: int = DEFAULT_STEPS,
+    seed: int = 11,
+    spectral_repeats: int = 5,
+    progress: bool = False,
+) -> dict:
+    """Run every benchmark at every size; returns the per-size mapping."""
+    suite: dict[str, dict[str, float]] = {}
+    for n in sizes:
+        boot = bench_bootstrap(n, seed)
+        churn_s, net = bench_churn(n, churn_steps, seed)
+        walk_us = bench_walks(net, tokens=50, length=4 * max(net.size, 2).bit_length(), seed=seed)
+        spectral_ms = bench_spectral(net, spectral_repeats)
+        suite[f"n{n}"] = {
+            "bootstrap_s": round(boot, 6),
+            "churn_total_s": round(churn_s, 6),
+            "churn_per_step_ms": round(churn_s / max(churn_steps, 1) * 1e3, 6),
+            "walk_us_per_hop": round(walk_us, 3),
+            "spectral_ms_per_call": round(spectral_ms, 3),
+        }
+        if progress:
+            print(f"  n={n}: {suite[f'n{n}']}", file=sys.stderr)
+    return suite
+
+
+def _speedups(runs: dict) -> dict:
+    before, after = (runs.get(label) for label in _SPEEDUP_PAIR)
+    if not before or not after:
+        return {}
+    out: dict[str, dict[str, float]] = {}
+    for key, b in before.items():
+        a = after.get(key)
+        if key == "meta" or not isinstance(b, dict) or not a:
+            continue
+        ratios: dict[str, float] = {}
+        for metric, short in (
+            ("churn_per_step_ms", "churn"),
+            ("bootstrap_s", "bootstrap"),
+            ("walk_us_per_hop", "walk"),
+            ("spectral_ms_per_call", "spectral"),
+        ):
+            if a.get(metric):
+                ratios[short] = round(b[metric] / a[metric], 2)
+        out[key] = ratios
+    return out
+
+
+def load_report(path: pathlib.Path) -> dict:
+    if path.exists():
+        text = path.read_text().strip()
+        if text:
+            try:
+                report = json.loads(text)
+            except json.JSONDecodeError as exc:
+                # Never silently clobber a recorded baseline.
+                raise SystemExit(
+                    f"{path} exists but is not valid JSON ({exc}); "
+                    "move it aside or fix it before recording a new run"
+                ) from None
+            if report.get("schema") == SCHEMA:
+                return report
+    return {"schema": SCHEMA, "runs": {}}
+
+
+def write_report(
+    path: pathlib.Path,
+    label: str,
+    suite: dict,
+    sizes: Sequence[int],
+    churn_steps: int,
+) -> dict:
+    """Merge one labelled run into the report at ``path``."""
+    report = load_report(path)
+    suite = dict(suite)
+    suite["meta"] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    report["churn_steps"] = churn_steps
+    report["sizes"] = list(sizes)
+    report.setdefault("runs", {})[label] = suite
+    report["speedup"] = _speedups(report["runs"])
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="after", help="run label (e.g. before/after)")
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
+    parser.add_argument("--steps", type=int, default=DEFAULT_STEPS)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--out", type=pathlib.Path, default=pathlib.Path("BENCH_perf.json"))
+    args = parser.parse_args(argv)
+
+    load_report(args.out)  # refuse a corrupt report before the long run
+    print(f"perf suite: sizes={args.sizes} steps={args.steps} label={args.label!r}")
+    suite = run_suite(args.sizes, args.steps, args.seed, progress=True)
+    report = write_report(args.out, args.label, suite, args.sizes, args.steps)
+    if report.get("speedup"):
+        print(f"speedup (before/after): {json.dumps(report['speedup'])}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -11,12 +11,23 @@ or disappears -- i.e. a pair multiplicity transitions 0 <-> positive -- or
 a node joins/leaves; raising the multiplicity of an existing connection
 is bookkeeping on an existing link, not a new connection.  Self-loops are
 never connections.
+
+Aggregates are maintained *incrementally* so the churn hot path never
+scans the node set: a live-node array backs O(1) uniform sampling,
+per-node degree counters and the edge-unit/connection totals are updated
+in O(1) per mutation, and a per-node version stamp lazily invalidates the
+cached neighbor CDFs that :mod:`repro.net.walks` samples from.
+:meth:`DynamicMultigraph.verify_caches` recomputes everything from the
+adjacency structure and is the oracle the invariant tests run under
+churn.
 """
 
 from __future__ import annotations
 
+import random
 from collections import Counter, deque
-from typing import Iterator
+from itertools import count
+from typing import Callable, Iterator
 
 import numpy as np
 import scipy.sparse as sp
@@ -26,14 +37,42 @@ from repro.types import NodeId
 
 
 class DynamicMultigraph:
-    """Undirected multigraph with weighted self-loops and change counting."""
+    """Undirected multigraph with weighted self-loops, change counting,
+    and O(1) cached aggregates (degrees, edge units, node sampling)."""
 
-    __slots__ = ("_adj", "topology_changes")
+    __slots__ = (
+        "_adj",
+        "topology_changes",
+        "_nodes",
+        "_node_pos",
+        "_degree",
+        "_edge_units",
+        "_connections",
+        "_version",
+        "_stamp",
+        "_cdf_cache",
+        "node_listeners",
+    )
 
     def __init__(self) -> None:
         self._adj: dict[NodeId, Counter[NodeId]] = {}
         #: cumulative count of connection creations/destructions + node events
         self.topology_changes: int = 0
+        #: live nodes in insertion order with swap-remove deletion -- the
+        #: backing array for O(1) uniform sampling
+        self._nodes: list[NodeId] = []
+        self._node_pos: dict[NodeId, int] = {}
+        self._degree: dict[NodeId, int] = {}
+        self._edge_units: int = 0
+        self._connections: int = 0
+        #: per-node version stamps; bumped whenever a node's incident
+        #: multiplicities change, invalidating its cached neighbor CDF
+        self._version: dict[NodeId, int] = {}
+        self._stamp = count()
+        self._cdf_cache: dict[NodeId, tuple[int, list[NodeId], list[int], int]] = {}
+        #: callbacks ``f(delta)`` fired on node join (+1) / leave (-1);
+        #: the coordinator's size counter consumes these deltas
+        self.node_listeners: list[Callable[[int], None]] = []
 
     # ------------------------------------------------------------------
     # nodes
@@ -42,7 +81,13 @@ class DynamicMultigraph:
         if u in self._adj:
             raise TopologyError(f"node {u} already exists")
         self._adj[u] = Counter()
+        self._node_pos[u] = len(self._nodes)
+        self._nodes.append(u)
+        self._degree[u] = 0
+        self._version[u] = next(self._stamp)
         self.topology_changes += 1
+        for listener in self.node_listeners:
+            listener(+1)
 
     def remove_node(self, u: NodeId) -> None:
         """Remove ``u``; requires all its edges to have been removed first
@@ -52,7 +97,10 @@ class DynamicMultigraph:
         if any(m > 0 for m in nbrs.values()):
             raise TopologyError(f"node {u} still has incident edges: {dict(nbrs)}")
         del self._adj[u]
+        self._forget_node(u)
         self.topology_changes += 1
+        for listener in self.node_listeners:
+            listener(-1)
 
     def drop_node_with_edges(self, u: NodeId) -> Counter[NodeId]:
         """Adversarial deletion: remove ``u`` along with all incident
@@ -61,12 +109,32 @@ class DynamicMultigraph:
         nbrs = Counter(self._require(u))
         for v, mult in nbrs.items():
             if v == u:
+                self._edge_units -= mult
                 continue
             del self._adj[v][u]
+            self._degree[v] -= mult
+            self._edge_units -= mult
+            self._connections -= 1
+            self._touch(v)
             self.topology_changes += 1  # the (u, v) connection is destroyed
         del self._adj[u]
+        self._forget_node(u)
         self.topology_changes += 1
+        for listener in self.node_listeners:
+            listener(-1)
         return nbrs
+
+    def _forget_node(self, u: NodeId) -> None:
+        """Drop ``u`` from every cached aggregate (swap-remove from the
+        sampling array keeps deletion O(1))."""
+        pos = self._node_pos.pop(u)
+        last = self._nodes.pop()
+        if last != u:
+            self._nodes[pos] = last
+            self._node_pos[last] = pos
+        del self._degree[u]
+        del self._version[u]
+        self._cdf_cache.pop(u, None)
 
     def has_node(self, u: NodeId) -> bool:
         return u in self._adj
@@ -78,11 +146,27 @@ class DynamicMultigraph:
     def num_nodes(self) -> int:
         return len(self._adj)
 
+    def random_node(self, rng: random.Random) -> NodeId:
+        """Uniform O(1) sample from the live-node array.  Deterministic
+        for a fixed seed and operation history (the array order is a pure
+        function of the join/leave sequence)."""
+        if not self._nodes:
+            raise TopologyError("cannot sample from an empty graph")
+        return self._nodes[rng.randrange(len(self._nodes))]
+
     def _require(self, u: NodeId) -> Counter[NodeId]:
         try:
             return self._adj[u]
         except KeyError:
             raise TopologyError(f"node {u} does not exist") from None
+
+    def _touch(self, u: NodeId) -> None:
+        self._version[u] = next(self._stamp)
+
+    def node_version(self, u: NodeId) -> int:
+        """Monotone stamp of ``u``'s incident edge state (cache keys)."""
+        self._require(u)
+        return self._version[u]
 
     # ------------------------------------------------------------------
     # edges
@@ -95,13 +179,21 @@ class DynamicMultigraph:
             raise TopologyError(f"multiplicity must be positive, got {mult}")
         au = self._require(u)
         av = self._require(v)
+        self._edge_units += mult
         if u == v:
             au[u] += mult
+            self._degree[u] += mult
+            self._touch(u)
             return  # self-loops are not connections
         if au[v] == 0:
             self.topology_changes += 1
+            self._connections += 1
         au[v] += mult
         av[u] += mult
+        self._degree[u] += mult
+        self._degree[v] += mult
+        self._touch(u)
+        self._touch(v)
 
     def remove_edge(self, u: NodeId, v: NodeId, mult: int = 1) -> None:
         if mult <= 0:
@@ -112,25 +204,35 @@ class DynamicMultigraph:
             raise TopologyError(
                 f"edge ({u}, {v}) has multiplicity {au[v]} < {mult}"
             )
+        self._edge_units -= mult
         if u == v:
             au[u] -= mult
             if au[u] == 0:
                 del au[u]
+            self._degree[u] -= mult
+            self._touch(u)
             return
         au[v] -= mult
         av[u] -= mult
+        self._degree[u] -= mult
+        self._degree[v] -= mult
+        self._touch(u)
+        self._touch(v)
         if au[v] == 0:
             del au[v]
             del av[u]
             self.topology_changes += 1
+            self._connections -= 1
 
     def multiplicity(self, u: NodeId, v: NodeId) -> int:
         return self._require(u)[v]
 
     def degree(self, u: NodeId) -> int:
         """Sum of incident multiplicities (self-loop weight counted as
-        stored, preserving ``degree = 3 * Load``)."""
-        return sum(self._require(u).values())
+        stored, preserving ``degree = 3 * Load``); O(1) from the cached
+        counter."""
+        self._require(u)
+        return self._degree[u]
 
     def connection_count(self, u: NodeId) -> int:
         """Number of distinct real connections (what a deployed node's
@@ -144,28 +246,87 @@ class DynamicMultigraph:
         """Neighbors with multiplicities, self-loop included (for walks)."""
         return [(v, m) for v, m in self._require(u).items() if m > 0]
 
+    def neighbor_cdf(self, u: NodeId) -> tuple[list[NodeId], list[int], int]:
+        """``(neighbors, cumulative multiplicities, total)`` sorted by
+        neighbor id, cached under the node's version stamp.  The walk
+        sampler bisects the cumulative array, so a hop is O(log degree)
+        with the O(degree log degree) build paid once per topology change
+        at the node."""
+        stamp = self.node_version(u)
+        entry = self._cdf_cache.get(u)
+        if entry is not None and entry[0] == stamp:
+            return entry[1], entry[2], entry[3]
+        items = sorted((v, m) for v, m in self._adj[u].items() if m > 0)
+        neighbors = [v for v, _ in items]
+        cumulative: list[int] = []
+        total = 0
+        for _, m in items:
+            total += m
+            cumulative.append(total)
+        self._cdf_cache[u] = (stamp, neighbors, cumulative, total)
+        return neighbors, cumulative, total
+
     @property
     def num_edge_units(self) -> int:
         """Total multiplicity over undirected edges (self-loop weight
-        counted once)."""
-        total = 0
-        for u, nbrs in self._adj.items():
-            for v, m in nbrs.items():
-                if v == u:
-                    total += 2 * m  # counted once overall => weight as two halves
-                elif v > u:
-                    total += 2 * m
-        return total // 2
+        counted once); O(1) from the cached total."""
+        return self._edge_units
 
     @property
     def num_connections(self) -> int:
-        """Number of distinct node pairs with at least one edge."""
-        total = 0
+        """Number of distinct node pairs with at least one edge; O(1)."""
+        return self._connections
+
+    # ------------------------------------------------------------------
+    # cache oracle
+    # ------------------------------------------------------------------
+    def verify_caches(self) -> None:
+        """Recompute every cached aggregate from the adjacency structure
+        and raise :class:`TopologyError` on any drift (the from-scratch
+        oracle behind the churn property tests)."""
+        if sorted(self._nodes) != sorted(self._adj):
+            raise TopologyError("live-node array diverged from adjacency keys")
+        for pos, u in enumerate(self._nodes):
+            if self._node_pos.get(u) != pos:
+                raise TopologyError(f"node-position index stale at {u}")
+        edge_units = 0
+        connections = 0
         for u, nbrs in self._adj.items():
+            degree = sum(m for m in nbrs.values() if m > 0)
+            if self._degree.get(u) != degree:
+                raise TopologyError(
+                    f"cached degree {self._degree.get(u)} != {degree} at node {u}"
+                )
             for v, m in nbrs.items():
-                if v > u and m > 0:
-                    total += 1
-        return total
+                if m <= 0:
+                    continue
+                if v == u:
+                    edge_units += m
+                elif v > u:
+                    edge_units += m
+                    connections += 1
+        if self._edge_units != edge_units:
+            raise TopologyError(
+                f"cached edge units {self._edge_units} != {edge_units}"
+            )
+        if self._connections != connections:
+            raise TopologyError(
+                f"cached connection count {self._connections} != {connections}"
+            )
+        for u in self._adj:
+            neighbors, cumulative, total = self.neighbor_cdf(u)
+            items = sorted((v, m) for v, m in self._adj[u].items() if m > 0)
+            expect_cum: list[int] = []
+            acc = 0
+            for _, m in items:
+                acc += m
+                expect_cum.append(acc)
+            if (
+                neighbors != [v for v, _ in items]
+                or cumulative != expect_cum
+                or total != acc
+            ):
+                raise TopologyError(f"neighbor CDF cache stale at node {u}")
 
     # ------------------------------------------------------------------
     # queries
@@ -195,7 +356,7 @@ class DynamicMultigraph:
         return len(self.bfs_distances(src)) == self.num_nodes
 
     def max_degree(self) -> int:
-        return max((self.degree(u) for u in self._adj), default=0)
+        return max(self._degree.values(), default=0)
 
     def to_sparse_adjacency(self) -> tuple[list[NodeId], sp.csr_matrix]:
         """``(ordering, A)`` with the multigraph conventions preserved:

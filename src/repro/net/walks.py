@@ -16,6 +16,7 @@ the one-token-per-edge-per-direction congestion rule of Lemma 11.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -41,21 +42,38 @@ def _weighted_step(
     rng: random.Random,
     excluded: frozenset[NodeId],
 ) -> NodeId | None:
-    options = [
-        (v, m)
-        for v, m in sorted(graph.neighbor_multiplicities(at))
-        if v not in excluded
-    ]
-    if not options:
+    """One weighted hop via the topology's cached neighbor CDF.
+
+    The cache stores neighbors in sorted order with cumulative
+    multiplicities, so the common path (no exclusions) is a single
+    ``randrange`` plus a bisect -- the same RNG draw sequence as the
+    historical sort-per-hop implementation, so walks are bit-for-bit
+    reproducible for a fixed seed.  Exclusions (only the freshly inserted
+    node during Algorithm 4.2) fall back to an O(degree) filtered scan of
+    the cached arrays.
+    """
+    neighbors, cumulative, total = graph.neighbor_cdf(at)
+    if excluded:
+        acc = 0
+        options: list[tuple[NodeId, int]] = []
+        prev = 0
+        for v, cum in zip(neighbors, cumulative):
+            m = cum - prev
+            prev = cum
+            if v not in excluded:
+                acc += m
+                options.append((v, acc))
+        if not options:
+            return None
+        pick = rng.randrange(acc)
+        for v, cum in options:
+            if pick < cum:
+                return v
+        raise AssertionError("unreachable")  # pragma: no cover
+    if total == 0:
         return None
-    total = sum(m for _, m in options)
     pick = rng.randrange(total)
-    acc = 0
-    for v, m in options:
-        acc += m
-        if pick < acc:
-            return v
-    raise AssertionError("unreachable")  # pragma: no cover
+    return neighbors[bisect_right(cumulative, pick)]
 
 
 def random_walk(

@@ -35,6 +35,47 @@ from repro.virtual.primes import is_prime
 
 _MIN_P = 5
 
+#: primes up to this size get O(p)-space cached structures (the inverse
+#: table and the vertex-0 BFS tree); larger p falls back to on-demand
+#: modular exponentiation and bidirectional BFS.
+_TABLE_MAX_P = 1 << 18
+
+
+@lru_cache(maxsize=16)
+def _inverse_table(p: int) -> list[int]:
+    """All multiplicative inverses mod ``p`` in O(p) total time via the
+    classic recurrence ``inv[i] = -(p // i) * inv[p % i] mod p`` -- far
+    cheaper than one Fermat ``pow`` per neighbor query on the hot path."""
+    inv = [0] * p
+    if p > 1:
+        inv[1] = 1
+    for i in range(2, p):
+        inv[i] = (-(p // i) * inv[p % i]) % p
+    return inv
+
+
+@lru_cache(maxsize=16)
+def _zero_tree(p: int) -> list[int]:
+    """Parent array of a BFS tree of ``Z(p)`` rooted at vertex 0
+    (``parent[0] == 0``).  Built once per prime: every coordinator update
+    routes to vertex 0 (Algorithm 4.7), so the amortized cost of shortest
+    paths to/from 0 drops from an O(sqrt(p)) search per step to an
+    O(path-length) tree walk."""
+    inv = _inverse_table(p)
+    parent = [-1] * p
+    parent[0] = 0
+    frontier = [0]
+    while frontier:
+        nxt: list[int] = []
+        for u in frontier:
+            chord = inv[u] if u > 0 else 0
+            for w in ((u - 1) % p, (u + 1) % p, chord):
+                if parent[w] < 0:
+                    parent[w] = u
+                    nxt.append(w)
+        frontier = nxt
+    return parent
+
 
 class PCycle:
     """Implicit representation of the p-cycle ``Z(p)``."""
@@ -85,6 +126,8 @@ class PCycle:
         self.check_vertex(x)
         if x == 0:
             return 0
+        if self.p <= _TABLE_MAX_P:
+            return _inverse_table(self.p)[x]
         return pow(x, self.p - 2, self.p)
 
     def neighbor_multiset(self, x: Vertex) -> tuple[Vertex, Vertex, Vertex]:
@@ -158,6 +201,8 @@ class PCycle:
         self.check_vertex(dst)
         if src == dst:
             return [src]
+        if self.p <= _TABLE_MAX_P and (src == 0 or dst == 0):
+            return self._path_via_zero_tree(src, dst)
         dist_f: dict[Vertex, int] = {src: 0}
         dist_b: dict[Vertex, int] = {dst: 0}
         parent_f: dict[Vertex, Vertex | None] = {src: None}
@@ -207,6 +252,20 @@ class PCycle:
             path_b.append(v)
             v = parent_b[v]
         return path_f + path_b
+
+    def _path_via_zero_tree(self, src: Vertex, dst: Vertex) -> list[Vertex]:
+        """Shortest path with one endpoint at vertex 0, read off the
+        cached BFS tree (exact: BFS tree distances are graph distances
+        from the root)."""
+        parent = _zero_tree(self.p)
+        v = dst if src == 0 else src
+        path = [v]
+        while v != 0:
+            v = parent[v]
+            path.append(v)
+        if src == 0:
+            path.reverse()
+        return path
 
     def _expand_level(
         self,

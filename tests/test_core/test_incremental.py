@@ -1,0 +1,144 @@
+"""Churn-level validation of the incremental hot-path engine.
+
+The engine replaces per-step recomputation with cached aggregates and
+exact deltas; these tests drive long random insert/delete sequences --
+crossing staggered type-2 operations -- and compare every cache against a
+from-scratch recomputation, per the cache-invalidation contract:
+
+* graph aggregates (degrees, live-node array, edge units, neighbor CDFs),
+* the overlay's intermediate-endpoint counters,
+* the coordinator's delta-maintained Spare/Low/size counters (I8),
+* the Spare/Low sets themselves (I7, via LayerMapping.verify).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.spectral import SpectralTracker, spectral_gap
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+
+
+def _random_churn(net: DexNetwork, rng: random.Random, steps: int, grow: float) -> None:
+    for _ in range(steps):
+        if rng.random() < grow or net.size <= net.config.min_network_size + 1:
+            net.insert()
+        else:
+            net.delete(net.random_node())
+
+
+class TestCachesUnderChurn:
+    def test_500_step_churn_keeps_all_caches_exact(self):
+        """500 random insert/delete steps (through staggered inflations
+        and deflations) with a full cache-vs-recomputation audit and the
+        coordinator I8 oracle after every step."""
+        net = DexNetwork.bootstrap(16, DexConfig(seed=5), seed=5)
+        rng = random.Random(99)
+        saw_staggered = False
+        # growth-heavy, then shrink-heavy, then balanced: forces both
+        # inflate and deflate triggers within the 500 steps
+        for steps, grow in ((200, 0.9), (200, 0.12), (100, 0.5)):
+            for _ in range(steps):
+                if rng.random() < grow or net.size <= net.config.min_network_size + 1:
+                    net.insert()
+                else:
+                    net.delete(net.random_node())
+                saw_staggered = saw_staggered or net.staggered is not None
+                net.graph.verify_caches()
+                net.overlay.verify_intermediate_cache()
+                assert net.coordinator.verify(), "I8: coordinator counters drifted"
+        net.overlay.old.verify()
+        assert saw_staggered, "churn schedule never crossed a staggered op"
+        net.check_invariants()
+
+    def test_simplified_mode_layer_swap_resyncs_counters(self):
+        """The wholesale layer replacement of simplified type-2 rebuilds
+        Spare/Low outside the delta hooks; the primary-swap event must
+        resnapshot the coordinator."""
+        net = DexNetwork.bootstrap(
+            16, DexConfig(seed=3, type2_mode="simplified"), seed=3
+        )
+        rng = random.Random(7)
+        _random_churn(net, rng, 250, grow=0.85)
+        assert net.coordinator.verify()
+        _random_churn(net, rng, 150, grow=0.2)
+        assert net.coordinator.verify()
+        net.check_invariants()
+
+
+class TestListenerLifecycle:
+    def test_detached_coordinator_stops_receiving_deltas(self):
+        net = DexNetwork.bootstrap(16, seed=2)
+        stale = net.coordinator.n
+        replacement = type(net.coordinator)(net.overlay, net.config)
+        net.coordinator.detach()
+        net.coordinator = replacement
+        for _ in range(10):
+            net.insert()
+        assert replacement.verify()
+        assert replacement.n == stale + 10
+
+    def test_rebuilding_a_network_over_one_overlay_does_not_double_count(self):
+        net = DexNetwork.bootstrap(16, seed=2)
+        first = net.coordinator
+        first.detach()
+        rebuilt = DexNetwork(net.overlay, net.config, net.rng)
+        for _ in range(10):
+            rebuilt.insert()
+        assert rebuilt.coordinator.verify()
+        # the detached coordinator no longer tracks the graph
+        assert first.n == rebuilt.coordinator.n - 10
+
+
+class TestSeedStability:
+    def test_same_seed_same_trajectory(self):
+        """O(1) sampling must stay deterministic: identical seeds and
+        operation sequences give identical attach points, victims, and
+        step reports."""
+
+        def run(seed: int) -> list[tuple[str, int, int]]:
+            net = DexNetwork.bootstrap(24, DexConfig(seed=seed), seed=seed)
+            rng = random.Random(seed + 1)
+            trace = []
+            for _ in range(120):
+                if rng.random() < 0.6 or net.size <= net.config.min_network_size + 1:
+                    report = net.insert()
+                else:
+                    report = net.delete(net.random_node())
+                trace.append((report.kind.value, report.node, report.n_after))
+            return trace
+
+        assert run(17) == run(17)
+        assert run(17) != run(18)
+
+    def test_random_node_uses_network_rng_stream(self):
+        a = DexNetwork.bootstrap(16, seed=4)
+        b = DexNetwork.bootstrap(16, seed=4)
+        assert [a.random_node() for _ in range(32)] == [
+            b.random_node() for _ in range(32)
+        ]
+
+
+class TestSpectralTracker:
+    def test_tracker_matches_cold_solver_under_churn(self):
+        net = DexNetwork.bootstrap(48, seed=21)
+        tracker = SpectralTracker()
+        rng = random.Random(2)
+        for step in range(60):
+            if rng.random() < 0.5:
+                net.insert()
+            else:
+                net.delete(net.random_node())
+            if step % 10 == 0:
+                order, adjacency = net.graph.to_sparse_adjacency()
+                warm = tracker.gap(order, adjacency)
+                cold = spectral_gap(adjacency)
+                assert abs(warm - cold) < 1e-6
+                assert abs(net.spectral_gap() - cold) < 1e-6
+
+    def test_tracker_handles_tiny_graphs(self):
+        net = DexNetwork.bootstrap(3, seed=1)
+        order, adjacency = net.graph.to_sparse_adjacency()
+        tracker = SpectralTracker()
+        assert abs(tracker.gap(order, adjacency) - spectral_gap(adjacency)) < 1e-9

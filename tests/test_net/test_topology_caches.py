@@ -1,0 +1,139 @@
+"""Property tests for the incremental aggregates of DynamicMultigraph:
+whatever sequence of node/edge mutations runs, every cached quantity
+(degrees, live-node array, edge units, connections, neighbor CDFs) must
+match a from-scratch recomputation, and the O(1) sampler must stay
+uniform over the live nodes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.net.topology import DynamicMultigraph
+
+
+def _apply_random_ops(graph: DynamicMultigraph, rng: random.Random, ops: int) -> None:
+    """Drive a random mutation sequence using only legal operations."""
+    next_id = 0
+    for _ in range(ops):
+        live = list(graph.nodes())
+        choice = rng.random()
+        if not live or choice < 0.25:
+            graph.add_node(next_id)
+            next_id += 1
+        elif choice < 0.55 and len(live) >= 1:
+            u = rng.choice(live)
+            v = rng.choice(live)
+            graph.add_edge(u, v, mult=rng.randrange(1, 4))
+        elif choice < 0.8:
+            edges = [
+                (u, v, m)
+                for u in live
+                for v, m in graph.neighbor_multiplicities(u)
+                if v >= u
+            ]
+            if edges:
+                u, v, m = rng.choice(edges)
+                graph.remove_edge(u, v, mult=rng.randrange(1, m + 1))
+        elif choice < 0.9:
+            u = rng.choice(live)
+            if graph.degree(u) == 0:
+                graph.remove_node(u)
+            else:
+                graph.drop_node_with_edges(u)
+        else:
+            u = rng.choice(live)
+            # exercise the CDF cache between mutations
+            graph.neighbor_cdf(u)
+
+
+class TestCachedAggregates:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), ops=st.integers(1, 120))
+    def test_caches_match_recomputation(self, seed: int, ops: int):
+        graph = DynamicMultigraph()
+        _apply_random_ops(graph, random.Random(seed), ops)
+        graph.verify_caches()  # raises TopologyError on any drift
+
+    def test_cdf_cache_invalidated_by_mutation(self):
+        graph = DynamicMultigraph()
+        for u in range(3):
+            graph.add_node(u)
+        graph.add_edge(0, 1, mult=2)
+        neighbors, cumulative, total = graph.neighbor_cdf(0)
+        assert (neighbors, cumulative, total) == ([1], [2], 2)
+        graph.add_edge(0, 2)
+        neighbors, cumulative, total = graph.neighbor_cdf(0)
+        assert (neighbors, cumulative, total) == ([1, 2], [2, 3], 3)
+        graph.remove_edge(0, 1, mult=2)
+        neighbors, cumulative, total = graph.neighbor_cdf(0)
+        assert (neighbors, cumulative, total) == ([2], [1], 1)
+
+    def test_cdf_includes_self_loop_weight(self):
+        graph = DynamicMultigraph()
+        graph.add_node(7)
+        graph.add_edge(7, 7, mult=3)
+        neighbors, cumulative, total = graph.neighbor_cdf(7)
+        assert (neighbors, cumulative, total) == ([7], [3], 3)
+
+    def test_degree_and_totals_are_o1_views(self):
+        graph = DynamicMultigraph()
+        for u in range(4):
+            graph.add_node(u)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2, mult=2)
+        graph.add_edge(3, 3, mult=2)
+        assert graph.degree(1) == 3
+        assert graph.num_edge_units == 5
+        assert graph.num_connections == 2
+        graph.remove_edge(1, 2, mult=2)
+        assert graph.degree(1) == 1
+        assert graph.num_edge_units == 3
+        assert graph.num_connections == 1
+
+
+class TestRandomNodeSampler:
+    def test_empty_graph_raises(self):
+        with pytest.raises(TopologyError):
+            DynamicMultigraph().random_node(random.Random(0))
+
+    def test_samples_only_live_nodes(self):
+        graph = DynamicMultigraph()
+        for u in range(10):
+            graph.add_node(u)
+        for u in range(0, 10, 2):
+            graph.remove_node(u)
+        rng = random.Random(3)
+        assert {graph.random_node(rng) for _ in range(200)} == {1, 3, 5, 7, 9}
+
+    def test_roughly_uniform(self):
+        graph = DynamicMultigraph()
+        for u in range(8):
+            graph.add_node(u)
+        rng = random.Random(42)
+        counts = {u: 0 for u in range(8)}
+        draws = 8000
+        for _ in range(draws):
+            counts[graph.random_node(rng)] += 1
+        for u, c in counts.items():
+            assert abs(c - draws / 8) < 0.25 * draws / 8, (u, c)
+
+    def test_deterministic_for_fixed_seed(self):
+        def sequence(seed: int) -> list[int]:
+            graph = DynamicMultigraph()
+            for u in range(32):
+                graph.add_node(u)
+            rng = random.Random(seed)
+            out = []
+            for i in range(50):
+                out.append(graph.random_node(rng))
+                if i == 25:
+                    graph.remove_node(31)  # swap-remove mid-sequence
+            return out
+
+        assert sequence(9) == sequence(9)
+        assert sequence(9) != sequence(10)
