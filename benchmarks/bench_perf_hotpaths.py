@@ -44,8 +44,11 @@ def test_perf_hotpaths(request):
             "n",
             "bootstrap s",
             "churn ms/step",
+            "batch ms/node",
+            "batch speedup",
             "walk us/hop",
             "spectral ms",
+            "csr speedup",
         ],
     )
     for n in sizes:
@@ -54,8 +57,11 @@ def test_perf_hotpaths(request):
             n,
             f"{row['bootstrap_s']:.4f}",
             f"{row['churn_per_step_ms']:.4f}",
+            f"{row['batch_churn_per_node_ms']:.4f}",
+            f"{row['batch_speedup_x']:.2f}x",
             f"{row['walk_us_per_hop']:.2f}",
             f"{row['spectral_ms_per_call']:.2f}",
+            f"{row['csr_speedup_x']:.2f}x",
         )
     emit(request, table)
 
@@ -63,6 +69,14 @@ def test_perf_hotpaths(request):
         row = suite[f"n{n}"]
         assert row["churn_total_s"] > 0
         assert row["churn_per_step_ms"] < 50, "churn step should be sub-50ms even on CI"
+        # batch-parallel engine: wall-clock guard (generous for CI) and
+        # sanity of the recorded comparison metrics
+        assert 0 < row["batch_churn_per_node_ms"] < 5, (
+            f"batch healing at n={n} took {row['batch_churn_per_node_ms']}ms "
+            "per node -- the wave engine regressed"
+        )
+        assert row["seq_churn_per_node_ms"] > 0
+        assert row["csr_patch_ms"] > 0 and row["csr_rebuild_ms"] > 0
 
     if _RECORDED.exists():
         recorded = json.loads(_RECORDED.read_text())

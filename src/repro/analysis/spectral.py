@@ -93,6 +93,16 @@ class SpectralTracker:
         """``1 - lambda_G`` for the graph whose rows follow ``order``."""
         return 1.0 - self.second_eigenvalue(order, adjacency)
 
+    def measure(self, graph) -> float:
+        """``1 - lambda_G`` of a live :class:`DynamicMultigraph`.
+
+        Pulls the graph's *incrementally patched* CSR (churn between
+        samples only re-emits the dirty rows) and warm-starts Lanczos
+        from the previous call's eigenvector -- the fast path for the
+        repeated gap measurements of the experiment runner."""
+        order, adjacency = graph.to_sparse_adjacency()
+        return self.gap(order, adjacency)
+
     def second_eigenvalue(
         self, order: list[int], adjacency: sp.spmatrix | np.ndarray
     ) -> float:

@@ -39,6 +39,12 @@ class DexConfig:
     stagger_chunk: int | None = None  # old vertices processed per step; default ceil(1/theta)
     min_network_size: int = 3
     validate_every_step: bool = False
+    #: batched churn validates the adversary's batch up front (attach
+    #: fan-out, surviving neighbors, remainder connectivity).  Single
+    #: steps perform no such model check, so perf comparisons of the
+    #: *healing* engines disable it; leave on whenever the batch source
+    #: is untrusted.
+    validate_batches: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -19,7 +19,7 @@ True
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.analysis.spectral import SpectralTracker
 from repro.core import invariants
@@ -134,10 +134,11 @@ class DexNetwork:
         return max(self.graph.connection_count(u) for u in self.graph.nodes())
 
     def spectral_gap(self) -> float:
-        """Measured ``1 - lambda(G_t)`` of the live multigraph (warm-started
-        across calls: the tracker reuses the previous Lanczos eigenvector)."""
-        order, adjacency = self.graph.to_sparse_adjacency()
-        return self._spectral.gap(order, adjacency)
+        """Measured ``1 - lambda(G_t)`` of the live multigraph.  Repeated
+        calls are incremental end to end: the graph patches its cached
+        CSR from the dirty set and the tracker warm-starts Lanczos from
+        the previous second eigenvector."""
+        return self._spectral.measure(self.graph)
 
     def spare_count(self) -> int:
         return self.overlay.old.spare_count()
@@ -201,6 +202,22 @@ class DexNetwork:
         return self._finish_step(
             StepKind.DELETE, node_id, adopter, recovery, ledger, topo_before
         )
+
+    def insert_batch(
+        self, attachments: "Sequence[tuple[NodeId, NodeId]]"
+    ) -> StepReport:
+        """Batched insertion step (Section 5); see
+        :func:`repro.core.multi.insert_batch`."""
+        from repro.core.multi import insert_batch
+
+        return insert_batch(self, attachments)
+
+    def delete_batch(self, nodes: "Sequence[NodeId]") -> StepReport:
+        """Batched deletion step (Section 5); see
+        :func:`repro.core.multi.delete_batch`."""
+        from repro.core.multi import delete_batch
+
+        return delete_batch(self, nodes)
 
     # ------------------------------------------------------------------
     # step plumbing

@@ -82,8 +82,10 @@ def check_mapping_sets(overlay: Overlay) -> None:
 
 def check_cached_aggregates(overlay: Overlay) -> None:
     """The incremental caches (degrees, node array, edge units, neighbor
-    CDFs, intermediate endpoints) match a from-scratch recomputation."""
+    CDFs, sparse adjacency, intermediate endpoints) match a from-scratch
+    recomputation."""
     overlay.graph.verify_caches()
+    overlay.graph.verify_sparse_cache()
     overlay.verify_intermediate_cache()
 
 

@@ -118,22 +118,25 @@ class LayerMapping:
     # mutations (bookkeeping only; overlay drives the edges)
     # ------------------------------------------------------------------
     def _sets_after_change(self, u: NodeId) -> None:
-        load = self.load(u)
+        vertices = self.sim.get(u)
+        load = len(vertices) if vertices else 0
+        spare = self.spare
+        low = self.low
         spare_delta = 0
         low_delta = 0
         if load >= 2:
-            if u not in self.spare:
-                self.spare.add(u)
+            if u not in spare:
+                spare.add(u)
                 spare_delta = 1
-        elif u in self.spare:
-            self.spare.discard(u)
+        elif u in spare:
+            spare.remove(u)
             spare_delta = -1
         if 1 <= load <= self.low_threshold:
-            if u not in self.low:
-                self.low.add(u)
+            if u not in low:
+                low.add(u)
                 low_delta = 1
-        elif u in self.low:
-            self.low.discard(u)
+        elif u in low:
+            low.remove(u)
             low_delta = -1
         if (spare_delta or low_delta) and self.on_counts_delta is not None:
             self.on_counts_delta(u, spare_delta, low_delta)
@@ -155,6 +158,23 @@ class LayerMapping:
             del self.sim[u]
         self._sets_after_change(u)
         return u
+
+    def reassign_all(self, u: NodeId, new_host: NodeId) -> list[Vertex]:
+        """Move *every* vertex hosted at ``u`` to ``new_host`` in one
+        sweep (the batch engine's bulk adoption).  Returns the moved
+        vertices in ascending order; Spare/Low transitions fire once per
+        node instead of once per vertex."""
+        if u == new_host:
+            return []
+        vertices = self.sim.pop(u, None)
+        if not vertices:
+            return []
+        for z in vertices:
+            self.host[z] = new_host
+        self.sim.setdefault(new_host, set()).update(vertices)
+        self._sets_after_change(u)
+        self._sets_after_change(new_host)
+        return sorted(vertices)
 
     def reassign(self, z: Vertex, new_host: NodeId) -> NodeId:
         """Move ``z``; returns the previous host."""

@@ -1,4 +1,5 @@
-"""Batched churn (Section 5, Corollary 2).
+"""Batched churn (Section 5, Corollary 2): the batch-parallel healing
+engine.
 
 The adversary may insert or delete up to ``eps * n`` nodes per step,
 subject to the model's restrictions:
@@ -9,12 +10,26 @@ subject to the model's restrictions:
 * deletions must leave the remainder graph connected and every deleted
   node must retain at least one surviving neighbor.
 
-Large batches may deplete Spare (resp. Low) within O(1) steps, so the
-batch handler uses the *simplified* type-2 procedures when thresholds
-break (the corollary's bounds -- O(n log^2 n) messages and O(log^3 n)
-rounds per batch step w.h.p. -- come from these procedures; parallel
-token-level scheduling inside a batch is accounted as the max over the
-batch for rounds and the sum for messages).
+Healing is *batch-parallel*: every pending recovery generates a token
+(the :mod:`repro.core.type1` generation/resolution split) and the whole
+wave is scheduled through :func:`~repro.net.walks.run_wave` (the
+specialized fast path of :func:`~repro.net.walks.scheduled_walks`)
+under the Lemma 11 one-token-per-edge-per-round rule.  Rounds are charged as the
+scheduler's *actual* round count (and messages as the total hops), not a
+post-hoc max over sequential recoveries.  Tokens whose landing node was
+drained by an earlier resolution of the same wave simply retry in the
+next congestion-synchronous round.
+
+Large batches may deplete Spare (resp. Low) within O(1) steps, so after
+a wave with failures the engine makes *one* type-2 decision for the
+whole round: in ``simplified`` mode a single ``computeSpare`` /
+``computeLow`` flood (every node of the batch learns the counts from the
+same flood) followed, below the Fact 2 threshold, by one simplified
+inflation that heals every still-pending insertion in the same rebuild;
+in ``staggered`` mode one coordinator query, after which still-pending
+recoveries ride the staggered machinery exactly as single-step churn
+does.  The corollary's bounds -- O(n log^2 n) messages and O(log^3 n)
+rounds per batch step w.h.p. -- come from these procedures.
 """
 
 from __future__ import annotations
@@ -22,9 +37,17 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.events import StepReport
-from repro.errors import AdversaryError
+from repro.core.type1 import (
+    adopt_deleted,
+    insertion_recovery,
+    low_depleted,
+    spare_depleted,
+    walk_budget,
+)
+from repro.errors import AdversaryError, RecoveryError
 from repro.net.metrics import CostLedger
-from repro.types import NodeId, RecoveryType, StepKind
+from repro.net.walks import run_wave
+from repro.types import Layer, NodeId, RecoveryType, StepKind, Vertex
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.dex import DexNetwork
@@ -32,12 +55,14 @@ if TYPE_CHECKING:  # pragma: no cover
 MAX_ATTACH_PER_NODE = 4
 
 
-def insert_batch(
+# ----------------------------------------------------------------------
+# insertion batches
+# ----------------------------------------------------------------------
+def _validate_insert_batch(
     dex: "DexNetwork", attachments: Sequence[tuple[NodeId, NodeId]]
-) -> StepReport:
-    """Insert a batch of ``(new_id, attach_to)`` pairs in one step."""
-    from repro.core.type1 import insertion_recovery
-
+) -> None:
+    """Reject a malformed batch *before* any mutation, so a bad entry
+    mid-batch can never leave earlier insertions applied."""
     if not attachments:
         raise AdversaryError("empty insertion batch")
     if len(attachments) > max(1, dex.size):
@@ -45,6 +70,7 @@ def insert_batch(
             f"batch of {len(attachments)} exceeds eps*n for n={dex.size}"
         )
     per_host: dict[NodeId, int] = {}
+    seen_new: set[NodeId] = set()
     for new_id, attach in attachments:
         per_host[attach] = per_host.get(attach, 0) + 1
         if per_host[attach] > MAX_ATTACH_PER_NODE:
@@ -52,43 +78,134 @@ def insert_batch(
                 f"more than {MAX_ATTACH_PER_NODE} insertions attached to "
                 f"node {attach} in one batch"
             )
+        if new_id in seen_new:
+            raise AdversaryError(f"node id {new_id} repeated in the batch")
+        seen_new.add(new_id)
         if dex.graph.has_node(new_id):
             raise AdversaryError(f"node id {new_id} already exists")
+        if not dex.graph.has_node(attach):
+            raise AdversaryError(f"attach point {attach} does not exist")
+
+
+def insert_batch(
+    dex: "DexNetwork", attachments: Sequence[tuple[NodeId, NodeId]]
+) -> StepReport:
+    """Insert a batch of ``(new_id, attach_to)`` pairs in one step,
+    healing the whole batch in congestion-synchronous token waves."""
+    _validate_insert_batch(dex, attachments)
 
     ledger = CostLedger()
     topo_before = dex.graph.topology_changes
-    max_rounds = 0
-    total_messages = 0
+    recovery = RecoveryType.TYPE1
+
+    # Structural phase: all new nodes join with their adversarial
+    # attachment edge at once (Section 5's batch step).
     for new_id, attach in attachments:
-        if not dex.graph.has_node(attach):
-            raise AdversaryError(f"attach point {attach} does not exist")
-        sub = CostLedger()
         dex._next_id = max(dex._next_id, new_id + 1)
         dex.graph.add_node(new_id)
         dex.graph.add_edge(new_id, attach)
-        insertion_recovery(dex, new_id, attach, sub)
+
+    pending: list[tuple[NodeId, NodeId]] = list(attachments)
+    if dex.staggered is None:
+        pending, recovery = _heal_insertions_in_waves(
+            dex, pending, ledger, recovery
+        )
+    # A staggered op in flight (from the start, or triggered by a failed
+    # wave): the remaining insertions ride it one by one, exactly like
+    # single-step churn (Section 4.4.1).
+    for u, v in pending:
+        insertion_recovery(dex, u, v, ledger)
+        recovery = RecoveryType.TYPE1_DURING_STAGGER
+
+    # Algorithm 4.2 line 3: drop the adversary's attachments unless a
+    # virtual edge requires the connection (reference counting makes
+    # this exactly "remove one multiplicity unit").
+    for new_id, attach in attachments:
         dex.graph.remove_edge(new_id, attach, 1)
-        max_rounds = max(max_rounds, sub.rounds)
-        total_messages += sub.messages
-        ledger.walks += sub.walks
-        ledger.retries += sub.retries
-        ledger.floods += sub.floods
-    ledger.rounds += max_rounds  # token-parallel healing within the batch
-    ledger.messages += total_messages
     return dex._finish_step(
         StepKind.BATCH,
         attachments[0][0],
         attachments[0][1],
-        RecoveryType.TYPE1,
+        recovery,
         ledger,
         topo_before,
     )
 
 
+def _heal_insertions_in_waves(
+    dex: "DexNetwork",
+    pending: list[tuple[NodeId, NodeId]],
+    ledger: CostLedger,
+    recovery: RecoveryType,
+) -> tuple[list[tuple[NodeId, NodeId]], RecoveryType]:
+    """Token waves under Lemma 11 until every insertion found a Spare
+    donor, a type-2 inflation healed the leftovers, or a staggered op
+    took over (the caller finishes those sequentially)."""
+    from repro.core import type2_simplified
+
+    overlay = dex.overlay
+    for wave in range(dex.config.max_type1_retries + 1):
+        if not pending or dex.staggered is not None:
+            break
+        length = walk_budget(dex, wave)
+        old = overlay.old
+        ends, founds, hops, rounds = run_wave(
+            dex.graph,
+            [v for _u, v in pending],
+            length,
+            old.spare,
+            dex.rng,
+            excluded=[u for u, _v in pending],
+        )
+        ledger.charge_walk_wave(walks=len(pending), hops=hops, rounds=rounds)
+        still: list[tuple[NodeId, NodeId]] = []
+        spare = old.spare
+        pick = old.pick_transferable
+        move = overlay.move
+        rng = dex.rng
+        for i, (u, v) in enumerate(pending):
+            w = ends[i]
+            # Re-check Spare membership: an earlier resolution of the
+            # same wave may have drained w (same semantics as
+            # resolve_insertion, inlined for the hot path).
+            if founds[i] and w in spare:
+                move(Layer.OLD, pick(w, rng), u)
+                continue
+            still.append((u, v))
+        pending = still
+        if not pending:
+            break
+        # One type-2 decision per round for the whole batch.
+        origin = pending[0][1]
+        if dex.config.type2_mode == "simplified":
+            if spare_depleted(dex, origin, ledger):
+                type2_simplified.simplified_inflate(
+                    dex, ledger, pending=pending
+                )
+                return [], RecoveryType.TYPE2_INFLATE
+            ledger.retries += len(pending)
+        else:
+            dex.coordinator.charge_update(origin, ledger)
+            if dex.coordinator.wants_inflate():
+                dex.start_staggered_inflate(ledger)
+                return pending, recovery
+            ledger.retries += len(pending)
+    if pending and dex.staggered is None:
+        raise RecoveryError(
+            f"{len(pending)} batched insertions not healed within "
+            f"{dex.config.max_type1_retries} token waves"
+        )
+    return pending, recovery
+
+
+# ----------------------------------------------------------------------
+# deletion batches
+# ----------------------------------------------------------------------
 def delete_batch(dex: "DexNetwork", nodes: Sequence[NodeId]) -> StepReport:
     """Delete a batch of nodes in one step, enforcing the connectivity
-    conditions of Corollary 2."""
-    from repro.core.type1 import deletion_recovery
+    conditions of Corollary 2, then redistribute every adopted vertex in
+    congestion-synchronous token waves."""
+    from repro.core import type2_simplified
 
     victims = list(dict.fromkeys(nodes))
     if not victims:
@@ -96,6 +213,7 @@ def delete_batch(dex: "DexNetwork", nodes: Sequence[NodeId]) -> StepReport:
     if dex.size - len(victims) < dex.config.min_network_size:
         raise AdversaryError("batch would shrink the network below minimum size")
     victim_set = set(victims)
+    adopter: dict[NodeId, NodeId] = {}
     for u in victims:
         if not dex.graph.has_node(u):
             raise AdversaryError(f"node {u} does not exist")
@@ -107,43 +225,117 @@ def delete_batch(dex: "DexNetwork", nodes: Sequence[NodeId]) -> StepReport:
                 f"deleted node {u} would have no surviving neighbor "
                 "(violates the Section 5 deletion condition)"
             )
-    if not _remainder_connected(dex, victim_set):
+        # The smallest surviving neighbor adopts (edges toward survivors
+        # only appear during the structural sweep, so the choice made at
+        # validation time stays live).
+        adopter[u] = min(survivors)
+    if dex.config.validate_batches and not _remainder_connected(dex, victim_set):
         raise AdversaryError("batch deletion would disconnect the network")
 
     ledger = CostLedger()
     topo_before = dex.graph.topology_changes
-    max_rounds = 0
-    total_messages = 0
+    recovery = RecoveryType.TYPE1
+
+    # Structural phase: each victim's vertices move to its smallest
+    # *surviving* neighbor (adoption never targets a later victim, so
+    # vertices move exactly once).  Outside a staggered op the adoption
+    # is the bulk contraction primitive -- O(connections + load) per
+    # victim instead of per-vertex edge rewiring; during one, the
+    # adopted load is redistributed immediately through the staggered
+    # machinery, mirroring single-step deletions.
+    pending: list[tuple[Vertex, NodeId]] = []
+    coord = dex.coordinator.node
     for u in victims:
-        sub = CostLedger()
-        deletion_recovery(dex, u, sub)
-        max_rounds = max(max_rounds, sub.rounds)
-        total_messages += sub.messages
-        ledger.walks += sub.walks
-        ledger.retries += sub.retries
-        ledger.floods += sub.floods
-    ledger.rounds += max_rounds
-    ledger.messages += total_messages
+        v = adopter[u]
+        if dex.staggered is None:
+            old_vertices = dex.overlay.adopt_node(u, v)
+            if u == coord:
+                # O(1) takeover by the new host of vertex 0 (Alg. 4.7).
+                coord = dex.coordinator.node
+                ledger.messages += dex.graph.connection_count(coord) + 1
+                ledger.rounds += 1
+            pending.extend((z, v) for z in old_vertices)
+        else:
+            _, old_vertices, new_vertices = adopt_deleted(
+                dex, u, ledger, adopter=v
+            )
+            dex.staggered.redistribute_after_deletion(
+                v, old_vertices, new_vertices, ledger
+            )
+            recovery = RecoveryType.TYPE1_DURING_STAGGER
+            coord = dex.coordinator.node  # vertex 0 may have rehomed
+
+    overlay = dex.overlay
+    for wave in range(dex.config.max_type1_retries + 1):
+        if not pending or dex.staggered is not None:
+            break
+        length = walk_budget(dex, wave)
+        low = overlay.old.low
+        ends, founds, hops, rounds = run_wave(
+            dex.graph,
+            [v for _z, v in pending],
+            length,
+            low,
+            dex.rng,
+        )
+        ledger.charge_walk_wave(walks=len(pending), hops=hops, rounds=rounds)
+        still: list[tuple[Vertex, NodeId]] = []
+        move = overlay.move
+        for i, (z, v) in enumerate(pending):
+            # Re-check Low membership (a previous token of this wave may
+            # have filled the landing node) -- resolve_redistribution,
+            # inlined for the hot path.
+            if founds[i] and ends[i] in low:
+                move(Layer.OLD, z, ends[i])
+                continue
+            still.append((z, v))
+        pending = still
+        if not pending:
+            break
+        origin = pending[0][1]
+        if dex.config.type2_mode == "simplified":
+            if low_depleted(dex, origin, ledger):
+                # The deflation rebuilds the whole cycle; the adopted
+                # old-layer vertices cease to exist with it.
+                type2_simplified.simplified_deflate(dex, ledger)
+                pending = []
+                recovery = RecoveryType.TYPE2_DEFLATE
+                break
+            ledger.retries += len(pending)
+        else:
+            dex.coordinator.charge_update(origin, ledger)
+            if dex.coordinator.wants_deflate() and dex.can_deflate():
+                dex.start_staggered_deflate(ledger)
+                break
+            ledger.retries += len(pending)
+
+    if pending and dex.staggered is not None:
+        # A deflate started mid-heal: hand each adopter's leftovers to
+        # the staggered machinery (Lemma 9a bounds keep loads legal).
+        by_adopter: dict[NodeId, list[Vertex]] = {}
+        for z, v in pending:
+            by_adopter.setdefault(v, []).append(z)
+        for v, leftovers in by_adopter.items():
+            dex.staggered.redistribute_after_deletion(v, leftovers, [], ledger)
+        pending = []
+        recovery = RecoveryType.TYPE1_DURING_STAGGER
+    if pending:
+        raise RecoveryError(
+            f"{len(pending)} adopted vertices not redistributed within "
+            f"{dex.config.max_type1_retries} token waves"
+        )
     return dex._finish_step(
         StepKind.BATCH,
         victims[0],
         dex.coordinator.node,
-        RecoveryType.TYPE1,
+        recovery,
         ledger,
         topo_before,
     )
 
 
 def _remainder_connected(dex: "DexNetwork", victims: set[NodeId]) -> bool:
-    survivors = [u for u in dex.graph.nodes() if u not in victims]
-    if not survivors:
-        return False
-    seen = {survivors[0]}
-    stack = [survivors[0]]
-    while stack:
-        u = stack.pop()
-        for w in dex.graph.distinct_neighbors(u):
-            if w not in victims and w not in seen:
-                seen.add(w)
-                stack.append(w)
-    return len(seen) == len(survivors)
+    """Survivor-subgraph connectivity on the incrementally patched CSR
+    (vectorized frontier BFS), replacing the former pure-Python BFS that
+    dominated batch validation at large n."""
+    return dex.graph.survivors_connected(victims)

@@ -153,7 +153,14 @@ class Overlay:
 
     def move(self, which: Layer, z: Vertex, new_node: NodeId) -> NodeId:
         """Transfer ``z`` (and its edges, and any intermediate edges
-        riding on it) to ``new_node``; returns the previous host."""
+        riding on it) to ``new_node``; returns the previous host.
+
+        Outside a staggered operation (single layer, so no intermediate
+        edges can ride on ``z``) the transfer takes the combined
+        endpoint-move fast path of the topology -- the healing hot path
+        resolves one move per recovered vertex."""
+        if which is Layer.OLD and self.new is None:
+            return self._move_primary_fast(z, new_node)
         lm = self.layer(which)
         old_node = lm.host_of(z)
         if old_node == new_node:
@@ -191,6 +198,51 @@ class Overlay:
             self._inter_endpoints[new_node] += moved
         lm.reassign(z, new_node)
         return old_node
+
+    def _move_primary_fast(self, z: Vertex, new_node: NodeId) -> NodeId:
+        """Single-layer vertex transfer through the topology's combined
+        endpoint moves (no new layer => no intermediate edges to carry)."""
+        lm = self.old
+        host = lm.host
+        old_node = lm.host_of(z)
+        if old_node == new_node:
+            return old_node
+        graph = self.graph
+        for nb in lm.pcycle.neighbor_multiset(z):
+            if nb == z:
+                graph.move_loop_unit(old_node, new_node)
+            else:
+                h = host.get(nb)
+                if h is not None:
+                    graph.move_pair_endpoint(old_node, new_node, h)
+        # inline of lm.reassign (old_node already resolved above)
+        host[z] = new_node
+        sim = lm.sim
+        vertices = sim[old_node]
+        vertices.discard(z)
+        if not vertices:
+            del sim[old_node]
+        target = sim.get(new_node)
+        if target is None:
+            sim[new_node] = {z}
+        else:
+            target.add(z)
+        lm._sets_after_change(old_node)
+        lm._sets_after_change(new_node)
+        return old_node
+
+    def adopt_node(self, u: NodeId, v: NodeId) -> list[Vertex]:
+        """Bulk adoption for the batch engine: every primary-layer vertex
+        of ``u`` rehomes at ``v`` and ``u``'s real edges contract into
+        ``v`` in one O(connections + load) sweep -- the final state is
+        identical to moving the vertices one at a time and then removing
+        ``u``.  Only valid outside a staggered operation (single layer,
+        no intermediate edges)."""
+        if self.new is not None:
+            raise MappingError("bulk adoption requires a single live layer")
+        moved = self.old.reassign_all(u, v)
+        self.graph.contract_into(u, v)
+        return moved
 
     # ------------------------------------------------------------------
     # intermediate edges (staggered type-2 only)

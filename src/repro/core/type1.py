@@ -8,10 +8,22 @@ onto Low nodes.  Redistribution walks run sequentially with live load
 updates, which is what makes Lemma 3(a)'s 4*zeta bound hold exactly
 (DESIGN.md substitution 4).
 
+The module is split into token *generation* (:func:`insertion_token` /
+:func:`redistribution_token` build :class:`~repro.net.walks.TokenSpec`
+describing the recovery walk) and token *resolution*
+(:func:`resolve_insertion` / :func:`resolve_redistribution` apply the
+vertex transfer after re-checking the target still qualifies).  The
+sequential recoveries below chain the two through :func:`random_walk`;
+the batch engine of :mod:`repro.core.multi` schedules a whole batch's
+tokens through :func:`~repro.net.walks.run_wave` under the Lemma 11
+congestion rule and resolves each wave in order, so both paths share
+the exact same transfer semantics.
+
 On walk failure the algorithm decides between retrying and type-2
 recovery: in ``simplified`` mode by flooding ``computeSpare`` /
-``computeLow`` (Fact 2 thresholds), in ``staggered`` mode by asking the
-coordinator (Algorithm 4.7), whose counters trigger at ``3*theta*n``.
+``computeLow`` (Fact 2 thresholds, :func:`spare_depleted` /
+:func:`low_depleted`), in ``staggered`` mode by asking the coordinator
+(Algorithm 4.7), whose counters trigger at ``3*theta*n``.
 """
 
 from __future__ import annotations
@@ -21,11 +33,24 @@ from typing import TYPE_CHECKING, Callable
 from repro.core.aggregation import compute_low, compute_spare
 from repro.errors import RecoveryError
 from repro.net.metrics import CostLedger
-from repro.net.walks import random_walk
+from repro.net.walks import TokenSpec, random_walk
 from repro.types import Layer, NodeId, RecoveryType, Vertex
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.dex import DexNetwork
+
+
+def walk_budget(dex: "DexNetwork", attempt: int = 0) -> int:
+    """Walk length for the given retry attempt.
+
+    Lemma 2 says a ``c * log n`` walk succeeds w.h.p. whenever the target
+    set holds a theta fraction -- with a large analysis constant ``c``.
+    We run with a practical constant and instead *double* the walk budget
+    every few failed attempts (capped at 8x, still O(log n)), which
+    recovers the lemma's success probability without paying the long walk
+    on the common path."""
+    boost = min(8, 1 << (attempt // 4))
+    return boost * dex.config.walk_length(dex.size)
 
 
 def walk_for(
@@ -36,21 +61,95 @@ def walk_for(
     exclude: frozenset[NodeId] = frozenset(),
     attempt: int = 0,
 ) -> NodeId | None:
-    """One token walk; returns the found node or None.
-
-    Lemma 2 says a ``c * log n`` walk succeeds w.h.p. whenever the target
-    set holds a theta fraction -- with a large analysis constant ``c``.
-    We run with a practical constant and instead *double* the walk budget
-    every few failed attempts (capped at 8x, still O(log n)), which
-    recovers the lemma's success probability without paying the long walk
-    on the common path."""
-    boost = min(8, 1 << (attempt // 4))
-    length = boost * dex.config.walk_length(dex.size)
+    """One sequential token walk; returns the found node or None."""
     result = random_walk(
-        dex.graph, start, length, dex.rng, stop=predicate, excluded=exclude
+        dex.graph,
+        start,
+        walk_budget(dex, attempt),
+        dex.rng,
+        stop=predicate,
+        excluded=exclude,
     )
     ledger.charge_walk(result.hops)
     return result.end if result.found else None
+
+
+# ----------------------------------------------------------------------
+# token generation (the batch engine schedules these through Lemma 11)
+# ----------------------------------------------------------------------
+def insertion_token(
+    dex: "DexNetwork", u: NodeId, v: NodeId, attempt: int = 0
+) -> TokenSpec:
+    """The Algorithm 4.2 token: from the attach point ``v``, seek a node
+    in Spare, never stepping onto the fresh node ``u``."""
+    return TokenSpec(
+        start=v,
+        length=walk_budget(dex, attempt),
+        stop=dex.overlay.old.in_spare,
+        excluded=frozenset((u,)),
+    )
+
+
+def resolve_insertion(dex: "DexNetwork", u: NodeId, w: NodeId) -> bool:
+    """Resolve an insertion token that landed on ``w``: if ``w`` is
+    (still) in Spare it donates one transferable vertex to ``u``.
+    Returns False when a concurrently resolved token already drained
+    ``w`` below the Spare threshold -- the caller retries next round.
+
+    NOTE: ``multi._heal_insertions_in_waves`` inlines this body on its
+    hot path; any semantic change here must be mirrored there (the
+    batch-vs-sequential equivalence tests guard the invariants, not the
+    duplication)."""
+    old = dex.overlay.old
+    if not old.in_spare(w):
+        return False
+    z = old.pick_transferable(w, dex.rng)
+    dex.overlay.move(Layer.OLD, z, u)
+    return True
+
+
+def redistribution_token(
+    dex: "DexNetwork", v: NodeId, attempt: int = 0
+) -> TokenSpec:
+    """The Algorithm 4.3 token: from the adopter ``v``, seek a Low node
+    willing to take one of the deleted node's vertices."""
+    return TokenSpec(
+        start=v,
+        length=walk_budget(dex, attempt),
+        stop=dex.overlay.old.in_low,
+    )
+
+
+def resolve_redistribution(
+    dex: "DexNetwork", z: Vertex, w: NodeId
+) -> bool:
+    """Resolve a redistribution token for vertex ``z`` landing on ``w``:
+    re-check ``w`` is still Low (a previous token of the same wave may
+    have filled it) and move ``z`` there.
+
+    NOTE: ``multi.delete_batch`` inlines this body on its hot path; any
+    semantic change here must be mirrored there."""
+    if not dex.overlay.old.in_low(w):
+        return False
+    dex.overlay.move(Layer.OLD, z, w)
+    return True
+
+
+# ----------------------------------------------------------------------
+# type-2 threshold decisions (Fact 2, shared with the batch engine)
+# ----------------------------------------------------------------------
+def spare_depleted(dex: "DexNetwork", origin: NodeId, ledger: CostLedger) -> bool:
+    """Flood ``computeSpare`` from ``origin``; True when |Spare| fell
+    below the ``theta * n`` threshold (time for type-2 inflation)."""
+    n, spare = compute_spare(dex.overlay, origin, dex.config, ledger)
+    return spare < dex.config.type1_threshold(n)
+
+
+def low_depleted(dex: "DexNetwork", origin: NodeId, ledger: CostLedger) -> bool:
+    """Flood ``computeLow`` from ``origin``; True when |Low| fell below
+    the ``theta * n`` threshold (time for type-2 deflation)."""
+    n, low = compute_low(dex.overlay, origin, dex.config, ledger)
+    return low < dex.config.type1_threshold(n)
 
 
 # ----------------------------------------------------------------------
@@ -62,23 +161,23 @@ def insertion_recovery(
     """Heal the insertion of ``u`` attached to ``v``."""
     from repro.core import type2_simplified  # local import to avoid cycle
 
-    old = dex.overlay.old
-    exclude = frozenset((u,))
     for attempt in range(dex.config.max_type1_retries + 1):
         if dex.staggered is not None:
             if dex.staggered.try_assign_inserted(u, v, ledger):
                 return RecoveryType.TYPE1_DURING_STAGGER
             ledger.retries += 1
             continue
-        w = walk_for(dex, v, old.in_spare, ledger, exclude=exclude, attempt=attempt)
-        if w is not None and old.in_spare(w):
-            z = old.pick_transferable(w, dex.rng)
-            dex.overlay.move(Layer.OLD, z, u)
+        token = insertion_token(dex, u, v, attempt)
+        result = random_walk(
+            dex.graph, token.start, token.length, dex.rng,
+            stop=token.stop, excluded=token.excluded,
+        )
+        ledger.charge_walk(result.hops)
+        if result.found and resolve_insertion(dex, u, result.end):
             return RecoveryType.TYPE1
         # Walk failed: decide between type-2 recovery and retrying.
         if dex.config.type2_mode == "simplified":
-            n, spare = compute_spare(dex.overlay, v, dex.config, ledger)
-            if spare < dex.config.type1_threshold(n):
+            if spare_depleted(dex, v, ledger):
                 type2_simplified.simplified_inflate(dex, ledger, inserted=u, attach=v)
                 return RecoveryType.TYPE2_INFLATE
             ledger.retries += 1
@@ -98,18 +197,27 @@ def insertion_recovery(
 # ----------------------------------------------------------------------
 # deletion (Algorithm 4.3)
 # ----------------------------------------------------------------------
-def deletion_recovery(
-    dex: "DexNetwork", u: NodeId, ledger: CostLedger
-) -> tuple[RecoveryType, NodeId]:
-    """Heal the deletion of ``u``: a former neighbor adopts its vertices
-    and redistributes them."""
-    from repro.core import type2_simplified
-
+def adopt_deleted(
+    dex: "DexNetwork",
+    u: NodeId,
+    ledger: CostLedger,
+    adopter: NodeId | None = None,
+) -> tuple[NodeId, list[Vertex], list[Vertex]]:
+    """Structural half of Algorithm 4.3: a surviving neighbor adopts all
+    of ``u``'s vertices (old and new layer) and ``u`` leaves the graph.
+    Returns ``(adopter, adopted old vertices, adopted new vertices)``;
+    the caller redistributes the old vertices (sequentially here, or in
+    congestion-synchronous waves in the batch engine)."""
     overlay = dex.overlay
-    neighbors = overlay.graph.distinct_neighbors(u)
-    if not neighbors:
-        raise RecoveryError(f"deleted node {u} had no neighbor to adopt its load")
-    v = min(neighbors)
+    if adopter is None:
+        neighbors = overlay.graph.distinct_neighbors(u)
+        if not neighbors:
+            raise RecoveryError(
+                f"deleted node {u} had no neighbor to adopt its load"
+            )
+        v = min(neighbors)
+    else:
+        v = adopter
 
     old_vertices = sorted(overlay.old.vertices_of(u))
     new_vertices = (
@@ -132,6 +240,18 @@ def deletion_recovery(
         # vertex 0 takes over with O(1) messages (Algorithm 4.7 line 2).
         ledger.messages += overlay.graph.connection_count(dex.coordinator.node) + 1
         ledger.rounds += 1
+    return v, old_vertices, new_vertices
+
+
+def deletion_recovery(
+    dex: "DexNetwork", u: NodeId, ledger: CostLedger
+) -> tuple[RecoveryType, NodeId]:
+    """Heal the deletion of ``u``: a former neighbor adopts its vertices
+    and redistributes them."""
+    from repro.core import type2_simplified
+
+    overlay = dex.overlay
+    v, old_vertices, new_vertices = adopt_deleted(dex, u, ledger)
 
     if dex.staggered is not None:
         dex.staggered.redistribute_after_deletion(
@@ -147,14 +267,16 @@ def deletion_recovery(
         for attempt in range(dex.config.max_type1_retries + 1):
             if dex.staggered is not None:
                 break  # a deflate started mid-redistribution
-            w = walk_for(dex, v, overlay.old.in_low, ledger, attempt=attempt)
-            if w is not None and overlay.old.in_low(w):
-                overlay.move(Layer.OLD, z, w)
+            token = redistribution_token(dex, v, attempt)
+            result = random_walk(
+                dex.graph, token.start, token.length, dex.rng, stop=token.stop
+            )
+            ledger.charge_walk(result.hops)
+            if result.found and resolve_redistribution(dex, z, result.end):
                 placed = True
                 break
             if dex.config.type2_mode == "simplified":
-                n, low = compute_low(overlay, v, dex.config, ledger)
-                if low < dex.config.type1_threshold(n):
+                if low_depleted(dex, v, ledger):
                     type2_simplified.simplified_deflate(dex, ledger)
                     return RecoveryType.TYPE2_DEFLATE, v
                 ledger.retries += 1

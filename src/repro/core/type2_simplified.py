@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import RecoveryError
 from repro.net.metrics import CostLedger
@@ -160,13 +160,26 @@ def simplified_inflate(
     ledger: CostLedger,
     inserted: NodeId | None = None,
     attach: NodeId | None = None,
+    pending: "Sequence[tuple[NodeId, NodeId | None]] | None" = None,
 ) -> None:
+    """Replace the cycle with the next p-cycle (Algorithm 4.5).
+
+    ``pending`` lists freshly inserted nodes still waiting for their
+    first vertex as ``(node, attach point)`` pairs -- the batch engine
+    passes every unhealed insertion of the batch so the single inflation
+    heals them all (Section 5 applies Corollary 2's accounting to the
+    whole batch).  The legacy ``inserted``/``attach`` pair is the
+    single-step special case."""
     config = dex.config
     old = dex.overlay.old
     p_old = old.p
     p_new = inflation_prime(p_old)
     pcycle_new = PCycle(p_new)
-    origin = attach if attach is not None else dex.coordinator.node
+    pending_list: list[tuple[NodeId, NodeId | None]] = list(pending or ())
+    if inserted is not None:
+        pending_list.append((inserted, attach))
+    first_attach = next((a for _, a in pending_list if a is not None), None)
+    origin = first_attach if first_attach is not None else dex.coordinator.node
 
     # ---- Phase 1: everyone computes the same new p-cycle ----
     _charge_broadcast(dex, origin, ledger)
@@ -182,13 +195,21 @@ def simplified_inflate(
         dex, old.pcycle, _chord_packets(pcycle_new, inflation_parent, p_old, p_new), ledger
     )
 
-    # Line 6: the freshly inserted node receives one newly generated
-    # vertex from its attach point.
-    if inserted is not None:
-        donor = attach if attach is not None else dex.coordinator.node
-        donated = _take_vertex_from(hosts, donor)
-        hosts[donated] = inserted
-        ledger.charge_route(1)
+    # Line 6: each freshly inserted node receives one newly generated
+    # vertex from its attach point (or, should repeated donations drain
+    # the attach point, from the currently fullest node -- every old
+    # vertex spawned a >= 4-vertex cloud, so a donor always exists).
+    if pending_list:
+        owner_count = Counter(hosts.values())
+        for node, node_attach in pending_list:
+            donor = node_attach if node_attach is not None else dex.coordinator.node
+            if owner_count.get(donor, 0) < 2:
+                donor = max(owner_count, key=owner_count.get)
+            donated = _take_vertex_from(hosts, donor)
+            hosts[donated] = node
+            owner_count[donor] -= 1
+            owner_count[node] += 1
+            ledger.charge_route(1)
 
     # ---- Phase 2: rebalance loads above 4*zeta ----
     loads = Counter(hosts.values())

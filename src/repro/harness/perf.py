@@ -1,69 +1,105 @@
 """Perf-regression harness: hot-path timings -> ``BENCH_perf.json``.
 
-Times the four hot paths of the simulator -- bootstrap, the
-insert/delete churn step, random-walk hops, and repeated spectral-gap
-measurements -- at several network sizes, and merges the results into a
-machine-readable report so successive PRs can compare against a recorded
-baseline instead of folklore.
+Times the hot paths of the simulator -- bootstrap, the insert/delete
+churn step, random-walk hops, repeated spectral-gap measurements, the
+batch-parallel healing engine and the incremental CSR patch -- at
+several network sizes, and merges the results into a machine-readable
+report so successive PRs can compare against a recorded baseline
+instead of folklore.
 
-Report format (schema ``dex-perf/1``)::
+Report format (schema ``dex-perf/2``; ``dex-perf/1`` reports are
+upgraded in place, their recorded runs kept)::
 
     {
-      "schema": "dex-perf/1",
-      "churn_steps": 200,            # steps per churn loop
+      "schema": "dex-perf/2",
+      "churn_steps": 200,              # steps per churn loop
       "sizes": [256, 1024, 4096],
       "runs": {
-        "<label>": {                 # e.g. "before" / "after"
+        "<label>": {                   # e.g. "before" / "after" / "pr2"
           "meta": {"python": "...", "platform": "...", "created": "..."},
-          "n256": {
-            "bootstrap_s": 0.004,
-            "churn_total_s": 0.055,  # insert+delete loop, validation off
-            "churn_per_step_ms": 0.274,
-            "walk_us_per_hop": 1.9,
-            "spectral_ms_per_call": 1.2
+          "n4096": {
+            "bootstrap_s": 0.078,
+            "churn_total_s": 0.028,    # insert+delete loop, validation off
+            "churn_per_step_ms": 0.14,
+            "walk_us_per_hop": 3.1,
+            "spectral_ms_per_call": 32.3,
+            # --- batch-parallel healing engine (PR 2) ---
+            "batch_churn_per_node_ms": 0.04,   # waves, validation off
+            "batch_churn_validated_per_node_ms": 0.08,  # + batch validation
+            "seq_churn_per_node_ms": 0.13,     # same churn, one step/node
+            "batch_speedup_x": 3.2,            # seq / batch
+            # --- incremental CSR (PR 2) ---
+            "csr_patch_ms": 0.9,       # to_sparse_adjacency() under churn
+            "csr_rebuild_ms": 5.4,     # force_rebuild=True
+            "csr_speedup_x": 5.8
           },
           ...
         }
       },
-      "speedup": {"n4096": {"churn": 8.1, ...}}   # before/after ratios
+      "speedup": {"n4096": {"churn": 6.5, ...}},  # before/after ratios
+      "sweeps": {
+        "<label>": {                   # one multiprocess run per label
+          "meta": {..., "workers": 8},
+          "n100000_s11": {
+            "bootstrap_s": 2.1,
+            "batch_churn_per_node_ms": 0.05,
+            "nodes_healed": 1536,
+            "wall_s": 3.4
+          }
+        }
+      }
     }
 
-Timings use ``time.perf_counter`` around single passes (the loops are
-long enough to dominate timer noise); the churn loop runs with
-``validate_every_step=False`` -- the invariant oracle is what the *tests*
-exercise, the harness measures the production path.
+Timings use ``time.perf_counter``; batch-vs-sequential and CSR numbers
+are best-of-``repeats`` on fresh networks (the comparison is the PR's
+receipt, so it must not flake on machine noise).  Churn loops run with
+``validate_every_step=False`` and the batch engine is additionally
+timed with ``validate_batches=False``: single-node steps perform no
+batch-model validation, so that is the apples-to-apples comparison of
+the *healing engines*; the validated number is recorded alongside.
 
 CLI::
 
-    PYTHONPATH=src python -m repro.harness.perf \
+    PYTHONPATH=src python -m repro.harness.perf \\
         --label after --sizes 256 1024 4096 --steps 200 --out BENCH_perf.json
+
+    # multiprocess scaling sweep, one worker per size x seed point:
+    PYTHONPATH=src python -m repro.harness.perf --sweep \\
+        --sweep-sizes 100000 --sweep-seeds 11 13 --out BENCH_perf.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import random
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 from datetime import datetime, timezone
 from typing import Sequence
 
 from repro.core.config import DexConfig
 from repro.core.dex import DexNetwork
+from repro.errors import AdversaryError
 from repro.net.walks import random_walk
 
-SCHEMA = "dex-perf/1"
+SCHEMA = "dex-perf/2"
+_COMPATIBLE_SCHEMAS = ("dex-perf/1", "dex-perf/2")
 DEFAULT_SIZES = (256, 1024, 4096)
 DEFAULT_STEPS = 200
+DEFAULT_BATCH = 64
+DEFAULT_SWEEP_SIZES = (100_000,)
+DEFAULT_SWEEP_SEEDS = (11,)
 #: ratios are reported for these (label_before, label_after) pairs
 _SPEEDUP_PAIR = ("before", "after")
 
 
-def _build(n: int, seed: int) -> DexNetwork:
-    config = DexConfig(validate_every_step=False)
+def _build(n: int, seed: int, **overrides) -> DexNetwork:
+    config = DexConfig(validate_every_step=False, **overrides)
     return DexNetwork.bootstrap(n, config=config, seed=seed)
 
 
@@ -111,11 +147,171 @@ def bench_spectral(net: DexNetwork, repeats: int) -> float:
     return elapsed / max(repeats, 1) * 1e3
 
 
+# ----------------------------------------------------------------------
+# batch-parallel healing engine (PR 2)
+# ----------------------------------------------------------------------
+def _draw_insert_batch(
+    net: DexNetwork, batch: int, adversary: random.Random
+) -> list[tuple[int, int]]:
+    per_host: dict[int, int] = {}
+    pairs = []
+    base = net.fresh_id()
+    for i in range(batch):
+        host = net.sample_node(adversary)
+        while per_host.get(host, 0) >= 4:
+            host = net.sample_node(adversary)
+        per_host[host] = per_host.get(host, 0) + 1
+        pairs.append((base + i, host))
+    return pairs
+
+
+def _draw_victims(
+    net: DexNetwork, batch: int, adversary: random.Random
+) -> list[int]:
+    victims: set[int] = set()
+    while len(victims) < batch:
+        victims.add(net.sample_node(adversary))
+    return list(victims)
+
+
+def run_batch_churn(
+    net: DexNetwork, batch: int, rounds: int, adversary: random.Random
+) -> tuple[int, float]:
+    """Drive ``rounds`` of insert-batch + delete-batch churn; returns
+    ``(healed nodes, engine seconds)``.  Only the ``insert_batch`` /
+    ``delete_batch`` calls are on the clock -- the adversary's schedule
+    generation is workload, not healing (the sequential benchmark gets
+    the same treatment)."""
+    healed = 0
+    engine = 0.0
+    for _ in range(rounds):
+        pairs = _draw_insert_batch(net, batch, adversary)
+        t0 = time.perf_counter()
+        net.insert_batch(pairs)
+        engine += time.perf_counter() - t0
+        healed += batch
+        for _attempt in range(8):
+            victims = _draw_victims(net, batch, adversary)
+            try:
+                t0 = time.perf_counter()
+                net.delete_batch(victims)
+                engine += time.perf_counter() - t0
+            except AdversaryError:
+                engine += time.perf_counter() - t0
+                continue  # the set would disconnect the remainder; redraw
+            healed += batch
+            break
+    return healed, engine
+
+
+def _time_batch_churn(
+    n: int, batch: int, rounds: int, seed: int, validate: bool
+) -> float:
+    net = _build(n, seed, validate_batches=validate)
+    adversary = random.Random(seed + 1)
+    # One warmup round absorbs lazy imports and per-prime caches (the
+    # p-cycle routing tree) that would otherwise bill one-time costs to
+    # the engine.
+    run_batch_churn(net, batch, 1, adversary)
+    healed, engine = run_batch_churn(net, batch, rounds, adversary)
+    return engine / max(healed, 1) * 1e3
+
+
+def bench_batch_vs_seq(
+    n: int,
+    batch: int = DEFAULT_BATCH,
+    rounds: int = 8,
+    seed: int = 11,
+    repeats: int = 3,
+) -> dict[str, float]:
+    """Per-healed-node cost of the batch-parallel engine vs. the same
+    churn applied one step per node, best-of-``repeats`` on fresh
+    networks each (the ≥3x acceptance number of the PR 2 engine)."""
+    steps = rounds * 2 * batch
+
+    def seq_once() -> float:
+        net = _build(n, seed)
+        adversary = random.Random(seed + 1)
+        for _ in range(16):  # warmup, mirroring the batch measurement
+            net.insert(attach_to=net.sample_node(adversary))
+            net.delete(net.sample_node(adversary))
+        engine = 0.0
+        for i in range(steps):
+            if i % 2 == 0:
+                attach = net.sample_node(adversary)  # workload, untimed
+                t0 = time.perf_counter()
+                net.insert(attach_to=attach)
+            else:
+                victim = net.sample_node(adversary)
+                t0 = time.perf_counter()
+                net.delete(victim)
+            engine += time.perf_counter() - t0
+        return engine / steps * 1e3
+
+    seq = min(seq_once() for _ in range(repeats))
+    batched = min(
+        _time_batch_churn(n, batch, rounds, seed, validate=False)
+        for _ in range(repeats)
+    )
+    validated = min(
+        _time_batch_churn(n, batch, rounds, seed, validate=True)
+        for _ in range(repeats)
+    )
+    return {
+        "batch_churn_per_node_ms": round(batched, 6),
+        "batch_churn_validated_per_node_ms": round(validated, 6),
+        "seq_churn_per_node_ms": round(seq, 6),
+        "batch_speedup_x": round(seq / batched, 2) if batched else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# incremental CSR (PR 2)
+# ----------------------------------------------------------------------
+def bench_csr(
+    n: int, seed: int = 11, reps: int = 20, repeats: int = 3
+) -> dict[str, float]:
+    """Incremental ``to_sparse_adjacency`` patch vs. from-scratch
+    rebuild under light churn (the repeated spectral-sampling access
+    pattern), best-of-``repeats``."""
+
+    def once() -> tuple[float, float]:
+        net = _build(n, seed)
+        net.graph.to_sparse_adjacency()  # warm the cache
+        patch = rebuild = 0.0
+        for _ in range(reps):
+            net.insert()
+            net.delete(net.random_node())
+            t0 = time.perf_counter()
+            net.graph.to_sparse_adjacency()
+            patch += time.perf_counter() - t0
+        for _ in range(reps):
+            net.insert()
+            net.delete(net.random_node())
+            t0 = time.perf_counter()
+            net.graph.to_sparse_adjacency(force_rebuild=True)
+            rebuild += time.perf_counter() - t0
+        return patch / reps * 1e3, rebuild / reps * 1e3
+
+    samples = [once() for _ in range(repeats)]
+    patch_ms = min(s[0] for s in samples)
+    rebuild_ms = min(s[1] for s in samples)
+    return {
+        "csr_patch_ms": round(patch_ms, 6),
+        "csr_rebuild_ms": round(rebuild_ms, 6),
+        "csr_speedup_x": round(rebuild_ms / patch_ms, 2) if patch_ms else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# suite
+# ----------------------------------------------------------------------
 def run_suite(
     sizes: Sequence[int] = DEFAULT_SIZES,
     churn_steps: int = DEFAULT_STEPS,
     seed: int = 11,
     spectral_repeats: int = 5,
+    batch: int = DEFAULT_BATCH,
     progress: bool = False,
 ) -> dict:
     """Run every benchmark at every size; returns the per-size mapping."""
@@ -125,18 +321,78 @@ def run_suite(
         churn_s, net = bench_churn(n, churn_steps, seed)
         walk_us = bench_walks(net, tokens=50, length=4 * max(net.size, 2).bit_length(), seed=seed)
         spectral_ms = bench_spectral(net, spectral_repeats)
-        suite[f"n{n}"] = {
+        row: dict[str, float] = {
             "bootstrap_s": round(boot, 6),
             "churn_total_s": round(churn_s, 6),
             "churn_per_step_ms": round(churn_s / max(churn_steps, 1) * 1e3, 6),
             "walk_us_per_hop": round(walk_us, 3),
             "spectral_ms_per_call": round(spectral_ms, 3),
         }
+        row.update(bench_batch_vs_seq(n, batch=min(batch, max(1, n // 8)), seed=seed))
+        row.update(bench_csr(n, seed=seed))
+        suite[f"n{n}"] = row
         if progress:
-            print(f"  n={n}: {suite[f'n{n}']}", file=sys.stderr)
+            print(f"  n={n}: {row}", file=sys.stderr)
     return suite
 
 
+# ----------------------------------------------------------------------
+# multiprocess scaling sweep (one worker per size x seed point)
+# ----------------------------------------------------------------------
+def _sweep_point(args: tuple[int, int, int, int]) -> tuple[str, dict]:
+    """Worker body: one (size, seed) scaling point in its own process."""
+    n, seed, batch, rounds = args
+    t_start = time.perf_counter()
+    t0 = time.perf_counter()
+    net = _build(n, seed, validate_batches=False)
+    boot = time.perf_counter() - t0
+    adversary = random.Random(seed + 1)
+    healed, churn = run_batch_churn(net, batch, rounds, adversary)
+    metrics = {
+        "n": n,
+        "seed": seed,
+        "batch": batch,
+        "rounds": rounds,
+        "bootstrap_s": round(boot, 3),
+        "batch_churn_per_node_ms": round(churn / max(healed, 1) * 1e3, 6),
+        "nodes_healed": healed,
+        "wall_s": round(time.perf_counter() - t_start, 3),
+    }
+    return f"n{n}_s{seed}", metrics
+
+
+def run_sweep(
+    sizes: Sequence[int] = DEFAULT_SWEEP_SIZES,
+    seeds: Sequence[int] = DEFAULT_SWEEP_SEEDS,
+    batch: int = DEFAULT_BATCH,
+    rounds: int = 4,
+    workers: int | None = None,
+    progress: bool = False,
+) -> dict:
+    """Scaling benchmark at large n: one worker process per size x seed
+    point, so a 10^5-10^6 sweep fills the machine instead of a single
+    core.  Returns ``{point_key: metrics}``."""
+    points = [(n, seed, batch, rounds) for n in sizes for seed in seeds]
+    max_workers = workers or min(len(points), os.cpu_count() or 1)
+    results: dict[str, dict] = {}
+    if max_workers <= 1 or len(points) == 1:
+        for point in points:  # in-process: simpler traces, same numbers
+            key, metrics = _sweep_point(point)
+            results[key] = metrics
+            if progress:
+                print(f"  {key}: {metrics}", file=sys.stderr)
+        return results
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        for key, metrics in pool.map(_sweep_point, points):
+            results[key] = metrics
+            if progress:
+                print(f"  {key}: {metrics}", file=sys.stderr)
+    return results
+
+
+# ----------------------------------------------------------------------
+# report plumbing
+# ----------------------------------------------------------------------
 def _speedups(runs: dict) -> dict:
     before, after = (runs.get(label) for label in _SPEEDUP_PAIR)
     if not before or not after:
@@ -152,11 +408,21 @@ def _speedups(runs: dict) -> dict:
             ("bootstrap_s", "bootstrap"),
             ("walk_us_per_hop", "walk"),
             ("spectral_ms_per_call", "spectral"),
+            ("batch_churn_per_node_ms", "batch_churn"),
+            ("csr_patch_ms", "csr_patch"),
         ):
-            if a.get(metric):
+            if a.get(metric) and b.get(metric):
                 ratios[short] = round(b[metric] / a[metric], 2)
         out[key] = ratios
     return out
+
+
+def _meta() -> dict:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
 
 
 def load_report(path: pathlib.Path) -> dict:
@@ -171,7 +437,9 @@ def load_report(path: pathlib.Path) -> dict:
                     f"{path} exists but is not valid JSON ({exc}); "
                     "move it aside or fix it before recording a new run"
                 ) from None
-            if report.get("schema") == SCHEMA:
+            if report.get("schema") in _COMPATIBLE_SCHEMAS:
+                # dex-perf/1 upgrades in place; recorded runs are kept.
+                report["schema"] = SCHEMA
                 return report
     return {"schema": SCHEMA, "runs": {}}
 
@@ -186,11 +454,7 @@ def write_report(
     """Merge one labelled run into the report at ``path``."""
     report = load_report(path)
     suite = dict(suite)
-    suite["meta"] = {
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-    }
+    suite["meta"] = _meta()
     report["churn_steps"] = churn_steps
     report["sizes"] = list(sizes)
     report.setdefault("runs", {})[label] = suite
@@ -199,18 +463,63 @@ def write_report(
     return report
 
 
+def write_sweep(
+    path: pathlib.Path, label: str, results: dict, workers: int
+) -> dict:
+    """Merge one labelled sweep into the report at ``path``."""
+    report = load_report(path)
+    entry = dict(results)
+    entry["meta"] = {**_meta(), "workers": workers}
+    report.setdefault("sweeps", {})[label] = entry
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--label", default="after", help="run label (e.g. before/after)")
+    parser.add_argument("--label", default="after", help="run label (e.g. before/after/pr2)")
     parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
     parser.add_argument("--steps", type=int, default=DEFAULT_STEPS)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--batch", type=int, default=DEFAULT_BATCH,
+                        help="batch size for the batch-churn benchmarks")
+    parser.add_argument("--sweep", action="store_true",
+                        help="run the multiprocess large-n scaling sweep instead of the suite")
+    parser.add_argument("--sweep-sizes", type=int, nargs="+",
+                        default=list(DEFAULT_SWEEP_SIZES))
+    parser.add_argument("--sweep-seeds", type=int, nargs="+",
+                        default=list(DEFAULT_SWEEP_SEEDS))
+    parser.add_argument("--sweep-rounds", type=int, default=4,
+                        help="insert+delete batch rounds per sweep point")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="sweep worker processes (default: one per point, capped at CPUs)")
     parser.add_argument("--out", type=pathlib.Path, default=pathlib.Path("BENCH_perf.json"))
     args = parser.parse_args(argv)
 
     load_report(args.out)  # refuse a corrupt report before the long run
+
+    if args.sweep:
+        points = len(args.sweep_sizes) * len(args.sweep_seeds)
+        workers = args.workers or min(points, os.cpu_count() or 1)
+        print(
+            f"perf sweep: sizes={args.sweep_sizes} seeds={args.sweep_seeds} "
+            f"batch={args.batch} rounds={args.sweep_rounds} workers={workers} "
+            f"label={args.label!r}"
+        )
+        results = run_sweep(
+            args.sweep_sizes,
+            args.sweep_seeds,
+            batch=args.batch,
+            rounds=args.sweep_rounds,
+            workers=workers,
+            progress=True,
+        )
+        write_sweep(args.out, args.label, results, workers)
+        print(f"wrote {args.out}")
+        return 0
+
     print(f"perf suite: sizes={args.sizes} steps={args.steps} label={args.label!r}")
-    suite = run_suite(args.sizes, args.steps, args.seed, progress=True)
+    suite = run_suite(args.sizes, args.steps, args.seed, batch=args.batch, progress=True)
     report = write_report(args.out, args.label, suite, args.sizes, args.steps)
     if report.get("speedup"):
         print(f"speedup (before/after): {json.dumps(report['speedup'])}")

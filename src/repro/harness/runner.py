@@ -69,6 +69,7 @@ def run_churn(
             # reuse the previous Lanczos eigenvector.
             gap = overlay.spectral_gap()
         else:
+            # Incrementally patched CSR (dirty rows only, not O(n)).
             _, adjacency = overlay.graph.to_sparse_adjacency()
             gap = spectral_gap(adjacency)
         result.gap_samples.append((step, gap))

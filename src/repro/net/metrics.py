@@ -43,6 +43,15 @@ class CostLedger:
         self.messages += hops
         self.rounds += hops
 
+    def charge_walk_wave(self, walks: int, hops: int, rounds: int) -> None:
+        """A congestion-scheduled wave of ``walks`` simultaneous tokens
+        (Lemma 11): ``rounds`` is the scheduler's *actual* round count,
+        messages the total hops over all tokens."""
+        self.walks += walks
+        self.walk_hops += hops
+        self.messages += hops
+        self.rounds += rounds
+
     def charge_route(self, hops: int) -> None:
         """A routed message along ``hops`` real hops."""
         self.messages += hops

@@ -26,8 +26,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter, deque
-from itertools import count
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 import scipy.sparse as sp
@@ -51,6 +50,8 @@ class DynamicMultigraph:
         "_version",
         "_stamp",
         "_cdf_cache",
+        "_csr_cache",
+        "_csr_dirty",
         "node_listeners",
     )
 
@@ -68,8 +69,21 @@ class DynamicMultigraph:
         #: per-node version stamps; bumped whenever a node's incident
         #: multiplicities change, invalidating its cached neighbor CDF
         self._version: dict[NodeId, int] = {}
-        self._stamp = count()
+        #: monotone version counter (plain int: bumped on the mutation
+        #: hot path, so no iterator indirection)
+        self._stamp: int = 0
         self._cdf_cache: dict[NodeId, tuple[int, list[NodeId], list[int], int]] = {}
+        #: cached sparse adjacency: ``(order, order_arr, row-node ids,
+        #: col-node ids, multiplicities, csr matrix)``; patched from
+        #: ``_csr_dirty`` instead of rebuilt (the former O(n) rebuild
+        #: dominated repeated spectral sampling at large n)
+        self._csr_cache: (
+            tuple[list[NodeId], np.ndarray, np.ndarray, np.ndarray, np.ndarray, sp.csr_matrix]
+            | None
+        ) = None
+        #: nodes whose incident rows changed since the cached CSR was
+        #: built (includes joined and departed nodes)
+        self._csr_dirty: set[NodeId] = set()
         #: callbacks ``f(delta)`` fired on node join (+1) / leave (-1);
         #: the coordinator's size counter consumes these deltas
         self.node_listeners: list[Callable[[int], None]] = []
@@ -84,7 +98,9 @@ class DynamicMultigraph:
         self._node_pos[u] = len(self._nodes)
         self._nodes.append(u)
         self._degree[u] = 0
-        self._version[u] = next(self._stamp)
+        self._stamp += 1
+        self._version[u] = self._stamp
+        self._csr_dirty.add(u)
         self.topology_changes += 1
         for listener in self.node_listeners:
             listener(+1)
@@ -135,6 +151,7 @@ class DynamicMultigraph:
         del self._degree[u]
         del self._version[u]
         self._cdf_cache.pop(u, None)
+        self._csr_dirty.add(u)
 
     def has_node(self, u: NodeId) -> bool:
         return u in self._adj
@@ -161,7 +178,9 @@ class DynamicMultigraph:
             raise TopologyError(f"node {u} does not exist") from None
 
     def _touch(self, u: NodeId) -> None:
-        self._version[u] = next(self._stamp)
+        self._stamp += 1
+        self._version[u] = self._stamp
+        self._csr_dirty.add(u)
 
     def node_version(self, u: NodeId) -> int:
         """Monotone stamp of ``u``'s incident edge state (cache keys)."""
@@ -224,6 +243,157 @@ class DynamicMultigraph:
             self.topology_changes += 1
             self._connections -= 1
 
+    def move_loop_unit(self, old: NodeId, new: NodeId) -> None:
+        """Transfer one unit of self-loop weight from ``old`` to ``new``
+        (a virtual self-loop following its host): the combined
+        remove+add of the healing hot path in one pass over the cached
+        aggregates.  Self-loops are never connections, so only degrees
+        and version stamps change."""
+        adj = self._adj
+        ao = adj[old]
+        ao[old] -= 1
+        if ao[old] == 0:
+            dict.__delitem__(ao, old)
+        an = adj[new]
+        an[new] = an.get(new, 0) + 1
+        deg = self._degree
+        deg[old] -= 1
+        deg[new] += 1
+        version = self._version
+        dirty = self._csr_dirty
+        self._stamp += 1
+        version[old] = self._stamp
+        dirty.add(old)
+        self._stamp += 1
+        version[new] = self._stamp
+        dirty.add(new)
+
+    def move_pair_endpoint(self, old: NodeId, new: NodeId, other: NodeId) -> None:
+        """Transfer one virtual-edge endpoint from ``old`` to ``new``
+        where ``other`` hosts the far endpoint, preserving the overlay's
+        contraction conventions (an edge whose endpoints coincide is
+        self-loop weight 2).  Equivalent to the remove+add pair the
+        general path performs, in one combined update of the adjacency
+        counters and cached aggregates."""
+        adj = self._adj
+        deg = self._degree
+        dict_del = dict.__delitem__  # skip Counter's python-level override
+        touched_other = False
+        if old == other:
+            ao = adj[old]
+            ao[old] -= 2
+            if ao[old] == 0:
+                dict_del(ao, old)
+            deg[old] -= 2
+            self._edge_units -= 2
+        else:
+            ao = adj[old]
+            at = adj[other]
+            m = ao[other] - 1
+            if m == 0:
+                dict_del(ao, other)
+                dict_del(at, old)
+                self._connections -= 1
+                self.topology_changes += 1
+            else:
+                ao[other] = m
+                at[old] = m
+            deg[old] -= 1
+            deg[other] -= 1
+            self._edge_units -= 1
+            touched_other = True
+        if new == other:
+            an = adj[new]
+            an[new] = an.get(new, 0) + 2
+            deg[new] += 2
+            self._edge_units += 2
+        else:
+            an = adj[new]
+            at = adj[other]
+            prior = an.get(other, 0)
+            if prior == 0:
+                self._connections += 1
+                self.topology_changes += 1
+            an[other] = prior + 1
+            at[new] = at.get(new, 0) + 1
+            deg[new] += 1
+            deg[other] += 1
+            self._edge_units += 1
+            touched_other = True
+        stamp = self._stamp
+        version = self._version
+        dirty = self._csr_dirty
+        stamp += 1
+        version[old] = stamp
+        dirty.add(old)
+        stamp += 1
+        version[new] = stamp
+        dirty.add(new)
+        if touched_other:
+            stamp += 1
+            version[other] = stamp
+            dirty.add(other)
+        self._stamp = stamp
+
+    def contract_into(self, u: NodeId, v: NodeId) -> None:
+        """Re-attach every edge of ``u`` to ``v`` and remove ``u`` -- the
+        degree-preserving contraction the batch engine uses when ``v``
+        adopts a deleted node's entire vertex set in one step.
+
+        Conventions follow the overlay's pair mapping: a former ``u``--``v``
+        edge of multiplicity ``m`` becomes ``2m`` units of self-loop
+        weight at ``v`` (both endpoints now coincide), self-loops move
+        unchanged, and other incident edges keep their multiplicity.
+        Equivalent to moving the vertices one at a time, in O(connections
+        of u) counter updates instead of O(load * 6) edge operations.
+        """
+        if u == v:
+            raise TopologyError("cannot contract a node into itself")
+        nbrs = self._require(u)
+        av = self._require(v)
+        # v keeps every endpoint u had, so its degree grows by exactly
+        # degree(u): the collapsed u--v pair (m units) re-appears as 2m
+        # units of self-loop weight, of which m replace v's own lost
+        # endpoint and m carry u's.
+        self._degree[v] += self._degree[u]
+        adj = self._adj
+        version = self._version
+        dirty = self._csr_dirty
+        dict_del = dict.__delitem__
+        for w, m in nbrs.items():
+            if m <= 0:
+                continue
+            if w == u:
+                # u's self-loop weight moves unchanged (never a connection)
+                av[v] = av.get(v, 0) + m
+            elif w == v:
+                # the u--v connection collapses into self-loop weight 2m
+                dict_del(av, u)
+                av[v] = av.get(v, 0) + 2 * m
+                self._edge_units += m  # m pair units become 2m loop units
+                self._connections -= 1
+                self.topology_changes += 1
+            else:
+                aw = adj[w]
+                dict_del(aw, u)
+                self._connections -= 1
+                self.topology_changes += 1  # (u, w) connection destroyed
+                prior = av.get(w, 0)
+                if prior == 0:
+                    self._connections += 1
+                    self.topology_changes += 1  # (v, w) connection created
+                av[w] = prior + m
+                aw[v] = aw.get(v, 0) + m
+                self._stamp += 1
+                version[w] = self._stamp
+                dirty.add(w)
+        dict_del(adj, u)
+        self._forget_node(u)
+        self._touch(v)
+        self.topology_changes += 1
+        for listener in self.node_listeners:
+            listener(-1)
+
     def multiplicity(self, u: NodeId, v: NodeId) -> int:
         return self._require(u)[v]
 
@@ -252,7 +422,10 @@ class DynamicMultigraph:
         sampler bisects the cumulative array, so a hop is O(log degree)
         with the O(degree log degree) build paid once per topology change
         at the node."""
-        stamp = self.node_version(u)
+        try:
+            stamp = self._version[u]
+        except KeyError:
+            raise TopologyError(f"node {u} does not exist") from None
         entry = self._cdf_cache.get(u)
         if entry is not None and entry[0] == stamp:
             return entry[1], entry[2], entry[3]
@@ -355,29 +528,177 @@ class DynamicMultigraph:
         src = next(iter(self._adj))
         return len(self.bfs_distances(src)) == self.num_nodes
 
+    def survivors_connected(self, victims: set[NodeId]) -> bool:
+        """Would the graph stay connected if ``victims`` disappeared?
+        Vectorized frontier BFS over the incrementally patched CSR
+        (victim rows are masked, never expanded) -- the batch deletion
+        validator, O(E) in numpy instead of a pure-Python sweep."""
+        order, A = self.to_sparse_adjacency()
+        n = len(order)
+        if n == 0:
+            return False
+        order_arr = self._csr_cache[1]
+        if victims:
+            blocked = np.isin(
+                order_arr,
+                np.fromiter(victims, count=len(victims), dtype=np.int64),
+            )
+        else:
+            blocked = np.zeros(n, dtype=bool)
+        survivors = n - int(blocked.sum())
+        if survivors <= 0:
+            return False
+        indptr, indices = A.indptr, A.indices
+        visited = blocked.copy()
+        start = int(np.argmax(~visited))
+        visited[start] = True
+        frontier = np.array([start], dtype=np.int64)
+        count = 1
+        while frontier.size:
+            row_starts = indptr[frontier]
+            counts = indptr[frontier + 1] - row_starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            cum = np.cumsum(counts)
+            offsets = np.arange(total) + np.repeat(
+                row_starts - np.concatenate(([0], cum[:-1])), counts
+            )
+            nbrs = indices[offsets]
+            nbrs = nbrs[~visited[nbrs]]
+            if nbrs.size == 0:
+                break
+            frontier = np.unique(nbrs)
+            visited[frontier] = True
+            count += int(frontier.size)
+        return count == survivors
+
     def max_degree(self) -> int:
         return max(self._degree.values(), default=0)
 
-    def to_sparse_adjacency(self) -> tuple[list[NodeId], sp.csr_matrix]:
+    def to_sparse_adjacency(
+        self, force_rebuild: bool = False
+    ) -> tuple[list[NodeId], sp.csr_matrix]:
         """``(ordering, A)`` with the multigraph conventions preserved:
         off-diagonal entries are multiplicities, diagonal entries are the
-        stored self-loop weights."""
+        stored self-loop weights.
+
+        The matrix is cached and *patched* between calls: every mutation
+        records its endpoints in a dirty set, and a repeated call drops
+        the dirty rows from the cached coordinate arrays (vectorized) and
+        re-emits only those rows from the adjacency structure.  Because
+        every multiplicity change touches both endpoints, entries whose
+        row node is clean are guaranteed current, so the patch is exact
+        -- :meth:`verify_sparse_cache` audits it against a from-scratch
+        build.  Callers must treat the returned matrix as read-only.
+        """
+        cache = self._csr_cache
+        dirty = self._csr_dirty
+        # A patch walks only the dirty adjacency rows in Python; past
+        # ~half the graph the full rebuild is no slower and resets the
+        # arrays to minimal size.
+        if force_rebuild or cache is None or 2 * len(dirty) > self.num_nodes:
+            return self._csr_rebuild()
+        if not dirty:
+            return cache[0], cache[5]
+        return self._csr_patch()
+
+    def _csr_emit_rows(
+        self, nodes: Iterable[NodeId]
+    ) -> tuple[list[NodeId], list[NodeId], list[float]]:
+        """Coordinate triplets for the given nodes' rows, grouped per
+        node (callers pass nodes in ascending order to keep the cached
+        arrays sorted by row node id)."""
+        rid: list[NodeId] = []
+        cid: list[NodeId] = []
+        dat: list[float] = []
+        for u in nodes:
+            nbrs = self._adj.get(u)
+            if nbrs is None:
+                continue  # departed node: its cached entries are dropped
+            for v, m in nbrs.items():
+                if m > 0:
+                    rid.append(u)
+                    cid.append(v)
+                    dat.append(float(m))
+        return rid, cid, dat
+
+    def _csr_finish(
+        self, rid: np.ndarray, cid: np.ndarray, dat: np.ndarray
+    ) -> tuple[list[NodeId], sp.csr_matrix]:
+        """Assemble the CSR directly from triplets sorted by row node id:
+        node ids map to row positions through a dense lookup table
+        (ids are bounded by the insertion history, so the table is a
+        fancy-index O(1) per entry), and row pointers come from a
+        bincount over row positions -- scipy never has to re-sort or
+        coalesce a COO intermediate."""
         order = sorted(self._adj)
-        index = {u: i for i, u in enumerate(order)}
+        order_arr = np.asarray(order, dtype=np.int64)
+        n = len(order)
+        if n:
+            lut = np.empty(int(order_arr[-1]) + 1, dtype=np.int64)
+            lut[order_arr] = np.arange(n, dtype=np.int64)
+            rows = lut[rid]
+            indices = lut[cid]
+        else:
+            rows = indices = np.empty(0, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+        A = sp.csr_matrix((dat, indices, indptr), shape=(n, n))
+        self._csr_cache = (order, order_arr, rid, cid, dat, A)
+        self._csr_dirty.clear()
+        return order, A
+
+    def _csr_rebuild(self) -> tuple[list[NodeId], sp.csr_matrix]:
+        rid, cid, dat = self._csr_emit_rows(sorted(self._adj))
+        return self._csr_finish(
+            np.asarray(rid, dtype=np.int64),
+            np.asarray(cid, dtype=np.int64),
+            np.asarray(dat, dtype=np.float64),
+        )
+
+    def _csr_patch(self) -> tuple[list[NodeId], sp.csr_matrix]:
+        _order, _order_arr, rid, cid, dat, _A = self._csr_cache
+        dirty = self._csr_dirty
+        dirty_arr = np.fromiter(dirty, count=len(dirty), dtype=np.int64)
+        keep = ~np.isin(rid, dirty_arr)
+        rid, cid, dat = rid[keep], cid[keep], dat[keep]
+        add_r, add_c, add_d = self._csr_emit_rows(sorted(dirty))
+        if add_r:
+            at = np.searchsorted(rid, add_r)
+            rid = np.insert(rid, at, add_r)
+            cid = np.insert(cid, at, add_c)
+            dat = np.insert(dat, at, add_d)
+        return self._csr_finish(rid, cid, dat)
+
+    def verify_sparse_cache(self) -> None:
+        """Audit the incremental CSR against a from-scratch build (the
+        oracle behind the churn property tests).  A no-op while nothing
+        is cached."""
+        if self._csr_cache is None:
+            return
+        order, A = self.to_sparse_adjacency()
+        expect_order = sorted(self._adj)
+        if order != expect_order:
+            raise TopologyError("sparse adjacency ordering diverged")
+        index = {u: i for i, u in enumerate(expect_order)}
         rows: list[int] = []
         cols: list[int] = []
         data: list[float] = []
         for u, nbrs in self._adj.items():
             i = index[u]
             for v, m in nbrs.items():
-                if m <= 0:
-                    continue
-                rows.append(i)
-                cols.append(index[v])
-                data.append(float(m))
-        n = len(order)
-        A = sp.csr_matrix(
-            (np.array(data), (np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64))),
+                if m > 0:
+                    rows.append(i)
+                    cols.append(index[v])
+                    data.append(float(m))
+        n = len(expect_order)
+        B = sp.csr_matrix(
+            (np.asarray(data), (np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64))),
             shape=(n, n),
         )
-        return order, A
+        diff = (A - B).tocoo()
+        if diff.nnz and bool(np.any(diff.data != 0)):
+            raise TopologyError(
+                "sparse adjacency cache diverged from from-scratch rebuild"
+            )

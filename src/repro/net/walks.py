@@ -9,8 +9,11 @@ virtual neighbors are hosted at real neighbors).
 Walk steps are weighted by edge multiplicity (the walk of Lemma 2 is on
 the multigraph ``G'_t`` whose stationary distribution is
 ``pi(x) = d_x / 2|E|``); self-loop weight makes the token stay put for a
-step.  :func:`parallel_walks` schedules many tokens simultaneously with
-the one-token-per-edge-per-direction congestion rule of Lemma 11.
+step.  :func:`scheduled_walks` schedules many tokens simultaneously with
+the one-token-per-edge-per-direction congestion rule of Lemma 11 (the
+batch healing engine of :mod:`repro.core.multi` runs its recovery walks
+through it); :func:`parallel_walks` is the fixed-length convenience
+wrapper.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from __future__ import annotations
 import random
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Container, Sequence
 
 from repro.errors import TopologyError
 from repro.net.topology import DynamicMultigraph
@@ -140,6 +143,173 @@ def virtual_walk(
     return at, real_hops
 
 
+@dataclass
+class TokenSpec:
+    """One token of a congestion-scheduled batch walk.
+
+    ``stop`` ends the token's walk early (``found=True``) the first time
+    it holds at a node reached after at least one hop -- the same
+    semantics as :func:`random_walk`.  ``excluded`` nodes are never
+    stepped onto (Algorithm 4.2 excludes the freshly inserted node)."""
+
+    start: NodeId
+    length: int
+    stop: Callable[[NodeId], bool] | None = None
+    excluded: frozenset[NodeId] = frozenset()
+
+
+def scheduled_walks(
+    graph: DynamicMultigraph,
+    tokens: Sequence[TokenSpec],
+    rng: random.Random,
+) -> tuple[list[WalkResult], int]:
+    """Schedule all ``tokens`` simultaneously under the one-token-per-
+    directed-edge-per-round congestion rule of Lemma 11, and return the
+    per-token :class:`WalkResult` plus the *actual* number of rounds the
+    scheduler ran -- the quantity the batch healing engine charges, not a
+    post-hoc max over sequential walks.
+
+    A token blocked on a congested edge re-samples its next hop in the
+    following round.  The active set is kept as a list that is shuffled
+    and compacted in place (finished tokens swap-removed), so a round
+    costs O(active) instead of the former O(k log k) re-sort.
+    """
+    n = len(tokens)
+    positions = [t.start for t in tokens]
+    remaining = [t.length for t in tokens]
+    hops = [0] * n
+    found = [False] * n
+    done = [t.length <= 0 for t in tokens]
+    active = [i for i in range(n) if not done[i]]
+    max_length = max((t.length for t in tokens), default=0)
+    rounds = 0
+    while active:
+        rounds += 1
+        used: set[tuple[NodeId, NodeId]] = set()
+        rng.shuffle(active)
+        write = 0
+        for idx in active:
+            token = tokens[idx]
+            at = positions[idx]
+            nxt = _weighted_step(graph, at, rng, token.excluded)
+            if nxt is None:
+                # Stuck (all neighbors excluded): the token stays put.
+                done[idx] = True
+            elif nxt == at or (at, nxt) not in used:
+                if nxt != at:
+                    used.add((at, nxt))
+                positions[idx] = nxt
+                remaining[idx] -= 1
+                hops[idx] += 1
+                if token.stop is not None and token.stop(nxt):
+                    found[idx] = True
+                    done[idx] = True
+                elif remaining[idx] <= 0:
+                    found[idx] = token.stop is None
+                    done[idx] = True
+            # else: blocked this round, retries next round
+            if not done[idx]:
+                active[write] = idx
+                write += 1
+        del active[write:]
+        if rounds > 1000 * max(1, max_length):  # pragma: no cover - safety
+            raise TopologyError("parallel walks failed to complete")
+    results = [
+        WalkResult(end=positions[i], hops=hops[i], found=found[i])
+        for i in range(n)
+    ]
+    return results, rounds
+
+
+def run_wave(
+    graph: DynamicMultigraph,
+    starts: Sequence[NodeId],
+    length: int,
+    members: "Container[NodeId]",
+    rng: random.Random,
+    excluded: Sequence[NodeId | None] | None = None,
+) -> tuple[list[NodeId], list[bool], int, int]:
+    """Specialized congestion-scheduled wave for the batch healing
+    engine: every token seeks a node of the ``members`` set (Spare or
+    Low), optionally never stepping onto its single excluded node (the
+    freshly inserted node of Algorithm 4.2).
+
+    Returns ``(ends, founds, total_hops, rounds)``.  Semantics match
+    :func:`scheduled_walks` with ``stop = members.__contains__``; this
+    entry point exists because wave tokens typically stop within one or
+    two hops, so per-token bookkeeping dominates -- membership tests
+    replace predicate calls, directed edges are keyed as packed ints,
+    and the excluded-node case samples unconditionally and only falls
+    back to the O(degree) filtered scan when the draw actually hits the
+    excluded node (hitting it has probability ``m_u/total``, and the
+    fallback redraw yields exactly the conditional distribution).
+    """
+    k = len(starts)
+    positions = list(starts)
+    remaining = [length] * k
+    founds = [False] * k
+    excl = list(excluded) if excluded is not None else [None] * k
+    total_hops = 0
+    rounds = 0
+    active = [i for i in range(k) if length > 0]
+    neighbor_cdf = graph.neighbor_cdf
+    random_unit = rng.random
+    used: set[int] = set()
+    # One shuffle per wave; finished tokens are dropped in place, so a
+    # round costs O(active) with no re-sort (blocked tokens keep their
+    # relative order, which only matters under sustained congestion).
+    rng.shuffle(active)
+    while active:
+        rounds += 1
+        used.clear()
+        write = 0
+        for idx in active:
+            at = positions[idx]
+            neighbors, cumulative, total = neighbor_cdf(at)
+            if total == 0:
+                continue  # stuck token: stays put, leaves the wave
+            nxt = neighbors[bisect_right(cumulative, int(random_unit() * total))]
+            avoid = excl[idx]
+            if avoid is not None and nxt == avoid:
+                # Exact conditional redraw over the filtered support.
+                acc = 0
+                options: list[tuple[NodeId, int]] = []
+                prev = 0
+                for v, cum in zip(neighbors, cumulative):
+                    m = cum - prev
+                    prev = cum
+                    if v != avoid:
+                        acc += m
+                        options.append((v, acc))
+                if not options:
+                    continue  # every neighbor excluded: token is stuck
+                pick = int(random_unit() * acc)
+                for v, cum in options:
+                    if pick < cum:
+                        nxt = v
+                        break
+            if nxt != at:
+                key = (at << 32) | (nxt & 0xFFFFFFFF)
+                if key in used:
+                    active[write] = idx  # blocked: retry next round
+                    write += 1
+                    continue
+                used.add(key)
+            positions[idx] = nxt
+            total_hops += 1
+            if nxt in members:
+                founds[idx] = True
+                continue
+            remaining[idx] -= 1
+            if remaining[idx] > 0:
+                active[write] = idx
+                write += 1
+        del active[write:]
+        if rounds > 1000 * max(1, length):  # pragma: no cover - safety
+            raise TopologyError("parallel walks failed to complete")
+    return positions, founds, total_hops, rounds
+
+
 def parallel_walks(
     graph: DynamicMultigraph,
     starts: Sequence[NodeId],
@@ -151,32 +321,11 @@ def parallel_walks(
     one token per round (Lemma 11).  Returns final positions and the
     number of rounds until all tokens completed.
 
-    A token blocked on a congested edge re-samples its next hop in the
-    following round; Lemma 11's O(log^2 n) completion bound is measured
-    by ``tests/test_net/test_walks.py`` and benchmark E8.
+    Thin wrapper over :func:`scheduled_walks` (no stop predicates);
+    Lemma 11's O(log^2 n) completion bound is measured by
+    ``tests/test_net/test_walks.py`` and benchmark E8.
     """
-    positions = list(starts)
-    remaining = [length] * len(starts)
-    rounds = 0
-    active = set(range(len(starts)))
-    while active:
-        rounds += 1
-        used: set[tuple[NodeId, NodeId]] = set()
-        order = sorted(active)
-        rng.shuffle(order)
-        for idx in order:
-            at = positions[idx]
-            nxt = _weighted_step(graph, at, rng, frozenset())
-            if nxt is None:
-                remaining[idx] = 0
-            elif nxt == at or (at, nxt) not in used:
-                if nxt != at:
-                    used.add((at, nxt))
-                positions[idx] = nxt
-                remaining[idx] -= 1
-            # else: blocked this round, retries next round
-            if remaining[idx] <= 0:
-                active.discard(idx)
-        if rounds > 1000 * max(1, length):
-            raise TopologyError("parallel walks failed to complete")  # pragma: no cover
-    return positions, rounds
+    results, rounds = scheduled_walks(
+        graph, [TokenSpec(start=s, length=length) for s in starts], rng
+    )
+    return [r.end for r in results], rounds

@@ -80,12 +80,18 @@ def _zero_tree(p: int) -> list[int]:
 class PCycle:
     """Implicit representation of the p-cycle ``Z(p)``."""
 
-    __slots__ = ("p",)
+    __slots__ = ("p", "_inv")
 
     def __init__(self, p: int):
         if p < _MIN_P or not is_prime(p):
             raise VirtualGraphError(f"p-cycle size must be a prime >= {_MIN_P}, got {p}")
         self.p = p
+        #: instance reference to the shared inverse table (None above the
+        #: table cutoff) -- neighbor queries sit on the healing hot path,
+        #: so they must not pay the lru_cache wrapper per call
+        self._inv: list[int] | None = (
+            _inverse_table(p) if p <= _TABLE_MAX_P else None
+        )
 
     # ------------------------------------------------------------------
     # basic structure
@@ -126,16 +132,24 @@ class PCycle:
         self.check_vertex(x)
         if x == 0:
             return 0
-        if self.p <= _TABLE_MAX_P:
-            return _inverse_table(self.p)[x]
+        if self._inv is not None:
+            return self._inv[x]
         return pow(x, self.p - 2, self.p)
 
     def neighbor_multiset(self, x: Vertex) -> tuple[Vertex, Vertex, Vertex]:
         """The three edge endpoints incident to ``x`` (with multiplicity;
         an entry equal to ``x`` denotes a self-loop).  Every vertex has
         exactly three, which is what makes the family 3-regular."""
-        self.check_vertex(x)
-        return ((x - 1) % self.p, (x + 1) % self.p, self.chord_target(x))
+        p = self.p
+        if not 0 <= x < p:
+            raise VirtualGraphError(f"vertex {x} not in Z_{p}")
+        if x == 0:
+            chord = 0
+        elif self._inv is not None:
+            chord = self._inv[x]
+        else:
+            chord = pow(x, p - 2, p)
+        return ((x - 1) % p, (x + 1) % p, chord)
 
     def distinct_neighbors(self, x: Vertex) -> set[Vertex]:
         """Distinct neighbors of ``x`` excluding itself (for path finding)."""

@@ -1,0 +1,100 @@
+"""The perf harness: schema-2 report plumbing, v1 migration, batch and
+CSR benchmark helpers, and the sweep worker (in-process)."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.harness import perf
+
+
+class TestReportPlumbing:
+    def test_v1_report_upgrades_in_place(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "schema": "dex-perf/1",
+            "churn_steps": 200,
+            "runs": {"before": {"n64": {"churn_per_step_ms": 1.0}}},
+        }))
+        report = perf.load_report(path)
+        assert report["schema"] == perf.SCHEMA
+        assert report["runs"]["before"]["n64"]["churn_per_step_ms"] == 1.0
+
+    def test_unknown_schema_starts_fresh(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"schema": "other/9", "runs": {"x": {}}}))
+        report = perf.load_report(path)
+        assert report == {"schema": perf.SCHEMA, "runs": {}}
+
+    def test_corrupt_report_refused(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit):
+            perf.load_report(path)
+
+    def test_write_report_and_sweep_coexist(self, tmp_path):
+        path = tmp_path / "bench.json"
+        perf.write_report(path, "lbl", {"n64": {"churn_per_step_ms": 0.5}}, [64], 30)
+        perf.write_sweep(path, "lbl", {"n64_s1": {"wall_s": 1.0}}, workers=2)
+        report = json.loads(path.read_text())
+        assert report["schema"] == perf.SCHEMA
+        assert report["runs"]["lbl"]["n64"]["churn_per_step_ms"] == 0.5
+        assert report["sweeps"]["lbl"]["n64_s1"]["wall_s"] == 1.0
+        assert "workers" in report["sweeps"]["lbl"]["meta"]
+
+    def test_speedups_include_batch_metrics(self):
+        runs = {
+            "before": {"n64": {"churn_per_step_ms": 2.0,
+                               "batch_churn_per_node_ms": 1.0,
+                               "csr_patch_ms": 4.0}},
+            "after": {"n64": {"churn_per_step_ms": 1.0,
+                              "batch_churn_per_node_ms": 0.25,
+                              "csr_patch_ms": 1.0}},
+        }
+        out = perf._speedups(runs)
+        assert out["n64"]["churn"] == 2.0
+        assert out["n64"]["batch_churn"] == 4.0
+        assert out["n64"]["csr_patch"] == 4.0
+
+
+class TestBenchHelpers:
+    def test_batch_vs_seq_returns_all_metrics(self):
+        row = perf.bench_batch_vs_seq(n=48, batch=6, rounds=2, seed=3, repeats=1)
+        assert set(row) == {
+            "batch_churn_per_node_ms",
+            "batch_churn_validated_per_node_ms",
+            "seq_churn_per_node_ms",
+            "batch_speedup_x",
+        }
+        assert all(v > 0 for v in row.values())
+
+    def test_bench_csr_metrics(self):
+        row = perf.bench_csr(n=48, seed=3, reps=4, repeats=1)
+        assert row["csr_patch_ms"] > 0
+        assert row["csr_rebuild_ms"] > 0
+        assert row["csr_speedup_x"] > 0
+
+    def test_run_batch_churn_heals_and_keeps_invariants(self):
+        net = DexNetwork.bootstrap(32, DexConfig(validate_every_step=False), seed=5)
+        healed, engine_s = perf.run_batch_churn(
+            net, batch=4, rounds=3, adversary=random.Random(7)
+        )
+        assert healed == 24
+        assert engine_s > 0
+        net.check_invariants()
+
+    def test_sweep_point_in_process(self):
+        key, metrics = perf._sweep_point((64, 9, 4, 2))
+        assert key == "n64_s9"
+        assert metrics["nodes_healed"] == 16
+        assert metrics["bootstrap_s"] >= 0
+        assert metrics["batch_churn_per_node_ms"] > 0
+
+    def test_run_sweep_single_worker(self):
+        results = perf.run_sweep(sizes=[48], seeds=[1, 2], batch=4, rounds=1, workers=1)
+        assert set(results) == {"n48_s1", "n48_s2"}

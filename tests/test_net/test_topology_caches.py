@@ -18,7 +18,7 @@ from repro.net.topology import DynamicMultigraph
 
 def _apply_random_ops(graph: DynamicMultigraph, rng: random.Random, ops: int) -> None:
     """Drive a random mutation sequence using only legal operations."""
-    next_id = 0
+    next_id = max(graph.nodes(), default=-1) + 1
     for _ in range(ops):
         live = list(graph.nodes())
         choice = rng.random()
@@ -137,3 +137,93 @@ class TestRandomNodeSampler:
 
         assert sequence(9) == sequence(9)
         assert sequence(9) != sequence(10)
+
+
+class TestIncrementalCSR:
+    """The sparse-adjacency cache: patched from the dirty set, audited
+    against a from-scratch build (PR 2)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), ops=st.integers(1, 60))
+    def test_patch_matches_rebuild(self, seed: int, ops: int):
+        graph = DynamicMultigraph()
+        rng = random.Random(seed)
+        _apply_random_ops(graph, rng, ops)
+        graph.to_sparse_adjacency()  # build + cache
+        _apply_random_ops(graph, rng, ops)  # dirty it
+        order, patched = graph.to_sparse_adjacency()
+        graph.verify_sparse_cache()  # oracle: raises on drift
+        order2, rebuilt = graph.to_sparse_adjacency(force_rebuild=True)
+        assert order == order2
+        assert (abs(patched - rebuilt)).nnz == 0
+
+    def test_node_join_and_leave_are_patched(self):
+        graph = DynamicMultigraph()
+        for u in range(6):
+            graph.add_node(u)
+        for u in range(5):
+            graph.add_edge(u, u + 1)
+        order, A = graph.to_sparse_adjacency()
+        assert order == list(range(6))
+        graph.drop_node_with_edges(2)
+        graph.add_node(9)
+        graph.add_edge(9, 0, mult=3)
+        order, A = graph.to_sparse_adjacency()
+        assert order == [0, 1, 3, 4, 5, 9]
+        assert A[order.index(0), order.index(9)] == 3.0
+        assert A[order.index(1), :].sum() == 1.0  # lost its edge to 2
+        graph.verify_sparse_cache()
+
+    def test_force_rebuild_resets_cache(self):
+        graph = DynamicMultigraph()
+        graph.add_node(0)
+        graph.add_node(1)
+        graph.add_edge(0, 1, mult=2)
+        _, a = graph.to_sparse_adjacency()
+        _, b = graph.to_sparse_adjacency(force_rebuild=True)
+        assert (abs(a - b)).nnz == 0
+        graph.verify_sparse_cache()
+
+
+class TestSurvivorsConnected:
+    """Vectorized remainder-connectivity (batch deletion validator)."""
+
+    def _oracle(self, graph: DynamicMultigraph, victims: set[int]) -> bool:
+        survivors = [u for u in graph.nodes() if u not in victims]
+        if not survivors:
+            return False
+        seen = {survivors[0]}
+        stack = [survivors[0]]
+        while stack:
+            u = stack.pop()
+            for w in graph.distinct_neighbors(u):
+                if w not in victims and w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return len(seen) == len(survivors)
+
+    def test_bridge_node_disconnects(self):
+        graph = DynamicMultigraph()
+        for u in range(7):
+            graph.add_node(u)
+        for a, b in [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4)]:
+            graph.add_edge(a, b)
+        graph.add_edge(0, 3)
+        graph.add_edge(3, 4)  # 3 bridges the two triangles
+        assert graph.survivors_connected(set()) is True
+        assert graph.survivors_connected({3}) is False
+        assert graph.survivors_connected({3, 4, 5, 6}) is True
+        assert graph.survivors_connected(set(range(7))) is False
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_matches_python_bfs(self, seed: int):
+        rng = random.Random(seed)
+        graph = DynamicMultigraph()
+        n = rng.randrange(4, 24)
+        for u in range(n):
+            graph.add_node(u)
+        for _ in range(rng.randrange(n, 3 * n)):
+            graph.add_edge(rng.randrange(n), rng.randrange(n))
+        victims = {u for u in range(n) if rng.random() < 0.3}
+        assert graph.survivors_connected(victims) == self._oracle(graph, victims)

@@ -127,3 +127,98 @@ class TestParallelWalks(object):
         g = pcycle_graph(23)
         _, rounds = parallel_walks(g, [0], 10, random.Random(10))
         assert rounds == 10
+
+
+class TestScheduledWalks:
+    """The token scheduler behind the batch healing engine."""
+
+    def test_stop_predicates_per_token(self):
+        from repro.net.walks import TokenSpec, scheduled_walks
+
+        g = pcycle_graph(53)
+        targets = set(range(0, 53, 2))
+        tokens = [
+            TokenSpec(start=u, length=200, stop=lambda m: m in targets)
+            for u in range(0, 53, 7)
+        ]
+        results, rounds = scheduled_walks(g, tokens, random.Random(5))
+        assert rounds >= 1
+        for r in results:
+            assert r.found
+            assert r.end in targets
+            assert r.hops >= 1
+
+    def test_excluded_nodes_respected(self):
+        from repro.net.walks import TokenSpec, scheduled_walks
+
+        g = pcycle_graph(23)
+        tokens = [
+            TokenSpec(start=0, length=30, excluded=frozenset({1}))
+            for _ in range(4)
+        ]
+        results, _ = scheduled_walks(g, tokens, random.Random(6))
+        assert all(r.end != 1 for r in results)
+
+    def test_zero_length_tokens_finish_instantly(self):
+        from repro.net.walks import TokenSpec, scheduled_walks
+
+        g = pcycle_graph(23)
+        results, rounds = scheduled_walks(
+            g, [TokenSpec(start=3, length=0)], random.Random(7)
+        )
+        assert rounds == 0
+        assert results[0].end == 3
+        assert results[0].hops == 0
+
+    def test_congestion_blocks_are_retried(self):
+        """Two tokens forced over the same two-node bridge: with only
+        one directed edge each way, at most one advances per round, so
+        completion takes more rounds than the walk length."""
+        from repro.net.walks import TokenSpec, scheduled_walks
+
+        g = DynamicMultigraph()
+        g.add_node(0)
+        g.add_node(1)
+        g.add_edge(0, 1)
+        tokens = [TokenSpec(start=0, length=4) for _ in range(3)]
+        _, rounds = scheduled_walks(g, tokens, random.Random(8))
+        assert rounds > 4
+
+
+class TestRunWave:
+    """The specialized membership-set wave used by core.multi."""
+
+    def test_found_tokens_end_in_member_set(self):
+        from repro.net.walks import run_wave
+
+        g = pcycle_graph(53)
+        members = set(range(0, 53, 3))
+        ends, founds, hops, rounds = run_wave(
+            g, list(range(0, 53, 5)), 100, members, random.Random(9)
+        )
+        assert all(founds)
+        assert all(end in members for end in ends)
+        assert hops >= len(ends)
+        assert rounds >= 1
+
+    def test_excluded_node_never_entered(self):
+        from repro.net.walks import run_wave
+
+        g = pcycle_graph(23)
+        # member set == the excluded node: the token can never stop there
+        ends, founds, _, _ = run_wave(
+            g, [0], 40, {1}, random.Random(10), excluded=[1]
+        )
+        assert founds == [False]
+        assert ends[0] != 1
+
+    def test_empty_member_set_walks_full_length(self):
+        from repro.net.walks import run_wave
+
+        g = pcycle_graph(23)
+        ends, founds, hops, rounds = run_wave(
+            g, [0, 5], 12, frozenset(), random.Random(11)
+        )
+        assert founds == [False, False]
+        assert hops == 24
+        assert rounds >= 12
