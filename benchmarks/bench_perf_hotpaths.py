@@ -49,6 +49,8 @@ def test_perf_hotpaths(request):
             "walk us/hop",
             "spectral ms",
             "csr speedup",
+            "wave us/hop",
+            "wave speedup",
         ],
     )
     for n in sizes:
@@ -62,6 +64,8 @@ def test_perf_hotpaths(request):
             f"{row['walk_us_per_hop']:.2f}",
             f"{row['spectral_ms_per_call']:.2f}",
             f"{row['csr_speedup_x']:.2f}x",
+            f"{row['wave_hop_us']:.3f}",
+            f"{row['wave_speedup_x']:.2f}x",
         )
     emit(request, table)
 
@@ -77,6 +81,14 @@ def test_perf_hotpaths(request):
         )
         assert row["seq_churn_per_node_ms"] > 0
         assert row["csr_patch_ms"] > 0 and row["csr_rebuild_ms"] > 0
+        # lockstep wave engine: both engines ran the identical wave, so
+        # the ratio is pure wall-clock; CI runners only get a sanity
+        # floor (the recorded >=3x receipt lives in BENCH_perf.json)
+        assert row["wave_hop_us"] > 0 and row["wave_scalar_hop_us"] > 0
+        assert row["wave_speedup_x"] > 0.5, (
+            f"vectorized wave engine slower than the scalar reference at "
+            f"n={n}: {row['wave_hop_us']}us vs {row['wave_scalar_hop_us']}us"
+        )
 
     if _RECORDED.exists():
         recorded = json.loads(_RECORDED.read_text())

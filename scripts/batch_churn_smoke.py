@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Batch-churn CI smoke with a flake guard for noisy runners.
+
+``batch_speedup_x`` compares two timed loops, so a CI neighbor stealing
+the core mid-measurement can sink one attempt below the sanity floor.
+Instead of a single-shot assertion the smoke takes the best of up to
+``ATTEMPTS`` runs, all sharing one wall-clock budget: pass as soon as
+any attempt clears the bars, fail only when every attempt within the
+budget flunked.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness import perf
+
+ATTEMPTS = 3
+BUDGET_S = 120.0  # shared across all attempts, not per attempt
+MAX_BATCH_MS_PER_NODE = 5.0
+MIN_SPEEDUP_X = 0.5  # noisy runners: sanity floor, not the recorded claim
+
+
+def main() -> int:
+    t_start = time.perf_counter()
+    rows = []
+    for attempt in range(ATTEMPTS):
+        elapsed = time.perf_counter() - t_start
+        if attempt and elapsed >= BUDGET_S:
+            print(f"wall budget exhausted after {elapsed:.1f}s", file=sys.stderr)
+            break
+        row = perf.bench_batch_vs_seq(
+            n=512, batch=32, rounds=4, seed=11 + attempt, repeats=2
+        )
+        wall = time.perf_counter() - t_start
+        print(f"attempt {attempt + 1}: {row} wall={wall:.1f}s")
+        rows.append(row)
+        if (
+            0 < row["batch_churn_per_node_ms"] < MAX_BATCH_MS_PER_NODE
+            and row["batch_speedup_x"] > MIN_SPEEDUP_X
+        ):
+            print(f"batch churn smoke ok (attempt {attempt + 1})")
+            return 0
+        if wall >= BUDGET_S:
+            print(f"batch smoke overran its {BUDGET_S:.0f}s budget", file=sys.stderr)
+            return 1
+    print(
+        f"batch churn smoke failed on all {len(rows)} attempt(s): {rows}",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Perf-baseline regression gate for CI.
+
+Loads the committed ``BENCH_perf.json`` baseline and a freshly measured
+smoke report, and fails when any gated hot-path metric regressed beyond
+its noise tolerance.  Both reports must carry a row for the compared
+size; metrics missing from the *baseline* are skipped (older baselines
+predate newer benchmarks), metrics missing from the smoke run fail.
+
+Usage::
+
+    python scripts/perf_gate.py \
+        --baseline BENCH_perf.json --baseline-label pr3 \
+        --smoke /tmp/bench_gate.json --smoke-label gate --size 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+# ----------------------------------------------------------------------
+# Gated metrics and their noise tolerances, in one place: the smoke run
+# may be at most ``tolerance`` times slower than the recorded baseline.
+# 2.5x absorbs CI-runner contention and cold caches while still
+# catching an order-of-magnitude hot-path regression.
+# ----------------------------------------------------------------------
+TOLERANCES: dict[str, float] = {
+    "churn_per_step_ms": 2.5,
+    "batch_churn_per_node_ms": 2.5,
+    "wave_hop_us": 2.5,
+}
+
+
+def _row(report: dict, label: str, size: int, path: str) -> dict:
+    runs = report.get("runs", {})
+    if label not in runs:
+        sys.exit(f"perf gate: no run labelled {label!r} in {path}")
+    row = runs[label].get(f"n{size}")
+    if not row:
+        sys.exit(f"perf gate: run {label!r} in {path} has no n{size} row")
+    return row
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=pathlib.Path, required=True)
+    parser.add_argument("--baseline-label", default="pr3")
+    parser.add_argument("--smoke", type=pathlib.Path, required=True)
+    parser.add_argument("--smoke-label", default="gate")
+    parser.add_argument("--size", type=int, default=256)
+    args = parser.parse_args(argv)
+
+    baseline = _row(
+        json.loads(args.baseline.read_text()),
+        args.baseline_label,
+        args.size,
+        str(args.baseline),
+    )
+    smoke = _row(
+        json.loads(args.smoke.read_text()),
+        args.smoke_label,
+        args.size,
+        str(args.smoke),
+    )
+
+    failures: list[str] = []
+    for metric, tolerance in TOLERANCES.items():
+        base = baseline.get(metric)
+        if base is None or base <= 0:
+            print(f"  {metric}: no baseline recorded, skipped")
+            continue
+        measured = smoke.get(metric)
+        if measured is None:
+            failures.append(f"{metric}: missing from the smoke run")
+            continue
+        ratio = measured / base
+        verdict = "ok" if ratio <= tolerance else "REGRESSED"
+        print(
+            f"  {metric}: measured {measured:.4f} vs baseline {base:.4f} "
+            f"(x{ratio:.2f}, budget x{tolerance}) {verdict}"
+        )
+        if ratio > tolerance:
+            failures.append(
+                f"{metric}: {measured:.4f} vs baseline {base:.4f} "
+                f"exceeds the x{tolerance} noise tolerance (x{ratio:.2f})"
+            )
+    if failures:
+        print("perf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"perf gate ok (n{args.size}, baseline {args.baseline_label!r})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

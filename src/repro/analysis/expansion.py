@@ -13,8 +13,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.errors import VirtualGraphError
 from repro.analysis.spectral import normalized_adjacency
+from repro.errors import VirtualGraphError
 
 _EXACT_LIMIT = 18
 

@@ -8,10 +8,23 @@ reproduce the offending state.
 
 from __future__ import annotations
 
+import random
+
 from repro.core.config import DexConfig
 from repro.core.overlay import Overlay
 from repro.errors import InvariantViolation
+from repro.net.walks import HAVE_NUMPY, run_wave
 from repro.types import NodeId
+
+#: fixed probe seed for the wave-engine equivalence audit (any value
+#: works -- both engines must agree for *every* seed; pinning one keeps
+#: the oracle deterministic)
+_WAVE_PROBE_SEED = 0xD32
+
+#: tokens/length of the probe wave: enough to cross congested edges and
+#: excluded-node redraws, small enough to run after every churn step
+_WAVE_PROBE_TOKENS = 16
+_WAVE_PROBE_LENGTH = 6
 
 
 def check_surjectivity(overlay: Overlay) -> None:
@@ -89,9 +102,56 @@ def check_cached_aggregates(overlay: Overlay) -> None:
     overlay.verify_intermediate_cache()
 
 
+def check_wave_engine_equivalence(overlay: Overlay) -> None:
+    """The vectorized wave scheduler and the scalar reference produce
+    identical transcripts on the live graph under a fixed seed.
+
+    Waves never mutate the graph, so the audit runs a small probe wave
+    through both engines -- exercising weighted hops, directed-edge
+    claims (token count exceeds some nodes' out-edges) and excluded-node
+    redraws -- and compares results *and* the per-round
+    ``(positions, claimed edges)`` transcript.  A no-op when numpy is
+    absent (the vector engine does not exist without it)."""
+    if not HAVE_NUMPY:  # pragma: no cover - the CI image always has numpy
+        return
+    graph = overlay.graph
+    if graph.num_nodes < 2:
+        return
+    starts = sorted(graph.nodes())[:_WAVE_PROBE_TOKENS]
+    # Exclude each token's successor start: live nodes, so the redraw
+    # path is exercised whenever a draw lands on one.
+    excluded = [starts[(i + 1) % len(starts)] for i in range(len(starts))]
+    members = overlay.old.spare
+    scalar_t: list = []
+    vector_t: list = []
+    scalar = run_wave(
+        graph, starts, _WAVE_PROBE_LENGTH, members,
+        random.Random(_WAVE_PROBE_SEED), excluded,
+        engine="scalar", transcript=scalar_t,
+    )
+    vector = run_wave(
+        graph, starts, _WAVE_PROBE_LENGTH, members,
+        random.Random(_WAVE_PROBE_SEED), excluded,
+        engine="vector", transcript=vector_t,
+    )
+    if tuple(scalar[0]) != tuple(vector[0]) or tuple(scalar[1]) != tuple(
+        vector[1]
+    ) or scalar[2:] != vector[2:]:
+        raise InvariantViolation(
+            f"wave engines diverged: scalar {scalar[1:]} vs vector {vector[1:]}"
+        )
+    if scalar_t != vector_t:
+        bad = next(i for i, (a, b) in enumerate(zip(scalar_t, vector_t)) if a != b)
+        raise InvariantViolation(
+            f"wave-engine transcripts diverged at round {bad}: "
+            f"{scalar_t[bad]} != {vector_t[bad]}"
+        )
+
+
 def check_all(overlay: Overlay, config: DexConfig) -> None:
     check_mapping_sets(overlay)
     check_cached_aggregates(overlay)
+    check_wave_engine_equivalence(overlay)
     check_surjectivity(overlay)
     check_balance(overlay, config)
     check_degrees(overlay)

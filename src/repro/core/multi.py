@@ -14,7 +14,12 @@ Healing is *batch-parallel*: every pending recovery generates a token
 (the :mod:`repro.core.type1` generation/resolution split) and the whole
 wave is scheduled through :func:`~repro.net.walks.run_wave` (the
 specialized fast path of :func:`~repro.net.walks.scheduled_walks`)
-under the Lemma 11 one-token-per-edge-per-round rule.  Rounds are charged as the
+under the Lemma 11 one-token-per-edge-per-round rule.  The wave hop
+itself runs on the engine selected by ``DexConfig.wave_engine`` -- by
+default the lockstep numpy engine, which advances all active tokens of
+a round as vectorized operations over the incrementally patched CSR;
+the scalar reference produces bit-identical results for a fixed seed
+and serves as the differential oracle.  Rounds are charged as the
 scheduler's *actual* round count (and messages as the total hops), not a
 post-hoc max over sequential recoveries.  Tokens whose landing node was
 drained by an earlier resolution of the same wave simply retry in the
@@ -156,6 +161,7 @@ def _heal_insertions_in_waves(
             old.spare,
             dex.rng,
             excluded=[u for u, _v in pending],
+            engine=dex.config.wave_engine,
         )
         ledger.charge_walk_wave(walks=len(pending), hops=hops, rounds=rounds)
         still: list[tuple[NodeId, NodeId]] = []
@@ -277,6 +283,7 @@ def delete_batch(dex: "DexNetwork", nodes: Sequence[NodeId]) -> StepReport:
             length,
             low,
             dex.rng,
+            engine=dex.config.wave_engine,
         )
         ledger.charge_walk_wave(walks=len(pending), hops=hops, rounds=rounds)
         still: list[tuple[Vertex, NodeId]] = []

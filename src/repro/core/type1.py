@@ -16,8 +16,10 @@ vertex transfer after re-checking the target still qualifies).  The
 sequential recoveries below chain the two through :func:`random_walk`;
 the batch engine of :mod:`repro.core.multi` schedules a whole batch's
 tokens through :func:`~repro.net.walks.run_wave` under the Lemma 11
-congestion rule and resolves each wave in order, so both paths share
-the exact same transfer semantics.
+congestion rule (on the lockstep numpy engine or the scalar reference,
+per ``DexConfig.wave_engine`` -- the two are transcript-identical for a
+fixed seed) and resolves each wave in order, so both paths share the
+exact same transfer semantics.
 
 On walk failure the algorithm decides between retrying and type-2
 recovery: in ``simplified`` mode by flooding ``computeSpare`` /

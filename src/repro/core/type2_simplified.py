@@ -37,7 +37,6 @@ from repro.net.metrics import CostLedger
 from repro.net.routing import permutation_routing
 from repro.types import NodeId, Vertex
 from repro.virtual.clouds import (
-    deflation_image,
     dominating_vertex,
     inflation_cloud,
     inflation_parent,

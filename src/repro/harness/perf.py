@@ -7,11 +7,11 @@ several network sizes, and merges the results into a machine-readable
 report so successive PRs can compare against a recorded baseline
 instead of folklore.
 
-Report format (schema ``dex-perf/2``; ``dex-perf/1`` reports are
-upgraded in place, their recorded runs kept)::
+Report format (schema ``dex-perf/3``; ``dex-perf/1`` and ``dex-perf/2``
+reports are upgraded in place, their recorded runs kept)::
 
     {
-      "schema": "dex-perf/2",
+      "schema": "dex-perf/3",
       "churn_steps": 200,              # steps per churn loop
       "sizes": [256, 1024, 4096],
       "runs": {
@@ -31,7 +31,11 @@ upgraded in place, their recorded runs kept)::
             # --- incremental CSR (PR 2) ---
             "csr_patch_ms": 0.9,       # to_sparse_adjacency() under churn
             "csr_rebuild_ms": 5.4,     # force_rebuild=True
-            "csr_speedup_x": 5.8
+            "csr_speedup_x": 5.8,
+            # --- lockstep wave engine (PR 3) ---
+            "wave_hop_us": 0.3,        # vector engine, us per wave hop
+            "wave_scalar_hop_us": 1.2, # scalar reference, same wave
+            "wave_speedup_x": 4.0      # scalar / vector (identical hops)
           },
           ...
         }
@@ -85,10 +89,10 @@ from typing import Sequence
 from repro.core.config import DexConfig
 from repro.core.dex import DexNetwork
 from repro.errors import AdversaryError
-from repro.net.walks import random_walk
+from repro.net.walks import random_walk, run_wave
 
-SCHEMA = "dex-perf/2"
-_COMPATIBLE_SCHEMAS = ("dex-perf/1", "dex-perf/2")
+SCHEMA = "dex-perf/3"
+_COMPATIBLE_SCHEMAS = ("dex-perf/1", "dex-perf/2", "dex-perf/3")
 DEFAULT_SIZES = (256, 1024, 4096)
 DEFAULT_STEPS = 200
 DEFAULT_BATCH = 64
@@ -266,6 +270,49 @@ def bench_batch_vs_seq(
 
 
 # ----------------------------------------------------------------------
+# lockstep wave engine (PR 3)
+# ----------------------------------------------------------------------
+DEFAULT_WAVE_TOKENS = 1000
+
+
+def bench_wave(
+    n: int,
+    tokens: int = DEFAULT_WAVE_TOKENS,
+    seed: int = 11,
+    repeats: int = 3,
+) -> dict[str, float]:
+    """Vectorized lockstep wave vs. the scalar reference on the same
+    ``bench_walks``-style wave (full-length weighted walks, empty member
+    set, Lemma 11 congestion), best-of-``repeats``.
+
+    Both engines implement one draw protocol, so a fixed rng state gives
+    bit-identical hop counts -- the per-hop ratio *is* the wall-clock
+    ratio, and the comparison can never flake on divergent trajectories.
+    """
+    net = _build(n, seed)
+    workload = random.Random(seed + 2)
+    starts = [net.sample_node(workload) for _ in range(tokens)]
+    length = 4 * max(net.size, 2).bit_length()
+
+    def once(engine: str) -> float:
+        rng = random.Random(seed + 3)
+        t0 = time.perf_counter()
+        _ends, _founds, hops, _rounds = run_wave(
+            net.graph, starts, length, frozenset(), rng, engine=engine
+        )
+        return (time.perf_counter() - t0) / max(hops, 1) * 1e6
+
+    once("vector")  # warm the CSR wave view (billed to neither engine)
+    scalar_us = min(once("scalar") for _ in range(repeats))
+    vector_us = min(once("vector") for _ in range(repeats))
+    return {
+        "wave_hop_us": round(vector_us, 4),
+        "wave_scalar_hop_us": round(scalar_us, 4),
+        "wave_speedup_x": round(scalar_us / vector_us, 2) if vector_us else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
 # incremental CSR (PR 2)
 # ----------------------------------------------------------------------
 def bench_csr(
@@ -330,6 +377,7 @@ def run_suite(
         }
         row.update(bench_batch_vs_seq(n, batch=min(batch, max(1, n // 8)), seed=seed))
         row.update(bench_csr(n, seed=seed))
+        row.update(bench_wave(n, tokens=min(DEFAULT_WAVE_TOKENS, max(64, 2 * n)), seed=seed))
         suite[f"n{n}"] = row
         if progress:
             print(f"  n={n}: {row}", file=sys.stderr)
@@ -410,6 +458,7 @@ def _speedups(runs: dict) -> dict:
             ("spectral_ms_per_call", "spectral"),
             ("batch_churn_per_node_ms", "batch_churn"),
             ("csr_patch_ms", "csr_patch"),
+            ("wave_hop_us", "wave"),
         ):
             if a.get(metric) and b.get(metric):
                 ratios[short] = round(b[metric] / a[metric], 2)

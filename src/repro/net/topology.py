@@ -52,6 +52,7 @@ class DynamicMultigraph:
         "_cdf_cache",
         "_csr_cache",
         "_csr_dirty",
+        "_wave_view",
         "node_listeners",
     )
 
@@ -84,6 +85,10 @@ class DynamicMultigraph:
         #: nodes whose incident rows changed since the cached CSR was
         #: built (includes joined and departed nodes)
         self._csr_dirty: set[NodeId] = set()
+        #: memoized sampling view for the lockstep wave engine, keyed by
+        #: identity of the cached CSR matrix (rebuilt only when the CSR
+        #: itself is re-assembled)
+        self._wave_view: tuple[object, tuple] | None = None
         #: callbacks ``f(delta)`` fired on node join (+1) / leave (-1);
         #: the coordinator's size counter consumes these deltas
         self.node_listeners: list[Callable[[int], None]] = []
@@ -440,6 +445,13 @@ class DynamicMultigraph:
         return neighbors, cumulative, total
 
     @property
+    def csr_dirty_count(self) -> int:
+        """Rows the next CSR patch must re-emit (0 == the cached matrix
+        is current); the wave engine's auto heuristic reads this to
+        decide whether a wave amortizes the patch."""
+        return len(self._csr_dirty)
+
+    @property
     def num_edge_units(self) -> int:
         """Total multiplicity over undirected edges (self-loop weight
         counted once); O(1) from the cached total."""
@@ -530,47 +542,133 @@ class DynamicMultigraph:
 
     def survivors_connected(self, victims: set[NodeId]) -> bool:
         """Would the graph stay connected if ``victims`` disappeared?
-        Vectorized frontier BFS over the incrementally patched CSR
-        (victim rows are masked, never expanded) -- the batch deletion
-        validator, O(E) in numpy instead of a pure-Python sweep."""
-        order, A = self.to_sparse_adjacency()
-        n = len(order)
-        if n == 0:
+
+        Adjacency-delta BFS: clean rows of the *cached* (possibly stale)
+        CSR are expanded vectorized, while rows dirtied since the cache
+        was built -- including joined and departed nodes -- are walked
+        through the live adjacency dicts.  Because every multiplicity
+        change stamps both endpoints dirty, a clean row is guaranteed
+        current and can only reference nodes that still hold a CSR
+        position, so the hybrid traversal is exact without paying the
+        CSR patch for heal-dirtied rows (the former cost of batch
+        deletion validation).  The dirty set is left untouched for the
+        next consumer that genuinely needs the patched matrix."""
+        adj = self._adj
+        n_live = len(adj)
+        if n_live == 0:
             return False
-        order_arr = self._csr_cache[1]
-        if victims:
-            blocked = np.isin(
-                order_arr,
-                np.fromiter(victims, count=len(victims), dtype=np.int64),
-            )
-        else:
-            blocked = np.zeros(n, dtype=bool)
-        survivors = n - int(blocked.sum())
+        cache = self._csr_cache
+        if cache is None or 2 * len(self._csr_dirty) > n_live:
+            # No usable cache (or the delta would dominate): build once,
+            # then every row is clean and the loop below is pure numpy.
+            self.to_sparse_adjacency()
+            cache = self._csr_cache
+        order_arr, A = cache[1], cache[5]
+        n_csr = order_arr.shape[0]
+        indptr, indices = A.indptr, A.indices
+        dirty_live = [u for u in self._csr_dirty if u in adj]
+        survivors = n_live - sum(1 for v in victims if v in adj)
         if survivors <= 0:
             return False
-        indptr, indices = A.indptr, A.indices
-        visited = blocked.copy()
-        start = int(np.argmax(~visited))
-        visited[start] = True
-        frontier = np.array([start], dtype=np.int64)
+
+        def positions_of(ids: list[NodeId]) -> np.ndarray:
+            """CSR row positions of the ids that hold one (joined nodes
+            that postdate the cache are dropped)."""
+            arr = np.asarray(ids, dtype=np.int64)
+            p = np.searchsorted(order_arr, arr)
+            ok = (p < n_csr) & (order_arr[np.minimum(p, n_csr - 1)] == arr)
+            return p[ok]
+
+        visited = np.zeros(n_csr, dtype=bool)
+        # Departed nodes keep a stale row; clean rows never reference
+        # them (their departure dirtied every neighbor), so marking them
+        # visited only guards the dirty-row expansions below.
+        departed = [u for u in self._csr_dirty if u not in adj]
+        if departed:
+            visited[positions_of(departed)] = True
+        if victims:
+            visited[positions_of(list(victims))] = True
+        dirty_mask = np.zeros(n_csr, dtype=bool)
+        if dirty_live:
+            dirty_mask[positions_of(dirty_live)] = True
+        dirty_live_set = set(dirty_live)
+        dict_visited: set[NodeId] = set()
+
+        start = next(u for u in self._nodes if u not in victims)
         count = 1
-        while frontier.size:
-            row_starts = indptr[frontier]
-            counts = indptr[frontier + 1] - row_starts
-            total = int(counts.sum())
-            if total == 0:
-                break
-            cum = np.cumsum(counts)
-            offsets = np.arange(total) + np.repeat(
-                row_starts - np.concatenate(([0], cum[:-1])), counts
-            )
-            nbrs = indices[offsets]
-            nbrs = nbrs[~visited[nbrs]]
-            if nbrs.size == 0:
-                break
-            frontier = np.unique(nbrs)
+        frontier_dirty: list[NodeId] = []
+        if start in dirty_live_set:
+            dict_visited.add(start)
+            frontier_dirty.append(start)
+            visited[positions_of([start])] = True
+            frontier = np.empty(0, dtype=np.int64)
+        else:
+            frontier = positions_of([start])
             visited[frontier] = True
-            count += int(frontier.size)
+
+        while frontier.size or frontier_dirty:
+            next_clean: list[np.ndarray] = []
+            if frontier.size:
+                # vectorized expansion of the clean frontier rows
+                row_starts = indptr[frontier]
+                counts = indptr[frontier + 1] - row_starts
+                total = int(counts.sum())
+                if total:
+                    cum = np.cumsum(counts)
+                    offsets = np.arange(total) + np.repeat(
+                        row_starts - np.concatenate(([0], cum[:-1])), counts
+                    )
+                    nbrs = indices[offsets]
+                    nbrs = np.unique(nbrs[~visited[nbrs]])
+                    if nbrs.size:
+                        visited[nbrs] = True
+                        hit_dirty = dirty_mask[nbrs]
+                        for p in nbrs[hit_dirty].tolist():
+                            u = int(order_arr[p])
+                            dict_visited.add(u)
+                            frontier_dirty.append(u)
+                            count += 1
+                        clean = nbrs[~hit_dirty]
+                        if clean.size:
+                            next_clean.append(clean)
+                            count += int(clean.size)
+            # dict expansion of the dirty frontier rows (live adjacency);
+            # clean neighbors are collected and resolved to positions in
+            # one batched searchsorted per level, not one call per edge
+            clean_candidates: list[NodeId] = []
+            dirty_next: list[NodeId] = []
+            for u in frontier_dirty:
+                for v, m in adj[u].items():
+                    if m <= 0 or v == u or v in victims:
+                        continue
+                    if v in dirty_live_set:
+                        if v not in dict_visited:
+                            dict_visited.add(v)
+                            dirty_next.append(v)
+                            count += 1
+                    else:
+                        clean_candidates.append(v)
+            if dirty_next:
+                visited[positions_of(dirty_next)] = True
+            if clean_candidates:
+                # clean nodes always hold a CSR position (a node without
+                # one postdates the cache, which makes it dirty)
+                cpos = np.unique(
+                    np.searchsorted(
+                        order_arr,
+                        np.asarray(clean_candidates, dtype=np.int64),
+                    )
+                )
+                fresh = cpos[~visited[cpos]]
+                if fresh.size:
+                    visited[fresh] = True
+                    next_clean.append(fresh)
+                    count += int(fresh.size)
+            frontier = (
+                np.concatenate(next_clean) if next_clean
+                else np.empty(0, dtype=np.int64)
+            )
+            frontier_dirty = dirty_next
         return count == survivors
 
     def max_degree(self) -> int:
@@ -607,8 +705,12 @@ class DynamicMultigraph:
         self, nodes: Iterable[NodeId]
     ) -> tuple[list[NodeId], list[NodeId], list[float]]:
         """Coordinate triplets for the given nodes' rows, grouped per
-        node (callers pass nodes in ascending order to keep the cached
-        arrays sorted by row node id)."""
+        node and sorted by column id *within* each row (callers pass
+        nodes in ascending order to keep the cached arrays sorted by row
+        node id).  The within-row order matters: it makes each CSR row's
+        cumulative-multiplicity slice identical to the node's
+        :meth:`neighbor_cdf`, so the lockstep wave engine and the scalar
+        sampler map the same uniform draw to the same neighbor."""
         rid: list[NodeId] = []
         cid: list[NodeId] = []
         dat: list[float] = []
@@ -616,7 +718,8 @@ class DynamicMultigraph:
             nbrs = self._adj.get(u)
             if nbrs is None:
                 continue  # departed node: its cached entries are dropped
-            for v, m in nbrs.items():
+            for v in sorted(nbrs):
+                m = nbrs[v]
                 if m > 0:
                     rid.append(u)
                     cid.append(v)
@@ -624,16 +727,21 @@ class DynamicMultigraph:
         return rid, cid, dat
 
     def _csr_finish(
-        self, rid: np.ndarray, cid: np.ndarray, dat: np.ndarray
+        self,
+        order: list[NodeId],
+        order_arr: np.ndarray,
+        rid: np.ndarray,
+        cid: np.ndarray,
+        dat: np.ndarray,
     ) -> tuple[list[NodeId], sp.csr_matrix]:
         """Assemble the CSR directly from triplets sorted by row node id:
         node ids map to row positions through a dense lookup table
         (ids are bounded by the insertion history, so the table is a
         fancy-index O(1) per entry), and row pointers come from a
         bincount over row positions -- scipy never has to re-sort or
-        coalesce a COO intermediate."""
-        order = sorted(self._adj)
-        order_arr = np.asarray(order, dtype=np.int64)
+        coalesce a COO intermediate.  ``order``/``order_arr`` are the
+        sorted live node ids, computed incrementally by the patch path
+        (merge) and from scratch by the rebuild path."""
         n = len(order)
         if n:
             lut = np.empty(int(order_arr[-1]) + 1, dtype=np.int64)
@@ -650,26 +758,67 @@ class DynamicMultigraph:
         return order, A
 
     def _csr_rebuild(self) -> tuple[list[NodeId], sp.csr_matrix]:
-        rid, cid, dat = self._csr_emit_rows(sorted(self._adj))
+        order = sorted(self._adj)
+        rid, cid, dat = self._csr_emit_rows(order)
         return self._csr_finish(
+            order,
+            np.asarray(order, dtype=np.int64),
             np.asarray(rid, dtype=np.int64),
             np.asarray(cid, dtype=np.int64),
             np.asarray(dat, dtype=np.float64),
         )
 
     def _csr_patch(self) -> tuple[list[NodeId], sp.csr_matrix]:
-        _order, _order_arr, rid, cid, dat, _A = self._csr_cache
+        _order, order_arr, rid, cid, dat, _A = self._csr_cache
         dirty = self._csr_dirty
         dirty_arr = np.fromiter(dirty, count=len(dirty), dtype=np.int64)
         keep = ~np.isin(rid, dirty_arr)
         rid, cid, dat = rid[keep], cid[keep], dat[keep]
-        add_r, add_c, add_d = self._csr_emit_rows(sorted(dirty))
+        dirty_sorted = sorted(dirty)
+        add_r, add_c, add_d = self._csr_emit_rows(dirty_sorted)
         if add_r:
             at = np.searchsorted(rid, add_r)
             rid = np.insert(rid, at, add_r)
             cid = np.insert(cid, at, add_c)
             dat = np.insert(dat, at, add_d)
-        return self._csr_finish(rid, cid, dat)
+        # The ordering is nearly sorted: the retained rows are already in
+        # ascending id order, so instead of re-sorting all live ids
+        # (the former Timsort over the whole key list -- the remaining
+        # O(n log n) term at large n) merge the retained order with the
+        # sorted dirty re-emissions.
+        retained = order_arr[~np.isin(order_arr, dirty_arr)]
+        joined = np.asarray(
+            [u for u in dirty_sorted if u in self._adj], dtype=np.int64
+        )
+        if joined.size:
+            order_arr = np.insert(retained, np.searchsorted(retained, joined), joined)
+        else:
+            order_arr = retained
+        return self._csr_finish(order_arr.tolist(), order_arr, rid, cid, dat)
+
+    def csr_wave_view(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sampling view for the lockstep wave engine:
+        ``(order_arr, indptr, indices, cumbase)`` over the incrementally
+        patched CSR, where ``cumbase`` is the exclusive prefix sum of the
+        multiplicity data (length ``nnz + 1``; ``cumbase[indptr[r]]`` is
+        row ``r``'s base and ``cumbase[indptr[r+1]] - base`` its total).
+
+        Rows are emitted sorted by column id and the id->position lookup
+        is monotone, so ``cumbase`` sliced per row is *numerically
+        identical* to :meth:`neighbor_cdf`'s cumulative array -- the
+        vectorized sampler and the scalar reference map the same uniform
+        to the same neighbor.  Memoized per assembled CSR object."""
+        _order, A = self.to_sparse_adjacency()
+        view = self._wave_view
+        if view is not None and view[0] is A:
+            return view[1]
+        cumbase = np.zeros(A.data.shape[0] + 1, dtype=np.float64)
+        np.cumsum(A.data, out=cumbase[1:])
+        out = (self._csr_cache[1], A.indptr, A.indices, cumbase)
+        self._wave_view = (A, out)
+        return out
 
     def verify_sparse_cache(self) -> None:
         """Audit the incremental CSR against a from-scratch build (the

@@ -28,6 +28,27 @@ from repro.net.topology import DynamicMultigraph
 from repro.types import NodeId, Vertex
 from repro.virtual.pcycle import PCycle
 
+try:  # the lockstep wave engine is numpy; the scalar reference is not
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+#: below this many tokens the numpy setup (CSR view, membership mask)
+#: costs more than it saves; ``engine="auto"`` runs the scalar reference
+#: instead.  Purely a performance knob: both engines implement the same
+#: draw protocol, so the choice never changes results.
+VECTOR_MIN_TOKENS = 24
+
+#: with a *dirty* CSR the vector engine additionally pays an O(nnz)
+#: incremental patch before the first hop, so ``engine="auto"`` demands
+#: the wave's worst-case work (tokens x length) exceed this many hops
+#: per graph node before vectorizing; healing waves of a small batch at
+#: large n correctly stay scalar.
+VECTOR_MIN_WORK_PER_NODE = 4
+
 
 @dataclass(frozen=True)
 class WalkResult:
@@ -221,73 +242,89 @@ def scheduled_walks(
     return results, rounds
 
 
-def run_wave(
+def _filtered_redraw(
+    graph: DynamicMultigraph,
+    at: NodeId,
+    avoid: NodeId,
+    random_unit: Callable[[], float],
+) -> NodeId | None:
+    """Exact conditional redraw over the support excluding ``avoid``
+    (consumes one uniform iff a non-excluded neighbor exists).  Shared
+    verbatim by both wave engines so rng consumption stays identical."""
+    neighbors, cumulative, total = graph.neighbor_cdf(at)
+    acc = 0
+    options: list[tuple[NodeId, int]] = []
+    prev = 0
+    for v, cum in zip(neighbors, cumulative):
+        m = cum - prev
+        prev = cum
+        if v != avoid:
+            acc += m
+            options.append((v, acc))
+    if not options:
+        return None  # every neighbor excluded: token is stuck
+    pick = int(random_unit() * acc)
+    for v, cum in options:
+        if pick < cum:
+            return v
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _wave_scalar(
     graph: DynamicMultigraph,
     starts: Sequence[NodeId],
     length: int,
     members: "Container[NodeId]",
+    active: list[int],
+    gen,
     rng: random.Random,
-    excluded: Sequence[NodeId | None] | None = None,
+    excl: list[NodeId | None],
+    transcript: list | None,
 ) -> tuple[list[NodeId], list[bool], int, int]:
-    """Specialized congestion-scheduled wave for the batch healing
-    engine: every token seeks a node of the ``members`` set (Spare or
-    Low), optionally never stepping onto its single excluded node (the
-    freshly inserted node of Algorithm 4.2).
-
-    Returns ``(ends, founds, total_hops, rounds)``.  Semantics match
-    :func:`scheduled_walks` with ``stop = members.__contains__``; this
-    entry point exists because wave tokens typically stop within one or
-    two hops, so per-token bookkeeping dominates -- membership tests
-    replace predicate calls, directed edges are keyed as packed ints,
-    and the excluded-node case samples unconditionally and only falls
-    back to the O(degree) filtered scan when the draw actually hits the
-    excluded node (hitting it has probability ``m_u/total``, and the
-    fallback redraw yields exactly the conditional distribution).
-    """
+    """Scalar reference implementation of the wave protocol (see
+    :func:`run_wave`); also the fallback when numpy is absent."""
     k = len(starts)
     positions = list(starts)
     remaining = [length] * k
     founds = [False] * k
-    excl = list(excluded) if excluded is not None else [None] * k
     total_hops = 0
     rounds = 0
-    active = [i for i in range(k) if length > 0]
     neighbor_cdf = graph.neighbor_cdf
-    random_unit = rng.random
+    random_unit = gen.random if gen is not None else rng.random
     used: set[int] = set()
-    # One shuffle per wave; finished tokens are dropped in place, so a
-    # round costs O(active) with no re-sort (blocked tokens keep their
-    # relative order, which only matters under sustained congestion).
-    rng.shuffle(active)
+    proposals: list[NodeId | None] = []
     while active:
         rounds += 1
         used.clear()
-        write = 0
-        for idx in active:
-            at = positions[idx]
-            neighbors, cumulative, total = neighbor_cdf(at)
+        # Pass 1: this round's uniform block, consumed in active order.
+        if gen is not None:
+            block = gen.random(len(active)).tolist()
+        else:  # pragma: no cover - numpy-free fallback
+            block = [random_unit() for _ in active]
+        proposals.clear()
+        for slot, idx in enumerate(active):
+            neighbors, cumulative, total = neighbor_cdf(positions[idx])
             if total == 0:
-                continue  # stuck token: stays put, leaves the wave
-            nxt = neighbors[bisect_right(cumulative, int(random_unit() * total))]
+                proposals.append(None)  # stuck: leaves the wave in place
+            else:
+                proposals.append(
+                    neighbors[bisect_right(cumulative, int(block[slot] * total))]
+                )
+        # Pass 2: conditional redraws for tokens that hit their excluded
+        # node (probability m_u/total, so the O(degree) scan is rare).
+        for slot, idx in enumerate(active):
             avoid = excl[idx]
-            if avoid is not None and nxt == avoid:
-                # Exact conditional redraw over the filtered support.
-                acc = 0
-                options: list[tuple[NodeId, int]] = []
-                prev = 0
-                for v, cum in zip(neighbors, cumulative):
-                    m = cum - prev
-                    prev = cum
-                    if v != avoid:
-                        acc += m
-                        options.append((v, acc))
-                if not options:
-                    continue  # every neighbor excluded: token is stuck
-                pick = int(random_unit() * acc)
-                for v, cum in options:
-                    if pick < cum:
-                        nxt = v
-                        break
+            if avoid is not None and proposals[slot] == avoid:
+                proposals[slot] = _filtered_redraw(
+                    graph, positions[idx], avoid, random_unit
+                )
+        # Pass 3: edge claims in active order, then movement.
+        write = 0
+        for slot, idx in enumerate(active):
+            nxt = proposals[slot]
+            if nxt is None:
+                continue
+            at = positions[idx]
             if nxt != at:
                 key = (at << 32) | (nxt & 0xFFFFFFFF)
                 if key in used:
@@ -305,9 +342,267 @@ def run_wave(
                 active[write] = idx
                 write += 1
         del active[write:]
+        if transcript is not None:
+            transcript.append((
+                tuple(positions),
+                tuple(sorted((key >> 32, key & 0xFFFFFFFF) for key in used)),
+            ))
         if rounds > 1000 * max(1, length):  # pragma: no cover - safety
             raise TopologyError("parallel walks failed to complete")
     return positions, founds, total_hops, rounds
+
+
+def _wave_vector(
+    graph: DynamicMultigraph,
+    starts: Sequence[NodeId],
+    length: int,
+    members: "Container[NodeId]",
+    active_list: list[int],
+    gen,
+    rng: random.Random,
+    excl: list[NodeId | None],
+    transcript: list | None,
+) -> tuple[list[NodeId], list[bool], int, int]:
+    """Lockstep numpy implementation of the wave protocol: all active
+    tokens advance per round as vectorized operations over the
+    incrementally patched CSR (:meth:`DynamicMultigraph.csr_wave_view`).
+
+    A proposed hop is a *directed-edge slot* -- the CSR data index the
+    weighted draw lands on -- so the Lemma 11 one-token-per-directed-edge
+    rule resolves sort-free: a reversed fancy assignment into a
+    per-slot claims array leaves each slot holding its *first* claimant
+    in active order, and every later claimant blocks.  (No per-round
+    reset is needed: a round writes each slot it reads.)"""
+    k = len(starts)
+    order_arr, indptr, indices, cumbase = graph.csr_wave_view()
+    n_csr = order_arr.shape[0]
+    starts_arr = np.asarray(starts, dtype=np.int64)
+    pos = np.searchsorted(order_arr, starts_arr)
+    if n_csr == 0 or bool(
+        np.any(pos >= n_csr)
+        or np.any(order_arr[np.minimum(pos, n_csr - 1)] != starts_arr)
+    ):
+        missing = (
+            starts_arr[0]
+            if n_csr == 0
+            else starts_arr[
+                (pos >= n_csr) | (order_arr[np.minimum(pos, n_csr - 1)] != starts_arr)
+            ][0]
+        )
+        raise TopologyError(f"node {missing} does not exist")
+    indices = indices.astype(np.int64, copy=False)
+    indptr = indptr.astype(np.int64, copy=False)
+    # Per-row base/total of the multiplicity prefix sums, and whether
+    # any row is empty (a DEX node never is: degree = 3 * load >= 3, but
+    # the raw multigraph API allows it).
+    rowbase = cumbase[indptr[:-1]]
+    rowtot = cumbase[indptr[1:]] - rowbase
+    has_empty = bool((rowtot == 0.0).any())
+    member_mask = np.zeros(n_csr, dtype=bool)
+    member_ids = np.fromiter(members, dtype=np.int64, count=len(members))  # type: ignore[arg-type]
+    if member_ids.size:
+        mpos = np.searchsorted(order_arr, member_ids)
+        ok = (mpos < n_csr) & (order_arr[np.minimum(mpos, n_csr - 1)] == member_ids)
+        member_mask[mpos[ok]] = True
+    member_any = bool(member_ids.size)
+    excl_pos = np.full(k, -1, dtype=np.int64)
+    any_excl = False
+    for i, avoid in enumerate(excl):
+        if avoid is not None:
+            p = int(np.searchsorted(order_arr, avoid))
+            if p < n_csr and order_arr[p] == avoid:
+                excl_pos[i] = p
+                any_excl = True
+    need_stuck = has_empty or any_excl
+    remaining = np.full(k, length, dtype=np.int64)
+    founds = np.zeros(k, dtype=bool)
+    total_hops = 0
+    rounds = 0
+    active = np.asarray(active_list, dtype=np.int64)
+    random_unit = gen.random
+    #: claims array, one cell per directed-edge slot; written before
+    #: read within each round, so it needs no initialization or reset
+    first_claim = np.empty(max(indices.shape[0], 1), dtype=np.int64)
+    while active.size:
+        rounds += 1
+        m = active.size
+        at = pos[active]
+        # Pass 1: this round's uniform block, then every token's
+        # weighted proposal in one batched draw -- int(u * total)
+        # truncation and a global searchsorted on the prefix-sum array
+        # (bounds confine each hit to its row, and the row slice equals
+        # neighbor_cdf's cumulative array, so the same uniform maps to
+        # the same neighbor as the scalar bisect).
+        u = gen.random(m)
+        base = rowbase[at]
+        np.multiply(u, rowtot[at], out=u)
+        np.floor(u, out=u)
+        np.add(u, base, out=u)
+        if need_stuck:
+            stuck = rowtot[at] == 0.0
+            j = np.empty(m, dtype=np.int64)
+            ok = ~stuck
+            j[ok] = np.searchsorted(cumbase, u[ok], side="right") - 1
+            j[stuck] = 0
+        else:
+            stuck = None
+            j = np.searchsorted(cumbase, u, side="right") - 1
+        nxt = indices[j]
+        # Pass 2: conditional redraws, in active order (rare).
+        if any_excl:
+            hit_mask = nxt == excl_pos[active]
+            if stuck is not None:
+                hit_mask &= ~stuck
+            for slot in np.nonzero(hit_mask)[0].tolist():
+                idx = int(active[slot])
+                res = _filtered_redraw(
+                    graph, int(order_arr[at[slot]]), excl[idx], random_unit
+                )
+                if res is None:
+                    stuck[slot] = True
+                else:
+                    p = int(np.searchsorted(order_arr, res))
+                    rs = int(indptr[p_at := int(at[slot])])
+                    re_ = int(indptr[p_at + 1])
+                    nxt[slot] = p
+                    j[slot] = rs + int(np.searchsorted(indices[rs:re_], p))
+        # Pass 3: sort-free edge claims -- first token in active order
+        # wins each directed-edge slot; losers block and retry.
+        claim_mask = nxt != at
+        if stuck is not None:
+            claim_mask &= ~stuck
+        claim_sel = np.nonzero(claim_mask)[0]
+        jcl = j[claim_sel]
+        first_claim[jcl[::-1]] = claim_sel[::-1]
+        win = first_claim[jcl] == claim_sel
+        blocked_slots = claim_sel[~win]
+        if stuck is None:
+            moved = np.ones(m, dtype=bool)
+        else:
+            moved = ~stuck
+        moved[blocked_slots] = False
+        moved_tokens = active[moved]
+        new_pos = nxt[moved]
+        pos[moved_tokens] = new_pos
+        total_hops += int(moved_tokens.size)
+        if member_any:
+            found_now = member_mask[new_pos]
+            founds[moved_tokens[found_now]] = True
+            walk_mask = moved.copy()
+            walk_mask[moved] = ~found_now
+            walk_tokens = moved_tokens[~found_now]
+        else:
+            walk_mask = moved
+            walk_tokens = moved_tokens
+        remaining[walk_tokens] -= 1
+        keep = np.zeros(m, dtype=bool)
+        keep[blocked_slots] = True
+        keep[walk_mask] = remaining[walk_tokens] > 0
+        active = active[keep]
+        if transcript is not None:
+            winners = claim_sel[win]
+            transcript.append((
+                tuple(order_arr[pos].tolist()),
+                tuple(sorted(
+                    zip(
+                        order_arr[at[winners]].tolist(),
+                        order_arr[nxt[winners]].tolist(),
+                    )
+                )),
+            ))
+        if rounds > 1000 * max(1, length):  # pragma: no cover - safety
+            raise TopologyError("parallel walks failed to complete")
+    return (
+        order_arr[pos].tolist(),
+        founds.tolist(),
+        total_hops,
+        rounds,
+    )
+
+
+def run_wave(
+    graph: DynamicMultigraph,
+    starts: Sequence[NodeId],
+    length: int,
+    members: "Container[NodeId]",
+    rng: random.Random,
+    excluded: Sequence[NodeId | None] | None = None,
+    engine: str = "auto",
+    transcript: list | None = None,
+) -> tuple[list[NodeId], list[bool], int, int]:
+    """Specialized congestion-scheduled wave for the batch healing
+    engine: every token seeks a node of the ``members`` set (Spare or
+    Low), optionally never stepping onto its single excluded node (the
+    freshly inserted node of Algorithm 4.2).  Returns
+    ``(ends, founds, total_hops, rounds)``; semantics match
+    :func:`scheduled_walks` with ``stop = members.__contains__``.
+
+    Two engines implement one *draw protocol*, so for a fixed rng state
+    they produce bit-identical results and the choice is purely a
+    performance knob:
+
+    * ``"scalar"`` -- the per-token reference loop (and the fallback
+      when numpy is absent); the differential-test oracle.
+    * ``"vector"`` -- the lockstep numpy engine: all active tokens of a
+      round advance as vectorized CSR operations (`searchsorted` on the
+      prefix-sum of row multiplicities, batched weighted draws), with
+      the Lemma 11 one-token-per-directed-edge rule enforced via
+      vectorized edge-claim arrays.
+    * ``"auto"`` -- vector for waves of at least ``VECTOR_MIN_TOKENS``
+      tokens with a set-like member container, provided the CSR is
+      already clean or the wave's worst-case work amortizes the O(nnz)
+      patch (``VECTOR_MIN_WORK_PER_NODE``); scalar otherwise.
+
+    Randomness: the wave's order is shuffled once with the caller's
+    ``rng``, which then seeds a dedicated PCG64 stream; each round both
+    engines consume one *block* of uniforms from that stream (in active
+    order), then per-token redraws.  The protocol per round: (1) every
+    active token, in the wave's fixed shuffled order, takes its block
+    uniform and proposes a weighted hop; (2) tokens whose proposal hit
+    their excluded node redraw from the filtered support, in the same
+    order; (3) directed-edge claims resolve in order (first claimant
+    wins, losers block and retry next round), winners move, members
+    stop, exhausted tokens leave.  ``transcript``, when a list,
+    receives one ``(positions, claimed_edges)`` tuple per round -- the
+    equality witness for the engine-equivalence oracle and differential
+    tests.
+    """
+    if engine not in ("auto", "vector", "scalar"):
+        raise TopologyError(f"unknown wave engine {engine!r}")
+    # Validate starts before dispatch so both engines reject a dead
+    # start identically (the scalar loop would otherwise only notice in
+    # round 1, which never runs for length=0 waves).
+    for s in starts:
+        if not graph.has_node(s):
+            raise TopologyError(f"node {s} does not exist")
+    excl = list(excluded) if excluded is not None else [None] * len(starts)
+    if engine == "vector" and not HAVE_NUMPY:  # pragma: no cover - gated env
+        raise TopologyError("wave engine 'vector' requires numpy")
+    active = [i for i in range(len(starts)) if length > 0]
+    rng.shuffle(active)
+    gen = (
+        np.random.Generator(np.random.PCG64(rng.getrandbits(64)))
+        if HAVE_NUMPY
+        else None
+    )
+    use_vector = engine == "vector" or (
+        engine == "auto"
+        and HAVE_NUMPY
+        and len(starts) >= VECTOR_MIN_TOKENS
+        and isinstance(members, (set, frozenset, dict))
+        and (
+            graph.csr_dirty_count == 0
+            or len(starts) * max(1, length)
+            >= VECTOR_MIN_WORK_PER_NODE * graph.num_nodes
+        )
+    )
+    if use_vector:
+        return _wave_vector(
+            graph, starts, length, members, active, gen, rng, excl, transcript
+        )
+    return _wave_scalar(
+        graph, starts, length, members, active, gen, rng, excl, transcript
+    )
 
 
 def parallel_walks(

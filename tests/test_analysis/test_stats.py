@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.stats import Summary, fit_log_curve, loglog_slope, summarize
+from repro.analysis.stats import fit_log_curve, loglog_slope, summarize
 
 
 class TestSummarize:

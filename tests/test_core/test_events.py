@@ -2,7 +2,7 @@
 
 from repro.core.config import DexConfig
 from repro.core.dex import DexNetwork
-from repro.types import RecoveryType, StepKind
+from repro.types import StepKind
 
 
 class TestStepReports:

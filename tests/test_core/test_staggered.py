@@ -5,8 +5,7 @@ import pytest
 
 from repro.core.config import DexConfig
 from repro.core.dex import DexNetwork
-from repro.types import RecoveryType
-from tests.conftest import drive_deletes, drive_inserts
+from tests.conftest import drive_inserts
 
 
 def staggered_net(n0: int = 16, seed: int = 23, **over) -> DexNetwork:

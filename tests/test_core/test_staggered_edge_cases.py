@@ -1,10 +1,7 @@
 """Staggered type-2 corner cases: churn aimed at the machinery itself."""
 
-import pytest
-
 from repro.core.config import DexConfig
 from repro.core.dex import DexNetwork
-from repro.types import Layer
 
 
 def net_in_inflation(seed: int, n0: int = 16) -> DexNetwork:

@@ -1,7 +1,5 @@
 """Type-1 recovery (Algorithms 4.2/4.3): correctness and cost shape."""
 
-import math
-
 import pytest
 
 from repro.core.config import DexConfig

@@ -3,8 +3,6 @@ retrievability survives churn including staggered cycle swaps (I9)."""
 
 import math
 
-import pytest
-
 from repro.core.config import DexConfig
 from repro.core.dex import DexNetwork
 from repro.dht.dht import DexDHT

@@ -1,5 +1,5 @@
-"""The perf harness: schema-2 report plumbing, v1 migration, batch and
-CSR benchmark helpers, and the sweep worker (in-process)."""
+"""The perf harness: schema-3 report plumbing, v1/v2 migration, batch,
+CSR and wave benchmark helpers, and the sweep worker (in-process)."""
 
 from __future__ import annotations
 
@@ -24,6 +24,18 @@ class TestReportPlumbing:
         report = perf.load_report(path)
         assert report["schema"] == perf.SCHEMA
         assert report["runs"]["before"]["n64"]["churn_per_step_ms"] == 1.0
+
+    def test_v2_report_upgrades_in_place(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "schema": "dex-perf/2",
+            "runs": {"pr2": {"n64": {"batch_churn_per_node_ms": 0.5}}},
+            "sweeps": {"pr2": {"n100000_s11": {"wall_s": 3.0}}},
+        }))
+        report = perf.load_report(path)
+        assert report["schema"] == "dex-perf/3"
+        assert report["runs"]["pr2"]["n64"]["batch_churn_per_node_ms"] == 0.5
+        assert report["sweeps"]["pr2"]["n100000_s11"]["wall_s"] == 3.0
 
     def test_unknown_schema_starts_fresh(self, tmp_path):
         path = tmp_path / "bench.json"
@@ -61,6 +73,13 @@ class TestReportPlumbing:
         assert out["n64"]["batch_churn"] == 4.0
         assert out["n64"]["csr_patch"] == 4.0
 
+    def test_speedups_include_wave_metric(self):
+        runs = {
+            "before": {"n64": {"wave_hop_us": 1.0}},
+            "after": {"n64": {"wave_hop_us": 0.25}},
+        }
+        assert perf._speedups(runs)["n64"]["wave"] == 4.0
+
 
 class TestBenchHelpers:
     def test_batch_vs_seq_returns_all_metrics(self):
@@ -78,6 +97,13 @@ class TestBenchHelpers:
         assert row["csr_patch_ms"] > 0
         assert row["csr_rebuild_ms"] > 0
         assert row["csr_speedup_x"] > 0
+
+    def test_bench_wave_metrics(self):
+        row = perf.bench_wave(n=48, tokens=64, seed=3, repeats=1)
+        assert set(row) == {"wave_hop_us", "wave_scalar_hop_us", "wave_speedup_x"}
+        assert row["wave_hop_us"] > 0
+        assert row["wave_scalar_hop_us"] > 0
+        assert row["wave_speedup_x"] > 0
 
     def test_run_batch_churn_heals_and_keeps_invariants(self):
         net = DexNetwork.bootstrap(32, DexConfig(validate_every_step=False), seed=5)

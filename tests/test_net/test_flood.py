@@ -3,7 +3,6 @@ model must agree (DESIGN.md substitution 1)."""
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

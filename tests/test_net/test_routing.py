@@ -3,8 +3,6 @@
 import math
 import random
 
-import pytest
-
 from repro.net.routing import permutation_routing, route_cost, route_real_path
 from repro.virtual.pcycle import PCycle
 

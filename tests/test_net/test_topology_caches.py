@@ -184,6 +184,47 @@ class TestIncrementalCSR:
         assert (abs(a - b)).nnz == 0
         graph.verify_sparse_cache()
 
+    def test_nearly_sorted_order_merge_matches_rebuild(self):
+        """The patch path merges the retained (sorted) ordering with
+        the sorted dirty re-emissions instead of re-sorting every live
+        id; interleaved joins and departures -- including ids that sort
+        between, before, and after the retained ones -- must land in
+        exactly the ordering ``force_rebuild=True`` computes."""
+        graph = DynamicMultigraph()
+        for u in range(0, 100, 4):  # sparse id space: 0, 4, 8, ...
+            graph.add_node(u)
+        ids = list(range(0, 100, 4))
+        for a, b in zip(ids, ids[1:]):
+            graph.add_edge(a, b)
+        graph.to_sparse_adjacency()  # prime the cache
+        # joins that interleave (2, 18), prepend (-1 not allowed: ids are
+        # nonnegative -- use 1) and append (99); one departure mid-range
+        for new in (2, 18, 1, 99):
+            graph.add_node(new)
+            graph.add_edge(new, 0)
+        graph.drop_node_with_edges(8)
+        assert 0 < 2 * graph.csr_dirty_count <= graph.num_nodes, (
+            "test must exercise the merge patch path, not the rebuild"
+        )
+        order, patched = graph.to_sparse_adjacency()
+        assert order == sorted(graph.nodes())
+        order2, rebuilt = graph.to_sparse_adjacency(force_rebuild=True)
+        assert order == order2
+        assert (abs(patched - rebuilt)).nnz == 0
+        graph.verify_sparse_cache()
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), ops=st.integers(1, 40))
+    def test_order_merge_under_random_churn(self, seed: int, ops: int):
+        graph = DynamicMultigraph()
+        rng = random.Random(seed)
+        _apply_random_ops(graph, rng, 30)
+        graph.to_sparse_adjacency()
+        _apply_random_ops(graph, rng, ops)
+        order, _ = graph.to_sparse_adjacency()
+        assert order == sorted(graph.nodes())
+        graph.verify_sparse_cache()
+
 
 class TestSurvivorsConnected:
     """Vectorized remainder-connectivity (batch deletion validator)."""
@@ -227,3 +268,37 @@ class TestSurvivorsConnected:
             graph.add_edge(rng.randrange(n), rng.randrange(n))
         victims = {u for u in range(n) if rng.random() < 0.3}
         assert graph.survivors_connected(victims) == self._oracle(graph, victims)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_delta_bfs_on_dirty_cache_matches_oracle(self, seed: int):
+        """The adjacency-delta BFS: a stale CSR plus live-dict expansion
+        of the dirtied rows (joins, departures, edge churn) must agree
+        with the pure-Python oracle *without* patching the cache."""
+        rng = random.Random(seed)
+        graph = DynamicMultigraph()
+        n = rng.randrange(6, 24)
+        for u in range(n):
+            graph.add_node(u)
+        for _ in range(rng.randrange(n, 3 * n)):
+            graph.add_edge(rng.randrange(n), rng.randrange(n))
+        graph.to_sparse_adjacency()  # freeze a (soon stale) CSR
+        nid = n
+        for _ in range(rng.randrange(1, 6)):
+            c = rng.random()
+            live = list(graph.nodes())
+            if c < 0.35:
+                graph.add_node(nid)
+                graph.add_edge(nid, rng.choice(live))
+                nid += 1
+            elif c < 0.55 and len(live) > 4:
+                graph.drop_node_with_edges(rng.choice(live))
+            else:
+                graph.add_edge(rng.choice(live), rng.choice(live))
+        dirty_before = graph.csr_dirty_count
+        victims = {u for u in graph.nodes() if rng.random() < 0.3}
+        got = graph.survivors_connected(victims)
+        assert got == self._oracle(graph, victims)
+        if 2 * dirty_before <= graph.num_nodes:
+            # the delta traversal must not have paid the patch
+            assert graph.csr_dirty_count == dirty_before

@@ -6,6 +6,8 @@ import random
 from collections import Counter
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import TopologyError
 from repro.net.topology import DynamicMultigraph
@@ -222,3 +224,107 @@ class TestRunWave:
         assert founds == [False, False]
         assert hops == 24
         assert rounds >= 12
+
+
+def random_multigraph(rng: random.Random) -> DynamicMultigraph:
+    g = DynamicMultigraph()
+    n = rng.randrange(3, 40)
+    for u in range(n):
+        g.add_node(u)
+    for _ in range(rng.randrange(n, 4 * n)):
+        g.add_edge(rng.randrange(n), rng.randrange(n), mult=rng.randrange(1, 3))
+    return g
+
+
+class TestWaveEngines:
+    """The lockstep vector engine vs. the scalar reference: one draw
+    protocol, bit-identical transcripts for a fixed seed."""
+
+    def wave_args(self, rng: random.Random, g: DynamicMultigraph):
+        n = g.num_nodes
+        k = rng.randrange(1, 30)
+        starts = [rng.randrange(n) for _ in range(k)]
+        length = rng.randrange(0, 12)
+        members = {u for u in range(n) if rng.random() < 0.2}
+        excluded = [
+            rng.randrange(n) if rng.random() < 0.5 else None for _ in range(k)
+        ]
+        return starts, length, members, excluded
+
+    def test_engines_are_transcript_identical(self):
+        from repro.net.walks import run_wave
+
+        for seed in range(40):
+            rng = random.Random(seed)
+            g = random_multigraph(rng)
+            starts, length, members, excluded = self.wave_args(rng, g)
+            scalar_t: list = []
+            vector_t: list = []
+            scalar = run_wave(
+                g, starts, length, members, random.Random(7 * seed + 1),
+                excluded, engine="scalar", transcript=scalar_t,
+            )
+            vector = run_wave(
+                g, starts, length, members, random.Random(7 * seed + 1),
+                excluded, engine="vector", transcript=vector_t,
+            )
+            assert list(scalar[0]) == list(vector[0]), seed
+            assert list(scalar[1]) == list(vector[1]), seed
+            assert scalar[2:] == vector[2:], seed
+            assert scalar_t == vector_t, seed
+
+    def test_auto_engine_matches_forced_engines(self):
+        from repro.net.walks import run_wave
+
+        g = pcycle_graph(53)
+        starts = list(range(53)) * 2  # above VECTOR_MIN_TOKENS
+        members = set(range(0, 53, 9))
+        auto = run_wave(g, starts, 20, members, random.Random(3))
+        forced = run_wave(g, starts, 20, members, random.Random(3), engine="vector")
+        assert (list(auto[0]), list(auto[1]), auto[2], auto[3]) == (
+            list(forced[0]), list(forced[1]), forced[2], forced[3],
+        )
+
+    def test_unknown_engine_rejected(self):
+        from repro.net.walks import run_wave
+
+        g = pcycle_graph(23)
+        with pytest.raises(TopologyError, match="wave engine"):
+            run_wave(g, [0], 5, set(), random.Random(0), engine="simd")
+
+    def test_dead_start_rejected_by_both_engines(self):
+        from repro.net.walks import run_wave
+
+        g = pcycle_graph(23)
+        for engine in ("scalar", "vector"):
+            with pytest.raises(TopologyError, match="does not exist"):
+                run_wave(g, [0, 999], 5, set(), random.Random(0), engine=engine)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), engine=st.sampled_from(["scalar", "vector"]))
+    def test_no_directed_edge_double_booked(self, seed: int, engine: str):
+        """Lemma 11's congestion rule, checked from the transcript: in
+        any round, at most one token crosses each directed edge (the
+        edge-claim arrays must never double-book)."""
+        from repro.net.walks import run_wave
+
+        rng = random.Random(seed)
+        g = random_multigraph(rng)
+        starts, length, members, excluded = self.wave_args(rng, g)
+        transcript: list = []
+        run_wave(
+            g, starts, length, members, random.Random(seed + 1),
+            excluded, engine=engine, transcript=transcript,
+        )
+        prev = list(starts)
+        for positions, claimed in transcript:
+            crossings = [
+                (a, b) for a, b in zip(prev, positions) if a != b
+            ]
+            assert len(crossings) == len(set(crossings)), (
+                f"directed edge double-booked in round: {crossings}"
+            )
+            # every actual crossing was claimed, and claims are unique
+            assert set(crossings) <= set(claimed)
+            assert len(claimed) == len(set(claimed))
+            prev = list(positions)

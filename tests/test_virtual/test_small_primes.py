@@ -1,8 +1,6 @@
 """Degenerate small p-cycles: p = 5 and p = 7 have overlapping chord and
 ring edges (multi-edges), the hardest cases for the edge bookkeeping."""
 
-import pytest
-
 from repro.core.mapping import LayerMapping
 from repro.core.overlay import Overlay
 from repro.net.topology import DynamicMultigraph
