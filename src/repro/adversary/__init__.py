@@ -1,7 +1,14 @@
 """Adversaries (Section 2): adaptive strategies with full read access to
 the network state, deciding which node joins or leaves at every step."""
 
-from repro.adversary.base import Adversary, ChurnAction, NetworkView
+from repro.adversary.base import (
+    Adversary,
+    BatchAdversary,
+    ChurnAction,
+    NetworkView,
+    SingleStepBatchAdapter,
+    as_batch_adversary,
+)
 from repro.adversary.random_churn import (
     RandomChurn,
     InsertOnly,
@@ -18,8 +25,11 @@ from repro.adversary.traces import FlashCrowd, MassLeave, TraceAdversary
 
 __all__ = [
     "Adversary",
+    "BatchAdversary",
     "ChurnAction",
     "NetworkView",
+    "SingleStepBatchAdapter",
+    "as_batch_adversary",
     "RandomChurn",
     "InsertOnly",
     "DeleteOnly",

@@ -2,6 +2,12 @@
 current state -- the adversary class DEX is designed to survive
 (Theorem 1) and against which probabilistic constructions degrade
 (Section 1, Table 1).
+
+Victim selection is O(n): the former ``max(sorted(nodes), key=...)``
+idiom paid an O(n log n) sort *per action* purely for deterministic
+tie-breaking; the same stream now comes from a single ``max``/``min``
+over ``(score, id)`` keys (ties resolve to the smallest id, exactly the
+order the sorted scan produced).
 """
 
 from __future__ import annotations
@@ -9,6 +15,20 @@ from __future__ import annotations
 import random
 
 from repro.adversary.base import ChurnAction, NetworkView, pick_random_node
+from repro.types import NodeId
+
+#: Multiplier of a splitmix-style integer mix; see :func:`_keyed_pick`.
+_MIX = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+
+
+def _keyed_pick(members, tag: int) -> NodeId:
+    """Near-uniform member pick without sorting: one rng draw (``tag``)
+    keys an integer mix, and the member minimizing the mixed value wins.
+    O(n), independent of the container's iteration order (so stable
+    across runs for a fixed seed, which a ``rng.choice(list(set))``
+    never is), and a fresh tag per call re-randomizes the winner."""
+    return min(members, key=lambda u: (((u ^ tag) * _MIX) & _MASK, u))
 
 
 class DegreeAttack:
@@ -32,7 +52,8 @@ class DegreeAttack:
         if degree_of is None:
             victim = pick_random_node(view, self.rng)
         else:
-            victim = max(sorted(view.nodes()), key=degree_of)
+            # Highest degree, smallest id on ties -- one O(n) pass.
+            victim = max(view.nodes(), key=lambda u: (degree_of(u), -u))
         return ChurnAction("delete", node=victim)
 
 
@@ -41,6 +62,11 @@ class CoordinatorAttack:
     the paper's global-knowledge strawman dies on this (Omega(n) state
     transfer, Section 3); DEX pays O(1) because neighbors replicate the
     coordinator's O(log n)-bit state."""
+
+    #: The whole attack is "kill whoever hosts vertex 0 *now*", so a
+    #: batch decided against a stale view is meaningless; the campaign
+    #: driver feeds this strategy one healed step at a time.
+    adaptive_within_batch = True
 
     def __init__(self, seed: int = 0, insert_every: int = 2, min_size: int = 8):
         self.rng = random.Random(seed)
@@ -65,6 +91,10 @@ class SpareDepleter:
     """Insert while deleting precisely the Spare nodes, starving the
     walk's target set as fast as possible and forcing early type-2."""
 
+    #: Spare membership changes with every healed step; deciding a whole
+    #: batch against a stale Spare snapshot would mostly miss.
+    adaptive_within_batch = True
+
     def __init__(self, seed: int = 0, min_size: int = 8):
         self.rng = random.Random(seed)
         self.min_size = min_size
@@ -75,9 +105,12 @@ class SpareDepleter:
         overlay = getattr(view, "overlay", None)
         if self._toggle or view.size <= self.min_size or overlay is None:
             return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
-        spare = sorted(overlay.old.spare)
+        spare = overlay.old.spare
         if spare:
-            return ChurnAction("delete", node=spare[self.rng.randrange(len(spare))])
+            # O(n) keyed pick replaces sorting the Spare set every step
+            # just to index it reproducibly.
+            victim = _keyed_pick(spare, self.rng.getrandbits(64))
+            return ChurnAction("delete", node=victim)
         return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
 
 
@@ -95,5 +128,6 @@ class LowLoadAttack:
         load_of = getattr(view, "load_of", None)
         if load_of is None:
             return ChurnAction("delete", node=pick_random_node(view, self.rng))
-        victim = min(sorted(view.nodes()), key=load_of)
+        # Lowest load, smallest id on ties -- one O(n) pass.
+        victim = min(view.nodes(), key=lambda u: (load_of(u), u))
         return ChurnAction("delete", node=victim)

@@ -8,15 +8,33 @@ and returns a :class:`ChurnAction`.  The only thing the adversary does
 not see is the fresh randomness the healing algorithm will draw *during*
 the step it just triggered -- exactly the paper's model, and the reason
 randomized rebalancing defeats it.
+
+Section 5 extends the model to *batched* churn: the adversary submits up
+to ``eps * n`` joins/leaves at once, all decided against the pre-step
+state.  :class:`BatchAdversary` is that protocol (``next_batch``), and
+:func:`as_batch_adversary` adapts any single-action strategy to it: the
+adapter keeps calling ``next_action`` against the (unchanging) pre-step
+view and closes the batch at the first action that *requires* seeing a
+healed network -- a repeated delete victim, an insert re-using a
+scheduled id, an over-subscribed attach point, or a change of action
+kind.  Strategies whose whole point is reacting to each healed step
+(e.g. the coordinator attack) declare ``adaptive_within_batch = True``
+and are fed through one action at a time.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Protocol, runtime_checkable
 
+from repro.errors import TraceExhausted
 from repro.types import NodeId
+
+#: Section 5's O(1) attach fan-out bound (mirrors
+#: ``repro.core.multi.MAX_ATTACH_PER_NODE``; kept literal so the
+#: adversary package does not import the healing engine).
+MAX_ATTACH_PER_NODE = 4
 
 
 @dataclass(frozen=True)
@@ -46,12 +64,166 @@ class Adversary(Protocol):
     def next_action(self, view: "NetworkView") -> ChurnAction: ...
 
 
+@runtime_checkable
+class BatchAdversary(Protocol):
+    """A strategy that emits whole Section 5 batches.
+
+    ``next_batch`` returns up to ``max_batch`` actions, all decided
+    against ``view`` (the pre-step state); an empty list ends the run.
+    Scripted strategies may raise :class:`~repro.errors.TraceExhausted`
+    instead -- the campaign driver treats both the same way.
+    """
+
+    def next_batch(
+        self, view: "NetworkView", max_batch: int
+    ) -> list[ChurnAction]: ...
+
+
+class SingleStepBatchAdapter:
+    """Wrap a single-action :class:`Adversary` into the batch protocol.
+
+    The batch is grown by replaying ``next_action`` against the frozen
+    pre-step view, so it contains exactly the actions the strategy
+    would take if the network healed nothing in between -- the Section 5
+    semantics.  The batch closes early at the first action that only
+    makes sense against a healed state (see module docstring).  A
+    kind change or a saturated attach point is buffered and leads the
+    next batch (nothing is lost); a *duplicate* -- the same delete
+    victim or insert id again -- is discarded: against a frozen view a
+    repeat is an artifact of the view not changing (a deterministic
+    strategy re-deciding), and replaying it after the batch heals would
+    target a node that no longer exists.
+    """
+
+    def __init__(self, adversary: Adversary):
+        self.adversary = adversary
+        self._pushback: ChurnAction | None = None
+        self._exhausted = False
+
+    def next_batch(
+        self, view: NetworkView, max_batch: int
+    ) -> list[ChurnAction]:
+        if self._exhausted and self._pushback is None:
+            return []
+        if getattr(self.adversary, "adaptive_within_batch", False):
+            max_batch = 1
+        batch: list[ChurnAction] = []
+        victims: set[NodeId] = set()
+        new_ids: set[NodeId] = set()
+        fanout: dict[NodeId, int] = {}
+        while len(batch) < max_batch:
+            if self._pushback is not None:
+                action, self._pushback = self._pushback, None
+            else:
+                try:
+                    action = self.adversary.next_action(view)
+                except TraceExhausted:
+                    self._exhausted = True
+                    break
+            if batch and self._is_duplicate(action, victims, new_ids):
+                break  # discard: a frozen-view re-decision, stale once healed
+            if batch and not self._compatible(action, batch[0].kind, fanout):
+                self._pushback = action
+                break
+            batch.append(action)
+            if action.kind == "delete":
+                victims.add(action.node)
+            else:
+                if action.node is not None:
+                    new_ids.add(action.node)
+                if action.attach_to is not None:
+                    fanout[action.attach_to] = fanout.get(action.attach_to, 0) + 1
+        return batch
+
+    @staticmethod
+    def _is_duplicate(
+        action: ChurnAction, victims: set[NodeId], new_ids: set[NodeId]
+    ) -> bool:
+        if action.kind == "delete":
+            return action.node in victims
+        return action.node is not None and action.node in new_ids
+
+    @staticmethod
+    def _compatible(
+        action: ChurnAction, kind: str, fanout: dict[NodeId, int]
+    ) -> bool:
+        if action.kind != kind:
+            return False
+        return not (
+            action.kind == "insert"
+            and action.attach_to is not None
+            and fanout.get(action.attach_to, 0) >= MAX_ATTACH_PER_NODE
+        )
+
+
+def as_batch_adversary(adversary) -> BatchAdversary:
+    """Return ``adversary`` itself if it already speaks the batch
+    protocol, else wrap it in :class:`SingleStepBatchAdapter`."""
+    if callable(getattr(adversary, "next_batch", None)):
+        return adversary
+    return SingleStepBatchAdapter(adversary)
+
+
+def draw_insert_actions(
+    view: NetworkView, rng: random.Random, count: int
+) -> list[ChurnAction]:
+    """``count`` insert actions with attach points drawn uniformly,
+    re-drawn so no host exceeds the Section 5 O(1) attach fan-out within
+    the batch (mirrors the batch engine's validation, so a well-formed
+    surge never bounces off ``insert_batch``)."""
+    fanout: dict[NodeId, int] = {}
+    actions: list[ChurnAction] = []
+    for _ in range(count):
+        host = pick_random_node(view, rng)
+        attempts = 0
+        while fanout.get(host, 0) >= MAX_ATTACH_PER_NODE:
+            host = pick_random_node(view, rng)
+            attempts += 1
+            if attempts >= 8 * MAX_ATTACH_PER_NODE:
+                # Tiny network saturated with attachments: emit a short
+                # batch rather than spin.
+                return actions
+        fanout[host] = fanout.get(host, 0) + 1
+        actions.append(ChurnAction("insert", attach_to=host))
+    return actions
+
+
+def draw_delete_actions(
+    view: NetworkView, rng: random.Random, count: int
+) -> list[ChurnAction]:
+    """``count`` *distinct* uniformly drawn victims (the batch engine
+    rejects duplicate deletions)."""
+    victims: set[NodeId] = set()
+    attempts = 0
+    limit = 16 * max(count, 1)
+    while len(victims) < count and attempts < limit:
+        victims.add(pick_random_node(view, rng))
+        attempts += 1
+    return [ChurnAction("delete", node=u) for u in sorted(victims)]
+
+
+#: ``nodes()`` containers whose iteration order is already deterministic
+#: across runs and platforms (insertion order), so indexing them needs
+#: no sort.
+_ORDERED_NODE_CONTAINERS = (type({}.keys()), dict, list, tuple)
+
+
 def pick_random_node(view: NetworkView, rng: random.Random) -> NodeId:
     """Uniform node pick.  DEX networks expose an O(1) sampler backed by
-    the topology's live-node array; baseline overlays without one fall
-    back to the O(n log n) sorted scan."""
+    the topology's live-node array.  Overlays whose ``nodes()`` is an
+    insertion-ordered container (dict views, lists) index it directly in
+    O(n) -- the former unconditional ``sorted`` paid O(n log n) for an
+    order those containers already guarantee.  Unordered containers
+    (e.g. the set-backed flooding/global-knowledge baselines) still sort,
+    because set iteration order is an implementation detail that would
+    break seed reproducibility across platforms."""
     sampler = getattr(view, "sample_node", None)
     if sampler is not None:
         return sampler(rng)
-    nodes = sorted(view.nodes())
-    return nodes[rng.randrange(len(nodes))]
+    nodes = view.nodes()
+    pool = (
+        list(nodes)
+        if isinstance(nodes, _ORDERED_NODE_CONTAINERS)
+        else sorted(nodes)
+    )
+    return pool[rng.randrange(len(pool))]

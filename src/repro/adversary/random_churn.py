@@ -9,7 +9,13 @@ from __future__ import annotations
 
 import random
 
-from repro.adversary.base import ChurnAction, NetworkView, pick_random_node
+from repro.adversary.base import (
+    ChurnAction,
+    NetworkView,
+    draw_delete_actions,
+    draw_insert_actions,
+    pick_random_node,
+)
 
 
 class RandomChurn:
@@ -26,6 +32,25 @@ class RandomChurn:
         if view.size <= self.min_size or self.rng.random() < self.p_insert:
             return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
         return ChurnAction("delete", node=pick_random_node(view, self.rng))
+
+    def next_batch(
+        self, view: NetworkView, max_batch: int
+    ) -> list[ChurnAction]:
+        """One coin per slot (tracking the batch's own net size change so
+        a delete streak cannot overshoot ``min_size``), grouped into an
+        insert run and a delete run."""
+        inserts = deletes = 0
+        size = view.size
+        for _ in range(max_batch):
+            if size <= self.min_size or self.rng.random() < self.p_insert:
+                inserts += 1
+                size += 1
+            else:
+                deletes += 1
+                size -= 1
+        return draw_insert_actions(view, self.rng, inserts) + draw_delete_actions(
+            view, self.rng, deletes
+        )
 
 
 class InsertOnly:
@@ -75,3 +100,29 @@ class OscillatingChurn:
         if self._phase_insert:
             return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
         return ChurnAction("delete", node=pick_random_node(view, self.rng))
+
+    def next_batch(
+        self, view: NetworkView, max_batch: int
+    ) -> list[ChurnAction]:
+        """A burst *is* a batch: emit the remainder of the current phase
+        (capped at ``max_batch``), flipping phases exactly as the
+        single-action stream does."""
+        if self._left <= 0:
+            self._phase_insert = not self._phase_insert
+            self._left = self.burst
+        if not self._phase_insert and view.size <= self.min_size:
+            self._phase_insert = True
+            self._left = self.burst
+        count = min(max_batch, self._left)
+        if not self._phase_insert:
+            # Never schedule below min_size: the whole batch lands at once.
+            count = min(count, max(view.size - self.min_size, 0))
+            if count == 0:
+                self._phase_insert = True
+                self._left = self.burst
+        if self._phase_insert:
+            actions = draw_insert_actions(view, self.rng, min(max_batch, self._left))
+        else:
+            actions = draw_delete_actions(view, self.rng, count)
+        self._left -= len(actions)
+        return actions

@@ -4,6 +4,14 @@
 followed by steady mixed churn); ``MassLeave`` a correlated departure
 (e.g. a region going offline).  ``TraceAdversary`` replays an arbitrary
 scripted list of actions, used by the batch benchmarks.
+
+All three speak the Section 5 batch protocol natively (``next_batch``):
+a flash crowd's surge and a mass leave's departure wave *are* batches,
+so the campaign driver heals them through the batch-parallel engine
+instead of one token walk per node.  Exhausted scripts raise
+:class:`~repro.errors.TraceExhausted` (never a bare ``StopIteration``,
+which PEP 479 would turn into a ``RuntimeError`` inside generator
+contexts); the runner ends the run cleanly.
 """
 
 from __future__ import annotations
@@ -11,7 +19,14 @@ from __future__ import annotations
 import random
 from typing import Iterable, Iterator
 
-from repro.adversary.base import ChurnAction, NetworkView, pick_random_node
+from repro.adversary.base import (
+    ChurnAction,
+    NetworkView,
+    draw_delete_actions,
+    draw_insert_actions,
+    pick_random_node,
+)
+from repro.errors import TraceExhausted
 
 
 class FlashCrowd:
@@ -31,10 +46,43 @@ class FlashCrowd:
             return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
         return ChurnAction("delete", node=pick_random_node(view, self.rng))
 
+    def next_batch(
+        self, view: NetworkView, max_batch: int
+    ) -> list[ChurnAction]:
+        """The surge arrives in whole batches; the steady phase flips
+        one biased coin per slot and groups the outcomes into an
+        insert run followed by a delete run (a batch is unordered in the
+        Section 5 model, and same-kind runs are what the batch engine
+        heals in one wave)."""
+        if self._joined < self.surge:
+            count = min(max_batch, self.surge - self._joined)
+            actions = draw_insert_actions(view, self.rng, count)
+            self._joined += len(actions)
+            return actions
+        inserts = deletes = 0
+        size = view.size  # track the net effect of this batch's actions
+        for _ in range(max_batch):
+            if size <= self.min_size or self.rng.random() < 0.55:
+                inserts += 1
+                size += 1
+            else:
+                deletes += 1
+                size -= 1
+        return draw_insert_actions(view, self.rng, inserts) + draw_delete_actions(
+            view, self.rng, deletes
+        )
+
 
 class MassLeave:
     """A fraction ``fraction`` of the initial population leaves back to
-    back, then steady mixed churn."""
+    back, then steady mixed churn.  The departure phase *latches*: the
+    exodus is a fixed budget of deletions sized at first contact
+    (``fraction`` of the initial population), and once issued it is
+    spent -- steady-phase growth never re-triggers it.  (The pre-latch
+    code compared the live size against the target every step, so any
+    churn that pushed the size back above target re-entered the
+    mass-delete phase and the documented steady phase was unreachable.)
+    """
 
     def __init__(self, fraction: float = 0.6, seed: int = 0, min_size: int = 8):
         if not 0.0 < fraction < 1.0:
@@ -42,30 +90,98 @@ class MassLeave:
         self.fraction = fraction
         self.rng = random.Random(seed)
         self.min_size = min_size
-        self._target: int | None = None
+        self._to_depart: int | None = None  # departure budget; 0 = latched
+
+    def _departures_remaining(self, view: NetworkView) -> int:
+        if self._to_depart is None:
+            target = max(self.min_size, int(view.size * (1 - self.fraction)))
+            self._to_depart = max(0, view.size - target)
+        # Skipped deletions elsewhere must never let the budget push the
+        # live network below min_size.
+        return min(self._to_depart, max(0, view.size - self.min_size))
 
     def next_action(self, view: NetworkView) -> ChurnAction:
-        if self._target is None:
-            self._target = max(self.min_size, int(view.size * (1 - self.fraction)))
-        if view.size > self._target:
+        if self._departures_remaining(view) > 0:
+            self._to_depart -= 1
             return ChurnAction("delete", node=pick_random_node(view, self.rng))
         if view.size <= self.min_size or self.rng.random() < 0.5:
             return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
         return ChurnAction("delete", node=pick_random_node(view, self.rng))
 
+    def next_batch(
+        self, view: NetworkView, max_batch: int
+    ) -> list[ChurnAction]:
+        remaining = self._departures_remaining(view)
+        if remaining > 0:
+            wave = draw_delete_actions(
+                view, self.rng, min(max_batch, remaining)
+            )
+            self._to_depart -= len(wave)
+            return wave
+        # Steady phase: one coin per slot, grouped into same-kind runs by
+        # the driver; sizes are tracked so a delete-heavy batch cannot
+        # overshoot min_size.
+        inserts = deletes = 0
+        size = view.size
+        for _ in range(max_batch):
+            if size <= self.min_size or self.rng.random() < 0.5:
+                inserts += 1
+                size += 1
+            else:
+                deletes += 1
+                size -= 1
+        return draw_insert_actions(view, self.rng, inserts) + draw_delete_actions(
+            view, self.rng, deletes
+        )
+
 
 class TraceAdversary:
     """Replays a scripted iterable of ("insert"|"delete") kinds, choosing
-    concrete nodes uniformly."""
+    concrete nodes uniformly.  Raises
+    :class:`~repro.errors.TraceExhausted` when the script runs out."""
 
     def __init__(self, kinds: Iterable[str], seed: int = 0):
         self._kinds: Iterator[str] = iter(list(kinds))
         self.rng = random.Random(seed)
 
+    def _next_kind(self) -> str | None:
+        return next(self._kinds, None)
+
     def next_action(self, view: NetworkView) -> ChurnAction:
-        kind = next(self._kinds)
+        kind = self._next_kind()
+        if kind is None:
+            raise TraceExhausted("scripted trace exhausted")
         if kind == "insert":
             return ChurnAction("insert", attach_to=pick_random_node(view, self.rng))
         if kind == "delete":
             return ChurnAction("delete", node=pick_random_node(view, self.rng))
         raise ValueError(f"unknown trace action {kind!r}")
+
+    def next_batch(
+        self, view: NetworkView, max_batch: int
+    ) -> list[ChurnAction]:
+        """Consume the maximal same-kind run (capped at ``max_batch``) so
+        scripted bursts heal as bursts.  An exhausted script returns the
+        empty batch -- the driver's end-of-run signal."""
+        kinds: list[str] = []
+        while len(kinds) < max_batch:
+            kind = self._next_kind()
+            if kind is None:
+                break
+            if kind not in ("insert", "delete"):
+                raise ValueError(f"unknown trace action {kind!r}")
+            if kinds and kind != kinds[0]:
+                # Push the run-breaking kind back for the next batch.
+                self._kinds = _chain_one(kind, self._kinds)
+                break
+            kinds.append(kind)
+        if not kinds:
+            return []
+        if kinds[0] == "insert":
+            return draw_insert_actions(view, self.rng, len(kinds))
+        return draw_delete_actions(view, self.rng, len(kinds))
+
+
+def _chain_one(head: str, rest: Iterator[str]) -> Iterator[str]:
+    yield head
+    yield from rest

@@ -4,12 +4,20 @@ Each overlay supports single-node insert/delete steps and reports the
 communication costs the paper's Table 1 compares: recovery rounds,
 messages, and topology changes per step, plus measurable structure
 (degree, spectral gap).
+
+Overlays *may* additionally implement the Section 5 batch surface
+(:class:`BatchMaintainedOverlay`): ``insert_batch`` /``delete_batch``
+heal a whole adversarial batch in one step.  The campaign driver
+(:func:`repro.harness.runner.run_campaign`) probes for it with
+:func:`supports_batch` and transparently falls back to per-step healing
+for overlays that only speak the single-node protocol -- every scenario
+in the registry runs against every baseline either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Protocol
+from typing import Iterable, Protocol, Sequence
 
 import scipy.sparse as sp
 
@@ -49,6 +57,28 @@ class MaintainedOverlay(Protocol):
     def adjacency(self) -> sp.spmatrix: ...
 
     def max_degree(self) -> int: ...
+
+    def fresh_id(self) -> NodeId: ...
+
+
+class BatchMaintainedOverlay(MaintainedOverlay, Protocol):
+    """The optional Section 5 extension: whole-batch healing.  DEX
+    implements it via the batch-parallel wave engine; a baseline may
+    implement it with any semantics equivalent to applying the batch
+    against the pre-step state."""
+
+    def insert_batch(self, attachments: Sequence[tuple[NodeId, NodeId]]): ...
+
+    def delete_batch(self, nodes: Sequence[NodeId]): ...
+
+
+def supports_batch(overlay) -> bool:
+    """Whether the campaign driver can route whole batches through
+    ``overlay`` (duck-typed: protocols are not runtime-checkable over
+    non-method members)."""
+    return callable(getattr(overlay, "insert_batch", None)) and callable(
+        getattr(overlay, "delete_batch", None)
+    )
 
 
 def snapshot(overlay: MaintainedOverlay) -> OverlaySnapshot:

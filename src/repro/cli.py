@@ -25,7 +25,7 @@ from repro.adversary import (
     RandomChurn,
     SpareDepleter,
 )
-from repro.harness import OVERLAY_FACTORIES, Table, run_churn
+from repro.harness import OVERLAY_FACTORIES, Table, run_campaign, run_churn
 
 ADVERSARIES = {
     "random": lambda seed: RandomChurn(0.5, seed=seed),
@@ -53,6 +53,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--sample-every", type=int, default=50)
     parser.add_argument(
+        "--campaign",
+        action="store_true",
+        help="drive adversary batches through the batch-parallel healing "
+        "engine (run_campaign) instead of one step at a time",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="batch-size cap for --campaign mode",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list overlays and adversaries"
     )
     return parser
@@ -67,13 +79,23 @@ def main(argv: list[str] | None = None) -> int:
 
     overlay = OVERLAY_FACTORIES[args.overlay](args.n0, seed=args.seed)
     adversary = ADVERSARIES[args.adversary](args.seed)
-    result = run_churn(
-        overlay, adversary, steps=args.steps, sample_every=args.sample_every
-    )
+    if args.campaign:
+        result = run_campaign(
+            overlay,
+            adversary,
+            events=args.steps,
+            max_batch=args.max_batch,
+            sample_every=args.sample_every,
+        )
+    else:
+        result = run_churn(
+            overlay, adversary, steps=args.steps, sample_every=args.sample_every
+        )
 
+    mode = f", batches<={args.max_batch}" if args.campaign else ""
     table = Table(
         f"{args.overlay} vs {args.adversary} "
-        f"(n0={args.n0}, {args.steps} steps, seed={args.seed})",
+        f"(n0={args.n0}, {args.steps} steps, seed={args.seed}{mode})",
         ["quantity", "median", "p95", "max"],
     )
     for attribute in ("rounds", "messages", "topology_changes"):
@@ -84,6 +106,12 @@ def main(argv: list[str] | None = None) -> int:
         f"spectral gap: min {result.min_gap:.4f}, final {result.final_gap():.4f}"
     )
     table.add_note(f"max degree seen: {result.max_degree_seen}")
+    if args.campaign:
+        table.add_note(
+            f"campaign: {result.steps} events in {result.batches} batches "
+            f"({result.batched_events} batch-healed, "
+            f"{result.fallback_batches} fallbacks)"
+        )
     if result.skipped_actions:
         table.add_note(f"skipped illegal adversary actions: {result.skipped_actions}")
     print(table.render())

@@ -47,6 +47,14 @@ class AdversaryError(ReproError):
     mode, attaching too many nodes to one host, ...)."""
 
 
+class TraceExhausted(ReproError):
+    """A scripted adversary ran out of actions.  Not a failure: the
+    churn runner catches it and ends the run cleanly with the steps
+    actually executed (raising it instead of leaking ``StopIteration``
+    keeps PEP 479 generator contexts from turning exhaustion into a
+    ``RuntimeError``)."""
+
+
 class DHTError(ReproError):
     """A DHT operation failed (lookup of a missing key is *not* an error;
     this signals protocol-level misuse)."""

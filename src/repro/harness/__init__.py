@@ -2,7 +2,12 @@
 collect per-step costs and periodic structure snapshots, and format the
 paper-style tables."""
 
-from repro.harness.runner import ChurnResult, run_churn
+from repro.harness.runner import (
+    CampaignResult,
+    ChurnResult,
+    run_campaign,
+    run_churn,
+)
 from repro.harness.report import Table, format_table
 from repro.harness.experiments import (
     dex_factory,
@@ -15,7 +20,9 @@ from repro.harness.experiments import (
 )
 
 __all__ = [
+    "CampaignResult",
     "ChurnResult",
+    "run_campaign",
     "run_churn",
     "Table",
     "format_table",

@@ -7,11 +7,12 @@ several network sizes, and merges the results into a machine-readable
 report so successive PRs can compare against a recorded baseline
 instead of folklore.
 
-Report format (schema ``dex-perf/3``; ``dex-perf/1`` and ``dex-perf/2``
-reports are upgraded in place, their recorded runs kept)::
+Report format (schema ``dex-perf/4``; ``dex-perf/1`` through
+``dex-perf/3`` reports are upgraded in place, their recorded runs
+kept)::
 
     {
-      "schema": "dex-perf/3",
+      "schema": "dex-perf/4",
       "churn_steps": 200,              # steps per churn loop
       "sizes": [256, 1024, 4096],
       "runs": {
@@ -49,6 +50,18 @@ reports are upgraded in place, their recorded runs kept)::
             "batch_churn_per_node_ms": 0.05,
             "nodes_healed": 1536,
             "wall_s": 3.4
+          }
+        }
+      },
+      "campaigns": {                   # scenario campaigns (PR 4); see
+        "<label>": {                   # repro.harness.scenarios
+          "meta": {"python": "...", "workers": 4, ...},
+          "flash-crowd/dex/n4096_s11": {
+            "events": 2048, "batches": 34, "heal_per_event_ms": 0.05,
+            "min_gap": 0.11, "final_gap": 0.13, "max_degree": 16,
+            "messages_total": 180321, "skipped": 0, "wall_s": 4.2,
+            # only with --compare-sequential:
+            "seq_heal_per_event_ms": 0.15, "campaign_speedup_x": 3.0
           }
         }
       }
@@ -91,8 +104,8 @@ from repro.core.dex import DexNetwork
 from repro.errors import AdversaryError
 from repro.net.walks import random_walk, run_wave
 
-SCHEMA = "dex-perf/3"
-_COMPATIBLE_SCHEMAS = ("dex-perf/1", "dex-perf/2", "dex-perf/3")
+SCHEMA = "dex-perf/4"
+_COMPATIBLE_SCHEMAS = ("dex-perf/1", "dex-perf/2", "dex-perf/3", "dex-perf/4")
 DEFAULT_SIZES = (256, 1024, 4096)
 DEFAULT_STEPS = 200
 DEFAULT_BATCH = 64
@@ -520,6 +533,22 @@ def write_sweep(
     entry = dict(results)
     entry["meta"] = {**_meta(), "workers": workers}
     report.setdefault("sweeps", {})[label] = entry
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def write_campaigns(
+    path: pathlib.Path,
+    label: str,
+    results: dict,
+    extra_meta: dict | None = None,
+) -> dict:
+    """Merge one labelled scenario-campaign matrix (produced by
+    :mod:`repro.harness.scenarios`) into the report at ``path``."""
+    report = load_report(path)
+    entry = dict(results)
+    entry["meta"] = {**_meta(), **(extra_meta or {})}
+    report.setdefault("campaigns", {})[label] = entry
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
 

@@ -1,0 +1,307 @@
+"""The Section 5 batch protocol: native ``next_batch`` emitters, the
+single-action adapter, and the O(n) victim-selection rewrites (seed
+stability + equivalence with the former sorted-scan streams)."""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    ChurnAction,
+    CoordinatorAttack,
+    DegreeAttack,
+    FlashCrowd,
+    LowLoadAttack,
+    MassLeave,
+    OscillatingChurn,
+    SingleStepBatchAdapter,
+    SpareDepleter,
+    TraceAdversary,
+    as_batch_adversary,
+)
+from repro.adversary.base import (
+    MAX_ATTACH_PER_NODE,
+    draw_delete_actions,
+    draw_insert_actions,
+)
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.errors import TraceExhausted
+
+
+class FakeView:
+    """Minimal NetworkView over a fixed node set."""
+
+    def __init__(self, n: int):
+        self._nodes = dict.fromkeys(range(n))
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self):
+        return self._nodes.keys()
+
+    def max_degree(self) -> int:
+        return 0
+
+
+class Scripted:
+    """Single-action adversary replaying explicit ChurnActions."""
+
+    def __init__(self, actions):
+        self._actions = iter(actions)
+
+    def next_action(self, view):
+        action = next(self._actions, None)
+        if action is None:
+            raise TraceExhausted("script done")
+        return action
+
+
+def _ins(attach):
+    return ChurnAction("insert", attach_to=attach)
+
+
+def _del(node):
+    return ChurnAction("delete", node=node)
+
+
+class TestAdapter:
+    def test_groups_same_kind_and_pushes_back_kind_change(self):
+        view = FakeView(16)
+        adapter = as_batch_adversary(
+            Scripted([_ins(1), _ins(2), _del(3), _del(4), _ins(5)])
+        )
+        assert isinstance(adapter, SingleStepBatchAdapter)
+        batches = []
+        while True:
+            batch = adapter.next_batch(view, 10)
+            if not batch:
+                break
+            batches.append([(a.kind, a.node, a.attach_to) for a in batch])
+        # The kind-change action is buffered, never lost.
+        assert batches == [
+            [("insert", None, 1), ("insert", None, 2)],
+            [("delete", 3, None), ("delete", 4, None)],
+            [("insert", None, 5)],
+        ]
+
+    def test_duplicate_victim_discarded_and_closes_batch(self):
+        view = FakeView(16)
+        adapter = as_batch_adversary(
+            Scripted([_del(7), _del(7), _del(9)])
+        )
+        first = adapter.next_batch(view, 10)
+        assert [a.node for a in first] == [7]
+        # The duplicate is an artifact of the frozen view -- discarded,
+        # not pushed back onto the next batch as a stale delete.
+        second = adapter.next_batch(view, 10)
+        assert [a.node for a in second] == [9]
+
+    def test_attach_fanout_closes_batch_with_pushback(self):
+        view = FakeView(16)
+        actions = [_ins(3)] * (MAX_ATTACH_PER_NODE + 1)
+        adapter = as_batch_adversary(Scripted(actions))
+        first = adapter.next_batch(view, 10)
+        assert len(first) == MAX_ATTACH_PER_NODE
+        second = adapter.next_batch(view, 10)
+        assert len(second) == 1  # the over-subscribed insert, next batch
+
+    def test_max_batch_respected(self):
+        view = FakeView(16)
+        adapter = as_batch_adversary(Scripted([_ins(i % 8) for i in range(20)]))
+        assert len(adapter.next_batch(view, 6)) == 6
+
+    def test_exhaustion_returns_empty(self):
+        view = FakeView(16)
+        adapter = as_batch_adversary(Scripted([_ins(1)]))
+        assert len(adapter.next_batch(view, 4)) == 1
+        assert adapter.next_batch(view, 4) == []
+        assert adapter.next_batch(view, 4) == []  # stays exhausted
+
+    def test_adaptive_strategies_get_singleton_batches(self):
+        net = DexNetwork.bootstrap(20, DexConfig(seed=31))
+        for strategy in (CoordinatorAttack(seed=1), SpareDepleter(seed=1)):
+            assert strategy.adaptive_within_batch
+            adapter = as_batch_adversary(strategy)
+            for _ in range(4):
+                assert len(adapter.next_batch(net, 64)) == 1
+
+    def test_native_batch_adversary_passes_through(self):
+        trace = TraceAdversary(["insert"] * 4)
+        assert as_batch_adversary(trace) is trace
+
+
+def test_attach_bound_matches_batch_engine():
+    """The adversary package mirrors the healing engine's attach fan-out
+    bound without importing it; drift would silently degrade every
+    batch to the bisect/per-step fallback."""
+    from repro.core import multi
+
+    assert MAX_ATTACH_PER_NODE == multi.MAX_ATTACH_PER_NODE
+
+
+class TestDrawHelpers:
+    def test_insert_draws_respect_fanout(self):
+        view = FakeView(3)
+        rng = random.Random(5)
+        actions = draw_insert_actions(view, rng, 40)
+        hosts: dict[int, int] = {}
+        for action in actions:
+            hosts[action.attach_to] = hosts.get(action.attach_to, 0) + 1
+        assert all(count <= MAX_ATTACH_PER_NODE for count in hosts.values())
+        # A saturated tiny view yields a short batch instead of spinning.
+        assert len(actions) <= 3 * MAX_ATTACH_PER_NODE
+
+    def test_delete_draws_are_distinct(self):
+        view = FakeView(32)
+        actions = draw_delete_actions(view, random.Random(5), 16)
+        victims = [a.node for a in actions]
+        assert len(victims) == len(set(victims)) == 16
+
+
+class TestNativeEmitters:
+    def test_trace_adversary_batches_runs(self):
+        view = FakeView(32)
+        trace = TraceAdversary(["insert"] * 5 + ["delete"] * 3, seed=2)
+        first = trace.next_batch(view, 64)
+        assert [a.kind for a in first] == ["insert"] * 5
+        second = trace.next_batch(view, 64)
+        assert [a.kind for a in second] == ["delete"] * 3
+        assert trace.next_batch(view, 64) == []
+
+    def test_trace_adversary_max_batch_splits_run(self):
+        view = FakeView(32)
+        trace = TraceAdversary(["insert"] * 5, seed=2)
+        assert len(trace.next_batch(view, 4)) == 4
+        assert len(trace.next_batch(view, 4)) == 1
+
+    def test_trace_adversary_rejects_unknown_kind_in_batch(self):
+        trace = TraceAdversary(["explode"])
+        with pytest.raises(ValueError):
+            trace.next_batch(FakeView(8), 4)
+
+    def test_flash_crowd_surge_in_whole_batches(self):
+        view = FakeView(64)
+        crowd = FlashCrowd(surge=50, seed=3)
+        sizes = [len(crowd.next_batch(view, 32)) for _ in range(2)]
+        assert sizes == [32, 18]  # the surge, split only by max_batch
+
+    def test_oscillating_bursts_are_batches(self):
+        view = FakeView(64)
+        osc = OscillatingChurn(burst=24, seed=3)
+        first = osc.next_batch(view, 64)
+        assert {a.kind for a in first} == {"insert"} and len(first) == 24
+        second = osc.next_batch(view, 64)
+        assert {a.kind for a in second} == {"delete"} and len(second) == 24
+        third = osc.next_batch(view, 64)
+        assert {a.kind for a in third} == {"insert"}
+
+    def test_mass_leave_emits_departure_then_steady(self):
+        view = FakeView(40)
+        leave = MassLeave(fraction=0.5, seed=3)
+        wave = leave.next_batch(view, 64)
+        assert {a.kind for a in wave} == {"delete"}
+        assert len(wave) == 20  # exactly down to target, no overshoot
+
+
+class TestMassLeaveLatch:
+    def test_departure_phase_latches(self):
+        leave = MassLeave(fraction=0.5, seed=3)
+        view = FakeView(20)
+        for _ in range(10):
+            assert leave.next_action(view).kind == "delete"
+        # The departure budget (10 of 20) is spent.  Even with the view
+        # still reporting 20 nodes -- steady churn grew it back -- the
+        # exodus must NOT re-trigger (pre-fix it deleted whenever
+        # size > target, making the documented steady phase unreachable).
+        assert leave._departures_remaining(view) == 0
+        kinds = {leave.next_action(view).kind for _ in range(20)}
+        assert "insert" in kinds
+
+    def test_shrinks_to_target_via_runner(self):
+        net = DexNetwork.bootstrap(20, DexConfig(seed=103))
+        leave = MassLeave(fraction=0.5, seed=3)
+        for _ in range(10):
+            action = leave.next_action(net)
+            net.delete(action.node) if action.kind == "delete" else net.insert(
+                attach_to=action.attach_to
+            )
+        assert net.size == 10
+        net.insert()
+        net.insert()
+        # Latched: the next actions follow the steady 50/50 phase.
+        kinds = [leave.next_action(net).kind for _ in range(20)]
+        assert "insert" in kinds
+
+
+def _drive_pair(make_adversary, steps=30, n0=20, seed=77):
+    """Run the same strategy on two identically seeded networks and
+    return both action streams (applying each action so the adaptive
+    strategies see evolving state)."""
+    streams = []
+    for _ in range(2):
+        net = DexNetwork.bootstrap(n0, DexConfig(seed=seed))
+        adversary = make_adversary()
+        stream = []
+        for _ in range(steps):
+            action = adversary.next_action(net)
+            stream.append((action.kind, action.node, action.attach_to))
+            if action.kind == "delete":
+                net.delete(action.node)
+            else:
+                net.insert(attach_to=action.attach_to)
+        streams.append(stream)
+    return streams
+
+
+class TestSeedStability:
+    """The O(n) selection rewrites produce identical action streams for
+    a fixed seed -- no dependence on set/dict iteration order."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: DegreeAttack(seed=5),
+            lambda: LowLoadAttack(seed=5),
+            lambda: SpareDepleter(seed=5),
+            lambda: CoordinatorAttack(seed=5),
+        ],
+        ids=["degree", "low-load", "spare", "coordinator"],
+    )
+    def test_identical_streams(self, make):
+        first, second = _drive_pair(make)
+        assert first == second
+
+    def test_degree_attack_matches_sorted_scan(self):
+        net = DexNetwork.bootstrap(24, DexConfig(seed=41))
+        attack = DegreeAttack(seed=2, insert_every=0)
+        for _ in range(8):
+            victim = attack.next_action(net).node
+            reference = max(sorted(net.nodes()), key=net.degree_of)
+            assert victim == reference
+            net.delete(victim)
+
+    def test_low_load_attack_matches_sorted_scan(self):
+        net = DexNetwork.bootstrap(24, DexConfig(seed=43))
+        attack = LowLoadAttack(seed=2)
+        for _ in range(8):
+            victim = attack.next_action(net).node
+            reference = min(sorted(net.nodes()), key=net.load_of)
+            assert victim == reference
+            net.delete(victim)
+
+    def test_spare_depleter_targets_spare(self):
+        net = DexNetwork.bootstrap(24, DexConfig(seed=47))
+        depleter = SpareDepleter(seed=2)
+        deletes = 0
+        for _ in range(20):
+            action = depleter.next_action(net)
+            if action.kind == "delete":
+                assert action.node in net.overlay.old.spare
+                deletes += 1
+                net.delete(action.node)
+            else:
+                net.insert(attach_to=action.attach_to)
+        assert deletes > 0

@@ -17,6 +17,7 @@ from repro.adversary import (
 )
 from repro.core.config import DexConfig
 from repro.core.dex import DexNetwork
+from repro.errors import TraceExhausted
 from repro.harness.runner import run_churn
 
 
@@ -77,7 +78,9 @@ class TestTargeting:
         trace = TraceAdversary(["insert", "insert", "delete"], seed=2)
         kinds = [trace.next_action(net).kind for _ in range(3)]
         assert kinds == ["insert", "insert", "delete"]
-        with pytest.raises(StopIteration):
+        # Exhaustion is an explicit signal, never a leaked StopIteration
+        # (which PEP 479 would turn into RuntimeError in generators).
+        with pytest.raises(TraceExhausted):
             trace.next_action(net)
 
     def test_trace_rejects_unknown(self, net):

@@ -38,6 +38,29 @@ class TestCli:
         )
         assert "law-siu vs degree-attack" in capsys.readouterr().out
 
+    def test_campaign_mode(self, capsys):
+        assert (
+            main(
+                [
+                    "--campaign",
+                    "--adversary",
+                    "flash-crowd",
+                    "--steps",
+                    "64",
+                    "--max-batch",
+                    "16",
+                    "--n0",
+                    "32",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "dex vs flash-crowd" in out
+        assert "campaign: 64 events" in out
+
     def test_every_registered_pair_has_factories(self):
         for name, factory in ADVERSARIES.items():
             assert callable(factory), name

@@ -33,7 +33,7 @@ class TestReportPlumbing:
             "sweeps": {"pr2": {"n100000_s11": {"wall_s": 3.0}}},
         }))
         report = perf.load_report(path)
-        assert report["schema"] == "dex-perf/3"
+        assert report["schema"] == perf.SCHEMA
         assert report["runs"]["pr2"]["n64"]["batch_churn_per_node_ms"] == 0.5
         assert report["sweeps"]["pr2"]["n100000_s11"]["wall_s"] == 3.0
 
