@@ -20,7 +20,14 @@ paper-vs-measured record of every table and figure.
 from repro.core.config import DexConfig
 from repro.core.dex import DexNetwork
 from repro.core.events import StepReport
-from repro.core.multi import delete_batch, insert_batch
+from repro.core.multi import (
+    BatchOutcome,
+    BatchRejection,
+    delete_batch,
+    delete_batch_partial,
+    insert_batch,
+    insert_batch_partial,
+)
 from repro.dht.dht import DexDHT
 from repro.virtual.pcycle import PCycle
 from repro.analysis.spectral import spectral_gap, second_eigenvalue

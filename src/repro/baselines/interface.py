@@ -72,12 +72,39 @@ class BatchMaintainedOverlay(MaintainedOverlay, Protocol):
     def delete_batch(self, nodes: Sequence[NodeId]): ...
 
 
+class PartialBatchOverlay(BatchMaintainedOverlay, Protocol):
+    """The partial-batch extension (PR 5): validation partitions a batch
+    into legal actions (healed in one wave) and per-action rejections,
+    so one illegal victim no longer rejects the whole batch.  DEX
+    implements it via :mod:`repro.core.multi`; the campaign driver
+    probes for it with :func:`supports_partial_batch` and takes the
+    single-pass path (replacing its historical bisection fallback) when
+    it holds.  The membership-service gateway builds on the same
+    surface -- it binds :class:`~repro.core.dex.DexNetwork` directly and
+    turns each rejection into an individual client outcome."""
+
+    def insert_batch_partial(
+        self, attachments: Sequence[tuple[NodeId, NodeId]]
+    ): ...
+
+    def delete_batch_partial(self, nodes: Sequence[NodeId]): ...
+
+
 def supports_batch(overlay) -> bool:
     """Whether the campaign driver can route whole batches through
     ``overlay`` (duck-typed: protocols are not runtime-checkable over
     non-method members)."""
     return callable(getattr(overlay, "insert_batch", None)) and callable(
         getattr(overlay, "delete_batch", None)
+    )
+
+
+def supports_partial_batch(overlay) -> bool:
+    """Whether ``overlay`` reports partial-batch outcomes
+    (:class:`PartialBatchOverlay`); duck-typed like
+    :func:`supports_batch`."""
+    return callable(getattr(overlay, "insert_batch_partial", None)) and callable(
+        getattr(overlay, "delete_batch_partial", None)
     )
 
 

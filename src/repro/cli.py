@@ -6,11 +6,21 @@ summary, without writing a script::
     python -m repro.cli --overlay dex --adversary random --steps 500
     python -m repro.cli --overlay law-siu --adversary degree-attack --n0 128
     python -m repro.cli --list
+
+Two subcommands drive the membership-service gateway (PR 5)::
+
+    # live gateway under open-loop Poisson traffic, periodic snapshots
+    python -m repro.cli serve --n0 1024 --rate 2000 --duration 5
+
+    # the soak benchmark (micro-batched vs per-request gateway),
+    # merged under the `service` key of BENCH_perf.json
+    python -m repro.cli soak --sizes 4096 --duration 2 --out BENCH_perf.json
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 from repro.adversary import (
@@ -70,7 +80,156 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description="Run the membership gateway under open-loop Poisson "
+        "traffic and print latency/throughput snapshots.",
+    )
+    parser.add_argument("--n0", type=int, default=1024, help="initial network size")
+    parser.add_argument("--rate", type=float, default=1000.0,
+                        help="open-loop arrival rate (requests/sec)")
+    parser.add_argument("--duration", type=float, default=5.0, help="seconds of load")
+    parser.add_argument("--join-fraction", type=float, default=0.6)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--window-ms", type=float, default=2.0)
+    parser.add_argument("--queue-limit", type=int, default=4096)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--report-every", type=float, default=1.0,
+                        help="seconds between progress snapshots (0 = final only)")
+    return parser
+
+
+def cmd_serve(argv: list[str]) -> int:
+    import asyncio
+
+    from repro.core.config import DexConfig
+    from repro.core.dex import DexNetwork
+    from repro.service import MembershipGateway, poisson_load
+
+    args = _serve_parser().parse_args(argv)
+    config = DexConfig(seed=args.seed, type2_mode="simplified")
+    net = DexNetwork.bootstrap(args.n0, config, seed=args.seed)
+
+    async def reporter(gateway: MembershipGateway) -> None:
+        while True:
+            await asyncio.sleep(args.report_every)
+            row = gateway.metrics.window()
+            print(
+                f"  [{row['elapsed_s']:.1f}s] {row['events']} acks "
+                f"({row['events_per_s']:.0f}/s)  p50={row['ack_p50_ms']}ms "
+                f"p99={row['ack_p99_ms']}ms  depth={gateway.queue_depth}"
+            )
+
+    async def run():
+        gateway = MembershipGateway(
+            net,
+            max_batch=args.max_batch,
+            batch_window_ms=args.window_ms,
+            queue_limit=args.queue_limit,
+            seed=args.seed,
+        )
+        async with gateway:
+            watcher = (
+                asyncio.ensure_future(reporter(gateway))
+                if args.report_every > 0
+                else None
+            )
+            try:
+                stats = await poisson_load(
+                    gateway,
+                    rate_hz=args.rate,
+                    duration_s=args.duration,
+                    join_fraction=args.join_fraction,
+                    seed=args.seed + 1,
+                )
+            finally:
+                if watcher is not None:
+                    watcher.cancel()
+        return stats, gateway.metrics.snapshot()
+
+    print(
+        f"serving n0={args.n0} at {args.rate:.0f} req/s for {args.duration}s "
+        f"(max_batch={args.max_batch}, window={args.window_ms}ms)"
+    )
+    stats, snap = asyncio.run(run())
+    table = Table(
+        f"gateway soak (n0={args.n0}, rate={args.rate:.0f}/s, "
+        f"seed={args.seed})",
+        ["quantity", "value"],
+    )
+    table.add_row("offered", stats.offered)
+    table.add_row("acked ok", stats.ok)
+    table.add_row("rejected", stats.rejected)
+    table.add_row("backpressure", stats.backpressure)
+    table.add_row("events/sec", snap["events_per_s"])
+    table.add_row("ack p50 (ms)", snap["ack_p50_ms"])
+    table.add_row("ack p99 (ms)", snap["ack_p99_ms"])
+    table.add_row("mean batch", snap["mean_batch"])
+    table.add_note(f"final n = {net.size}, batches = {snap['batches']}")
+    print(table.render())
+    return 0
+
+
+def _soak_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli soak",
+        description="Gateway soak benchmark: sustained events/sec and ack "
+        "percentiles, micro-batched vs per-request, merged into "
+        "BENCH_perf.json under the `service` key.",
+    )
+    parser.add_argument("--sizes", type=int, nargs="+", default=[4096])
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--clients", type=int, default=256)
+    parser.add_argument("--max-batch", type=int, default=128)
+    parser.add_argument("--window-ms", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="skip the per-request comparison run")
+    parser.add_argument("--label", default="service")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="merge results into this BENCH_perf.json (omit to skip)")
+    return parser
+
+
+def cmd_soak(argv: list[str]) -> int:
+    from repro.harness import perf
+
+    args = _soak_parser().parse_args(argv)
+    results: dict[str, dict] = {}
+    for n in args.sizes:
+        row = perf.bench_service(
+            n,
+            duration_s=args.duration,
+            max_batch=args.max_batch,
+            batch_window_ms=args.window_ms,
+            clients=args.clients,
+            seed=args.seed,
+            compare_per_request=not args.no_baseline,
+        )
+        results[f"n{n}"] = row
+        speedup = (
+            f"  speedup={row['service_speedup_x']}x"
+            if "service_speedup_x" in row
+            else ""
+        )
+        print(
+            f"n{n}: {row['events']} events at {row['events_per_s']:.0f}/s "
+            f"(p50={row['ack_p50_ms']}ms p99={row['ack_p99_ms']}ms, "
+            f"mean batch {row['mean_batch']}){speedup}"
+        )
+    if args.out is not None:
+        perf.write_service(args.out, args.label, results)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        return cmd_serve(argv[1:])
+    if argv and argv[0] == "soak":
+        return cmd_soak(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         print("overlays:   " + ", ".join(sorted(OVERLAY_FACTORIES)))
@@ -110,7 +269,8 @@ def main(argv: list[str] | None = None) -> int:
         table.add_note(
             f"campaign: {result.steps} events in {result.batches} batches "
             f"({result.batched_events} batch-healed, "
-            f"{result.fallback_batches} fallbacks)"
+            f"{result.fallbacks} rejected actions, "
+            f"{result.fallback_batches} replayed batches)"
         )
     if result.skipped_actions:
         table.add_note(f"skipped illegal adversary actions: {result.skipped_actions}")

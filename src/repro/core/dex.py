@@ -219,6 +219,24 @@ class DexNetwork:
 
         return delete_batch(self, nodes)
 
+    def insert_batch_partial(
+        self, attachments: "Sequence[tuple[NodeId, NodeId]]"
+    ):
+        """Partial-batch insertion: heal the legal subset in one wave
+        and report per-entry rejections; see
+        :func:`repro.core.multi.insert_batch_partial`."""
+        from repro.core.multi import insert_batch_partial
+
+        return insert_batch_partial(self, attachments)
+
+    def delete_batch_partial(self, nodes: "Sequence[NodeId]"):
+        """Partial-batch deletion: heal the legal victims in one wave
+        and report per-victim rejections; see
+        :func:`repro.core.multi.delete_batch_partial`."""
+        from repro.core.multi import delete_batch_partial
+
+        return delete_batch_partial(self, nodes)
+
     # ------------------------------------------------------------------
     # step plumbing
     # ------------------------------------------------------------------

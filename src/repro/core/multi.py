@@ -35,10 +35,24 @@ in ``staggered`` mode one coordinator query, after which still-pending
 recoveries ride the staggered machinery exactly as single-step churn
 does.  The corollary's bounds -- O(n log^2 n) messages and O(log^3 n)
 rounds per batch step w.h.p. -- come from these procedures.
+
+**Partial-batch outcomes** (PR 5): validation no longer has to be
+all-or-nothing.  :func:`partition_insert_batch` /
+:func:`partition_delete_batch` split a submitted batch into the legal
+actions (healed together in one wave) and a per-action
+:class:`BatchRejection` carrying the offending node and the reason, and
+:func:`insert_batch_partial` / :func:`delete_batch_partial` heal the
+legal majority while reporting every rejection -- the per-request
+accountability the membership-service gateway
+(:mod:`repro.service.gateway`) and the campaign driver's single-pass
+fallback path need.  The strict :func:`insert_batch` /
+:func:`delete_batch` are thin wrappers that raise on the first
+rejection, preserving the historical all-or-nothing surface.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.events import StepReport
@@ -61,12 +75,86 @@ MAX_ATTACH_PER_NODE = 4
 
 
 # ----------------------------------------------------------------------
+# partial-batch outcomes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchRejection:
+    """One action of a submitted batch that validation refused, with the
+    reason the caller (a gateway client, the campaign driver) can act
+    on.  ``index`` is the position in the *submitted* batch; ``node`` is
+    the new id (insertions) or the victim (deletions)."""
+
+    index: int
+    node: NodeId
+    reason: str
+
+
+@dataclass
+class BatchOutcome:
+    """Result of a partial batch step: the legal actions that healed in
+    one wave, the per-action rejections, and the engine's
+    :class:`~repro.core.events.StepReport` (``None`` when nothing was
+    legal, in which case no step ran and the network is untouched)."""
+
+    kind: str  # "insert" | "delete"
+    #: legal payload entries, submission order preserved -- ``(new_id,
+    #: attach_to)`` pairs for insertions, victim ids for deletions
+    accepted: list = field(default_factory=list)
+    rejected: list[BatchRejection] = field(default_factory=list)
+    report: StepReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.rejected
+
+    def rejection_reasons(self) -> dict[NodeId, str]:
+        return {r.node: r.reason for r in self.rejected}
+
+
+# ----------------------------------------------------------------------
 # insertion batches
 # ----------------------------------------------------------------------
+def partition_insert_batch(
+    dex: "DexNetwork", attachments: Sequence[tuple[NodeId, NodeId]]
+) -> tuple[list[tuple[NodeId, NodeId]], list[BatchRejection]]:
+    """Partition an insertion batch into the legal attachments and a
+    per-entry rejection list, *before* any mutation.  Checks per entry:
+    fresh id not already scheduled or present, live attach point, the
+    O(1) attach fan-out bound, and the ``eps*n`` batch-size cap (counted
+    over *accepted* entries, so illegal entries do not eat the budget)."""
+    cap = max(1, dex.size)
+    per_host: dict[NodeId, int] = {}
+    scheduled: set[NodeId] = set()
+    legal: list[tuple[NodeId, NodeId]] = []
+    rejected: list[BatchRejection] = []
+    has_node = dex.graph.has_node
+    for index, (new_id, attach) in enumerate(attachments):
+        if new_id in scheduled:
+            reason = f"node id {new_id} repeated in the batch"
+        elif has_node(new_id):
+            reason = f"node id {new_id} already exists"
+        elif not has_node(attach):
+            reason = f"attach point {attach} does not exist"
+        elif per_host.get(attach, 0) >= MAX_ATTACH_PER_NODE:
+            reason = (
+                f"more than {MAX_ATTACH_PER_NODE} insertions attached to "
+                f"node {attach} in one batch"
+            )
+        elif len(legal) >= cap:
+            reason = f"batch of {len(attachments)} exceeds eps*n for n={dex.size}"
+        else:
+            per_host[attach] = per_host.get(attach, 0) + 1
+            scheduled.add(new_id)
+            legal.append((new_id, attach))
+            continue
+        rejected.append(BatchRejection(index, new_id, reason))
+    return legal, rejected
+
+
 def _validate_insert_batch(
     dex: "DexNetwork", attachments: Sequence[tuple[NodeId, NodeId]]
 ) -> None:
-    """Reject a malformed batch *before* any mutation, so a bad entry
+    """All-or-nothing validation *before* any mutation, so a bad entry
     mid-batch can never leave earlier insertions applied."""
     if not attachments:
         raise AdversaryError("empty insertion batch")
@@ -74,31 +162,38 @@ def _validate_insert_batch(
         raise AdversaryError(
             f"batch of {len(attachments)} exceeds eps*n for n={dex.size}"
         )
-    per_host: dict[NodeId, int] = {}
-    seen_new: set[NodeId] = set()
-    for new_id, attach in attachments:
-        per_host[attach] = per_host.get(attach, 0) + 1
-        if per_host[attach] > MAX_ATTACH_PER_NODE:
-            raise AdversaryError(
-                f"more than {MAX_ATTACH_PER_NODE} insertions attached to "
-                f"node {attach} in one batch"
-            )
-        if new_id in seen_new:
-            raise AdversaryError(f"node id {new_id} repeated in the batch")
-        seen_new.add(new_id)
-        if dex.graph.has_node(new_id):
-            raise AdversaryError(f"node id {new_id} already exists")
-        if not dex.graph.has_node(attach):
-            raise AdversaryError(f"attach point {attach} does not exist")
+    _legal, rejected = partition_insert_batch(dex, attachments)
+    if rejected:
+        raise AdversaryError(rejected[0].reason)
 
 
 def insert_batch(
     dex: "DexNetwork", attachments: Sequence[tuple[NodeId, NodeId]]
 ) -> StepReport:
     """Insert a batch of ``(new_id, attach_to)`` pairs in one step,
-    healing the whole batch in congestion-synchronous token waves."""
+    healing the whole batch in congestion-synchronous token waves.
+    All-or-nothing: any illegal entry rejects the whole batch
+    (:func:`insert_batch_partial` heals the legal majority instead)."""
     _validate_insert_batch(dex, attachments)
+    return _execute_insert_batch(dex, attachments)
 
+
+def insert_batch_partial(
+    dex: "DexNetwork", attachments: Sequence[tuple[NodeId, NodeId]]
+) -> BatchOutcome:
+    """Heal the legal subset of an insertion batch in one wave and
+    report every rejected entry with its reason.  An empty or fully
+    illegal batch runs no step (``report is None``)."""
+    legal, rejected = partition_insert_batch(dex, attachments)
+    report = _execute_insert_batch(dex, legal) if legal else None
+    return BatchOutcome("insert", accepted=legal, rejected=rejected, report=report)
+
+
+def _execute_insert_batch(
+    dex: "DexNetwork", attachments: Sequence[tuple[NodeId, NodeId]]
+) -> StepReport:
+    """Apply a pre-validated insertion batch (structural phase + healing
+    waves); shared by the strict and partial entry points."""
     ledger = CostLedger()
     topo_before = dex.graph.topology_changes
     recovery = RecoveryType.TYPE1
@@ -207,36 +302,213 @@ def _heal_insertions_in_waves(
 # ----------------------------------------------------------------------
 # deletion batches
 # ----------------------------------------------------------------------
+def partition_delete_batch(
+    dex: "DexNetwork",
+    nodes: Sequence[NodeId],
+    check_connectivity: bool | None = None,
+) -> tuple[list[NodeId], list[BatchRejection], dict[NodeId, NodeId]]:
+    """Partition a deletion batch into the legal victims, per-victim
+    rejections, and each legal victim's adopter (its smallest surviving
+    neighbor).
+
+    A victim is rejected when it is a duplicate of an accepted victim,
+    does not exist, would shrink the network below the minimum size
+    (the budget is ``n - min_network_size`` accepted victims, consumed
+    in submission order), would itself keep no surviving neighbor, or
+    would strand an *earlier accepted* victim without one (earlier
+    requests win, mirroring the service gateway's FIFO fairness).  When
+    ``check_connectivity`` (default: ``DexConfig.validate_batches``)
+    holds and the accepted set would disconnect the remainder, victims
+    are re-admitted latest-first -- a union-find restore sweep, not a
+    bisection -- until the survivor graph is connected again, and the
+    re-admitted victims are rejected with a connectivity reason.
+
+    When every victim is accepted, the result is exactly the historical
+    all-or-nothing validation: same victim order, same adopters."""
+    if check_connectivity is None:
+        check_connectivity = dex.config.validate_batches
+    graph = dex.graph
+    budget = dex.size - dex.config.min_network_size
+    legal: list[NodeId] = []
+    accepted: set[NodeId] = set()
+    rejected: list[BatchRejection] = []
+    #: live survivors of each accepted victim (shrinks as later victims
+    #: are accepted; never empties -- that is the stranding check)
+    survivors_of: dict[NodeId, set[NodeId]] = {}
+    #: live node -> accepted victims currently counting on it
+    guards: dict[NodeId, list[NodeId]] = {}
+    for index, u in enumerate(nodes):
+        if u in accepted:
+            reason = f"node {u} already deleted in this batch"
+        elif not graph.has_node(u):
+            reason = f"node {u} does not exist"
+        elif len(legal) >= budget:
+            reason = (
+                f"deleting node {u} would shrink the network below the "
+                f"minimum size {dex.config.min_network_size}"
+            )
+        else:
+            survivors = {
+                w for w in graph.distinct_neighbors(u) if w not in accepted
+            }
+            if not survivors:
+                reason = (
+                    f"deleted node {u} would have no surviving neighbor "
+                    "(violates the Section 5 deletion condition)"
+                )
+            else:
+                stranded = next(
+                    (
+                        v
+                        for v in guards.get(u, ())
+                        if len(survivors_of[v]) == 1
+                    ),
+                    None,
+                )
+                if stranded is not None:
+                    reason = (
+                        f"node {u} is the last surviving neighbor of "
+                        f"batch victim {stranded}"
+                    )
+                else:
+                    for v in guards.pop(u, ()):
+                        survivors_of[v].discard(u)
+                    accepted.add(u)
+                    legal.append(u)
+                    survivors_of[u] = survivors
+                    for w in survivors:
+                        guards.setdefault(w, []).append(u)
+                    continue
+        rejected.append(BatchRejection(index, u, reason))
+    if (
+        check_connectivity
+        and legal
+        and not _remainder_connected(dex, accepted)
+    ):
+        for u in _restore_for_connectivity(graph, legal):
+            accepted.discard(u)
+            rejected.append(
+                BatchRejection(
+                    nodes.index(u),
+                    u,
+                    f"deleting node {u} would disconnect the network",
+                )
+            )
+        legal = [u for u in legal if u in accepted]
+        rejected.sort(key=lambda r: r.index)
+    adopter = {
+        u: min(w for w in graph.distinct_neighbors(u) if w not in accepted)
+        for u in legal
+    }
+    return legal, rejected, adopter
+
+
+def _restore_for_connectivity(graph, legal: Sequence[NodeId]) -> list[NodeId]:
+    """The victims to re-admit (reject) so the remainder reconnects.
+
+    Union-find over the survivor graph, then restore sweeps latest-first
+    that only re-admit victims actually *bridging* two or more live
+    components (a victim whose live neighbors all sit in one component
+    cannot help connectivity, so restoring it would reject a perfectly
+    legal request).  When a sweep makes no progress -- components joined
+    only through a chain of victims -- the latest remaining victim is
+    force-restored to expose the chain, which guarantees termination:
+    restoring every victim yields the original, connected graph."""
+    victim_set = set(legal)
+    parent: dict[NodeId, NodeId] = {}
+
+    def find(x: NodeId) -> NodeId:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    components = 0
+    for u in graph.nodes():
+        if u not in victim_set:
+            parent[u] = u
+            components += 1
+    for u in list(parent):
+        for w in graph.distinct_neighbors(u):
+            if w in parent:
+                ru, rw = find(u), find(w)
+                if ru != rw:
+                    parent[rw] = ru
+                    components -= 1
+
+    def restore(u: NodeId) -> None:
+        nonlocal components
+        parent[u] = u
+        components += 1
+        for w in graph.distinct_neighbors(u):
+            if w in parent:
+                ru, rw = find(u), find(w)
+                if ru != rw:
+                    parent[rw] = ru
+                    components -= 1
+
+    restored: list[NodeId] = []
+    remaining = list(legal)
+    while components > 1 and remaining:
+        progressed = False
+        keep: list[NodeId] = []
+        for u in reversed(remaining):
+            if components > 1:
+                roots = {
+                    find(w)
+                    for w in graph.distinct_neighbors(u)
+                    if w in parent
+                }
+                if len(roots) >= 2:
+                    restore(u)
+                    restored.append(u)
+                    progressed = True
+                    continue
+            keep.append(u)
+        keep.reverse()
+        remaining = keep
+        if components > 1 and not progressed and remaining:
+            u = remaining.pop()
+            restore(u)
+            restored.append(u)
+    return restored
+
+
 def delete_batch(dex: "DexNetwork", nodes: Sequence[NodeId]) -> StepReport:
     """Delete a batch of nodes in one step, enforcing the connectivity
     conditions of Corollary 2, then redistribute every adopted vertex in
-    congestion-synchronous token waves."""
-    from repro.core import type2_simplified
-
+    congestion-synchronous token waves.  All-or-nothing: any illegal
+    victim rejects the whole batch (:func:`delete_batch_partial` heals
+    the legal majority instead)."""
     victims = list(dict.fromkeys(nodes))
     if not victims:
         raise AdversaryError("empty deletion batch")
     if dex.size - len(victims) < dex.config.min_network_size:
         raise AdversaryError("batch would shrink the network below minimum size")
-    victim_set = set(victims)
-    adopter: dict[NodeId, NodeId] = {}
-    for u in victims:
-        if not dex.graph.has_node(u):
-            raise AdversaryError(f"node {u} does not exist")
-        survivors = [
-            w for w in dex.graph.distinct_neighbors(u) if w not in victim_set
-        ]
-        if not survivors:
-            raise AdversaryError(
-                f"deleted node {u} would have no surviving neighbor "
-                "(violates the Section 5 deletion condition)"
-            )
-        # The smallest surviving neighbor adopts (edges toward survivors
-        # only appear during the structural sweep, so the choice made at
-        # validation time stays live).
-        adopter[u] = min(survivors)
-    if dex.config.validate_batches and not _remainder_connected(dex, victim_set):
-        raise AdversaryError("batch deletion would disconnect the network")
+    legal, rejected, adopter = partition_delete_batch(dex, victims)
+    if rejected:
+        raise AdversaryError(rejected[0].reason)
+    return _execute_delete_batch(dex, legal, adopter)
+
+
+def delete_batch_partial(dex: "DexNetwork", nodes: Sequence[NodeId]) -> BatchOutcome:
+    """Heal the legal subset of a deletion batch in one wave and report
+    every rejected victim with its reason.  An empty or fully illegal
+    batch runs no step (``report is None``)."""
+    legal, rejected, adopter = partition_delete_batch(dex, list(nodes))
+    report = _execute_delete_batch(dex, legal, adopter) if legal else None
+    return BatchOutcome("delete", accepted=legal, rejected=rejected, report=report)
+
+
+def _execute_delete_batch(
+    dex: "DexNetwork", victims: list[NodeId], adopter: dict[NodeId, NodeId]
+) -> StepReport:
+    """Apply a pre-validated deletion batch (structural adoption sweep +
+    redistribution waves); shared by the strict and partial entry
+    points."""
+    from repro.core import type2_simplified
 
     ledger = CostLedger()
     topo_before = dex.graph.topology_changes

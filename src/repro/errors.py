@@ -55,6 +55,24 @@ class TraceExhausted(ReproError):
     ``RuntimeError``)."""
 
 
+class ServiceError(ReproError):
+    """The membership-service gateway could not accept or complete a
+    request (distinct from :class:`AdversaryError`, which signals an
+    *illegal* action: service errors are operational)."""
+
+
+class GatewayClosed(ServiceError):
+    """A request arrived after :meth:`MembershipGateway.close` -- the
+    caller raced shutdown and must not expect an outcome."""
+
+
+class GatewayOverloaded(ServiceError):
+    """The gateway's bounded ingestion queue is full (backpressure).
+    Raised only by the ``overload="raise"`` policy; the default policy
+    resolves the caller with a rejected outcome instead, so a queue-full
+    request is always *answered*, never dropped."""
+
+
 class DHTError(ReproError):
     """A DHT operation failed (lookup of a missing key is *not* an error;
     this signals protocol-level misuse)."""

@@ -7,12 +7,12 @@ several network sizes, and merges the results into a machine-readable
 report so successive PRs can compare against a recorded baseline
 instead of folklore.
 
-Report format (schema ``dex-perf/4``; ``dex-perf/1`` through
-``dex-perf/3`` reports are upgraded in place, their recorded runs
+Report format (schema ``dex-perf/5``; ``dex-perf/1`` through
+``dex-perf/4`` reports are upgraded in place, their recorded runs
 kept)::
 
     {
-      "schema": "dex-perf/4",
+      "schema": "dex-perf/5",
       "churn_steps": 200,              # steps per churn loop
       "sizes": [256, 1024, 4096],
       "runs": {
@@ -62,6 +62,26 @@ kept)::
             "messages_total": 180321, "skipped": 0, "wall_s": 4.2,
             # only with --compare-sequential:
             "seq_heal_per_event_ms": 0.15, "campaign_speedup_x": 3.0
+            # only with --series: the full sampled time series
+            # {"gap": [[event, value], ...], "degree": ..., ...}
+          }
+        }
+      },
+      "service": {                     # membership-gateway soak (PR 5);
+        "<label>": {                   # repro.service / cli soak
+          "meta": {"python": "...", "created": "..."},
+          "n4096": {
+            "duration_s": 2.0, "clients": 256,
+            "max_batch": 128, "batch_window_ms": 2.0,
+            "events": 31873, "events_per_s": 15936.0,
+            "ack_p50_ms": 7.9, "ack_p99_ms": 16.2, "ack_max_ms": 31.0,
+            "batches": 270, "mean_batch": 118.0,
+            "rejected": 12, "backpressure": 0, "final_n": 4103,
+            # the per-request twin (max_batch=1, window=0) and the
+            # micro-batching receipt:
+            "per_request_events_per_s": 5213.0,
+            "per_request_ack_p50_ms": 41.0,
+            "service_speedup_x": 3.06
           }
         }
       }
@@ -83,6 +103,10 @@ CLI::
     # multiprocess scaling sweep, one worker per size x seed point:
     PYTHONPATH=src python -m repro.harness.perf --sweep \\
         --sweep-sizes 100000 --sweep-seeds 11 13 --out BENCH_perf.json
+
+    # membership-gateway soak (micro-batched vs per-request gateway):
+    PYTHONPATH=src python -m repro.harness.perf --soak \\
+        --soak-sizes 4096 --soak-duration 2 --out BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -104,8 +128,14 @@ from repro.core.dex import DexNetwork
 from repro.errors import AdversaryError
 from repro.net.walks import random_walk, run_wave
 
-SCHEMA = "dex-perf/4"
-_COMPATIBLE_SCHEMAS = ("dex-perf/1", "dex-perf/2", "dex-perf/3", "dex-perf/4")
+SCHEMA = "dex-perf/5"
+_COMPATIBLE_SCHEMAS = (
+    "dex-perf/1",
+    "dex-perf/2",
+    "dex-perf/3",
+    "dex-perf/4",
+    "dex-perf/5",
+)
 DEFAULT_SIZES = (256, 1024, 4096)
 DEFAULT_STEPS = 200
 DEFAULT_BATCH = 64
@@ -364,6 +394,121 @@ def bench_csr(
 
 
 # ----------------------------------------------------------------------
+# membership-gateway soak (PR 5)
+# ----------------------------------------------------------------------
+DEFAULT_SOAK_DURATION = 2.0
+DEFAULT_SOAK_CLIENTS = 256
+DEFAULT_SOAK_BATCH = 128
+DEFAULT_SOAK_WINDOW_MS = 2.0
+
+
+def bench_service_soak(
+    n: int,
+    *,
+    duration_s: float = DEFAULT_SOAK_DURATION,
+    max_batch: int = DEFAULT_SOAK_BATCH,
+    batch_window_ms: float = DEFAULT_SOAK_WINDOW_MS,
+    clients: int = DEFAULT_SOAK_CLIENTS,
+    join_fraction: float = 0.5,
+    queue_limit: int = 8192,
+    seed: int = 11,
+    per_request: bool = False,
+) -> dict:
+    """Soak the membership gateway over a fresh n-node network with a
+    closed-loop saturating client fleet for ``duration_s`` seconds and
+    report sustained throughput plus ack-latency percentiles.
+    ``per_request=True`` runs the degenerate gateway (``max_batch=1``,
+    ``batch_window_ms=0``) -- the baseline the micro-batching speedup is
+    measured against."""
+    import asyncio
+
+    from repro.service import MembershipGateway, saturating_load
+
+    net = _build(n, seed)
+
+    async def drive():
+        gateway = MembershipGateway(
+            net,
+            max_batch=1 if per_request else max_batch,
+            batch_window_ms=0.0 if per_request else batch_window_ms,
+            queue_limit=queue_limit,
+            seed=seed,
+        )
+        async with gateway:
+            stats = await saturating_load(
+                gateway,
+                duration_s=duration_s,
+                clients=clients,
+                join_fraction=join_fraction,
+                seed=seed + 1,
+            )
+        return stats, gateway.metrics.snapshot()
+
+    stats, snap = asyncio.run(drive())
+    return {
+        "duration_s": duration_s,
+        "clients": clients,
+        "max_batch": 1 if per_request else max_batch,
+        "batch_window_ms": 0.0 if per_request else batch_window_ms,
+        "offered": stats.offered,
+        "events": snap["events"],
+        "events_per_s": snap["events_per_s"],
+        "ack_p50_ms": snap["ack_p50_ms"],
+        "ack_p90_ms": snap["ack_p90_ms"],
+        "ack_p99_ms": snap["ack_p99_ms"],
+        "ack_max_ms": snap["ack_max_ms"],
+        "batches": snap["batches"],
+        "mean_batch": snap["mean_batch"],
+        "rejected": snap["rejected"],
+        "backpressure": snap["backpressure"],
+        "queue_depth_max": snap["queue_depth_max"],
+        "heal_utilization": snap["heal_utilization"],
+        "final_n": net.size,
+    }
+
+
+def bench_service(
+    n: int,
+    *,
+    duration_s: float = DEFAULT_SOAK_DURATION,
+    max_batch: int = DEFAULT_SOAK_BATCH,
+    batch_window_ms: float = DEFAULT_SOAK_WINDOW_MS,
+    clients: int = DEFAULT_SOAK_CLIENTS,
+    seed: int = 11,
+    compare_per_request: bool = True,
+) -> dict:
+    """The soak row for one size: the micro-batched gateway, optionally
+    the per-request twin on an identically seeded fresh network, and
+    ``service_speedup_x`` (batched / per-request events per second) --
+    the serving layer's acceptance receipt."""
+    row = bench_service_soak(
+        n,
+        duration_s=duration_s,
+        max_batch=max_batch,
+        batch_window_ms=batch_window_ms,
+        clients=clients,
+        seed=seed,
+    )
+    if compare_per_request:
+        baseline = bench_service_soak(
+            n,
+            duration_s=duration_s,
+            clients=clients,
+            seed=seed,
+            per_request=True,
+        )
+        row["per_request_events_per_s"] = baseline["events_per_s"]
+        row["per_request_ack_p50_ms"] = baseline["ack_p50_ms"]
+        row["per_request_ack_p99_ms"] = baseline["ack_p99_ms"]
+        row["service_speedup_x"] = (
+            round(row["events_per_s"] / baseline["events_per_s"], 2)
+            if baseline["events_per_s"]
+            else 0.0
+        )
+    return row
+
+
+# ----------------------------------------------------------------------
 # suite
 # ----------------------------------------------------------------------
 def run_suite(
@@ -537,6 +682,19 @@ def write_sweep(
     return report
 
 
+def write_service(
+    path: pathlib.Path, label: str, results: dict, extra_meta: dict | None = None
+) -> dict:
+    """Merge one labelled gateway-soak run (``{"n4096": row, ...}``)
+    into the report at ``path`` under the ``service`` key."""
+    report = load_report(path)
+    entry = dict(results)
+    entry["meta"] = {**_meta(), **(extra_meta or {})}
+    report.setdefault("service", {})[label] = entry
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
 def write_campaigns(
     path: pathlib.Path,
     label: str,
@@ -571,10 +729,44 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="insert+delete batch rounds per sweep point")
     parser.add_argument("--workers", type=int, default=None,
                         help="sweep worker processes (default: one per point, capped at CPUs)")
+    parser.add_argument("--soak", action="store_true",
+                        help="run the membership-gateway soak benchmark instead of the suite")
+    parser.add_argument("--soak-sizes", type=int, nargs="+", default=[4096])
+    parser.add_argument("--soak-duration", type=float, default=DEFAULT_SOAK_DURATION,
+                        help="seconds of saturating load per gateway run")
+    parser.add_argument("--soak-clients", type=int, default=DEFAULT_SOAK_CLIENTS,
+                        help="closed-loop client coroutines")
+    parser.add_argument("--soak-max-batch", type=int, default=DEFAULT_SOAK_BATCH)
+    parser.add_argument("--soak-window-ms", type=float, default=DEFAULT_SOAK_WINDOW_MS)
+    parser.add_argument("--soak-no-baseline", action="store_true",
+                        help="skip the per-request (max_batch=1) comparison run")
     parser.add_argument("--out", type=pathlib.Path, default=pathlib.Path("BENCH_perf.json"))
     args = parser.parse_args(argv)
 
     load_report(args.out)  # refuse a corrupt report before the long run
+
+    if args.soak:
+        print(
+            f"service soak: sizes={args.soak_sizes} duration={args.soak_duration}s "
+            f"clients={args.soak_clients} max_batch={args.soak_max_batch} "
+            f"window={args.soak_window_ms}ms label={args.label!r}"
+        )
+        results: dict[str, dict] = {}
+        for n in args.soak_sizes:
+            row = bench_service(
+                n,
+                duration_s=args.soak_duration,
+                max_batch=args.soak_max_batch,
+                batch_window_ms=args.soak_window_ms,
+                clients=args.soak_clients,
+                seed=args.seed,
+                compare_per_request=not args.soak_no_baseline,
+            )
+            results[f"n{n}"] = row
+            print(f"  n={n}: {row}", file=sys.stderr)
+        write_service(args.out, args.label, results)
+        print(f"wrote {args.out}")
+        return 0
 
     if args.sweep:
         points = len(args.sweep_sizes) * len(args.sweep_seeds)

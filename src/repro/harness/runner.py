@@ -9,16 +9,20 @@ steps -- the raw series behind every benchmark table.
 the adversary emits whole Section 5 batches (native ``next_batch``, or
 any single-action strategy through
 :func:`repro.adversary.base.as_batch_adversary`), and each same-kind run
-heals through the overlay's batch engine
-(:meth:`~repro.core.dex.DexNetwork.insert_batch` /
-:meth:`~repro.core.dex.DexNetwork.delete_batch`) when it has one --
-falling back to per-step healing for overlays without batch support,
-for singleton runs, and for batches the engine rejects
-(:class:`~repro.errors.AdversaryError`, e.g. a victim set that would
-disconnect the remainder).  Both drivers end a scripted run cleanly when
-the trace raises :class:`~repro.errors.TraceExhausted`, reporting the
-steps actually executed, and always sample the terminal state -- even
-when the final action was skipped.
+heals through the overlay's batch engine when it has one.  Overlays
+with **partial-batch outcomes**
+(:meth:`~repro.core.dex.DexNetwork.insert_batch_partial` /
+:meth:`~repro.core.dex.DexNetwork.delete_batch_partial`) take the
+single-pass path: one engine call heals the legal majority of the run
+and reports each illegal action individually (counted in
+``CampaignResult.fallbacks``), replacing the historical
+bisect-and-replay fallback.  Overlays speaking only the all-or-nothing
+batch protocol replay an engine-rejected run per step; overlays without
+batch support heal per step throughout.  Both drivers end a scripted
+run cleanly when the trace raises
+:class:`~repro.errors.TraceExhausted`, reporting the steps actually
+executed, and always sample the terminal state -- even when the final
+action was skipped.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from dataclasses import dataclass, field
 from repro.adversary.base import Adversary, ChurnAction, as_batch_adversary
 from repro.analysis.spectral import spectral_gap
 from repro.analysis.stats import Summary, summarize
+from repro.baselines.interface import supports_batch, supports_partial_batch
 from repro.errors import AdversaryError, TraceExhausted
 from repro.net.metrics import CostLedger
 
@@ -78,11 +83,18 @@ class CampaignResult(ChurnResult):
     ledger covering all 64."""
 
     batches: int = 0
-    #: same-kind runs the engine rejected (AdversaryError) and the
-    #: driver re-applied by bisection / per-step replay
+    #: same-kind runs a strict (all-or-nothing) batch engine rejected
+    #: wholesale, which the driver re-applied by per-step replay; always
+    #: 0 for overlays with partial-batch outcomes
     fallback_batches: int = 0
     #: events healed through a true batch call (vs. per-step healing)
     batched_events: int = 0
+    #: individual actions the engine rejected: the per-victim/per-entry
+    #: rejections reported by the partial-batch path.  Every one is also
+    #: counted in ``skipped_actions`` -- the driver-agnostic
+    #: rejected-action total that batched and sequential campaigns must
+    #: agree on.
+    fallbacks: int = 0
 
 
 def _ledger_of(report_or_ledger) -> CostLedger:
@@ -224,18 +236,42 @@ def _same_kind_runs(batch: list[ChurnAction]) -> list[list[ChurnAction]]:
 
 
 def _apply_run(
-    overlay, run: list[ChurnAction], result: CampaignResult, _top: bool = True
+    overlay, run: list[ChurnAction], result: CampaignResult
 ) -> int:
     """Heal one same-kind run, batched when possible; returns the number
     of churn events consumed (every attempted action counts, skipped
     ones included, mirroring ``run_churn``'s step accounting)."""
     kind = run[0].kind
     if kind == "insert":
-        batch_call = getattr(overlay, "insert_batch", None)
+        attribute = "insert_batch"
     elif kind == "delete":
-        batch_call = getattr(overlay, "delete_batch", None)
+        attribute = "delete_batch"
     else:
         result.skipped_actions += len(run)
+        return len(run)
+    batch_call = getattr(overlay, attribute, None) if supports_batch(overlay) else None
+    partial_call = (
+        getattr(overlay, attribute + "_partial")
+        if supports_partial_batch(overlay)
+        else None
+    )
+    if len(run) > 1 and partial_call is not None:
+        # Single-pass path: the engine heals the legal majority in one
+        # wave and reports each illegal action individually -- no
+        # bisection, no replay against intermediate states.
+        payload = (
+            _assign_insert_ids(overlay, run)
+            if kind == "insert"
+            else [action.node for action in run]
+        )
+        t0 = time.perf_counter()
+        outcome = partial_call(payload)
+        result.heal_s += time.perf_counter() - t0
+        if outcome.report is not None:
+            result.ledgers.append(_ledger_of(outcome.report))
+        result.batched_events += len(outcome.accepted)
+        result.fallbacks += len(outcome.rejected)
+        result.skipped_actions += len(outcome.rejected)
         return len(run)
     if len(run) > 1 and batch_call is not None:
         payload = (
@@ -247,20 +283,10 @@ def _apply_run(
         try:
             out = batch_call(payload)
         except AdversaryError:
-            # The engine rejected the batch (disconnecting victim set,
-            # saturated attach point, ...).  Bisect: each half re-validates
-            # against the state the previous half left behind, so most of
-            # the batch still heals in waves and only the truly illegal
-            # actions (replayed one by one at the recursion's leaves) are
-            # skipped.  The fallback counter tracks adversary runs, not
-            # recursion levels, so only the top level increments it.
+            # A strict (all-or-nothing) engine rejected the run; replay
+            # it per step below so the legal actions still apply.
             result.heal_s += time.perf_counter() - t0
-            if _top:
-                result.fallback_batches += 1
-            mid = len(run) // 2
-            return _apply_run(overlay, run[:mid], result, _top=False) + _apply_run(
-                overlay, run[mid:], result, _top=False
-            )
+            result.fallback_batches += 1
         else:
             result.heal_s += time.perf_counter() - t0
             result.ledgers.append(_ledger_of(out))
@@ -307,17 +333,23 @@ def _assign_insert_ids(overlay, run: list[ChurnAction]) -> list[tuple[int, int]]
     that named an id keep it, the rest get fresh consecutive ids (ids
     grow monotonically in every overlay here, so ``fresh_id() + i`` is
     free; ``has_node`` guards the DEX path against collisions with
-    explicitly named ids)."""
+    explicitly named ids).  Actions without an attach point get a
+    uniform live sample from the overlay's own rng -- the same choice
+    ``overlay.insert(attach_to=None)`` would make per step."""
     explicit = {action.node for action in run if action.node is not None}
     has_node = getattr(getattr(overlay, "graph", None), "has_node", None)
+    sampler = getattr(overlay, "random_node", None)
     pairs: list[tuple[int, int]] = []
     nid: int | None = None
     for action in run:
+        attach = action.attach_to
+        if attach is None and sampler is not None:
+            attach = sampler()
         if action.node is not None:
-            pairs.append((action.node, action.attach_to))
+            pairs.append((action.node, attach))
             continue
         nid = overlay.fresh_id() if nid is None else nid + 1
         while nid in explicit or (has_node is not None and has_node(nid)):
             nid += 1
-        pairs.append((nid, action.attach_to))
+        pairs.append((nid, attach))
     return pairs

@@ -171,8 +171,13 @@ def run_scenario(
     sample_every: int | None = None,
     compare_sequential: bool = False,
     overlay_kwargs: dict | None = None,
+    series: bool = False,
 ) -> dict:
-    """Run one scenario campaign point and return its metrics row."""
+    """Run one scenario campaign point and return its metrics row.
+    ``series=True`` additionally persists the full per-sample time
+    series (spectral gap, max degree, live size and cumulative messages
+    at every sample boundary), so ``benchmarks/`` can regenerate
+    Figure-style decay plots from campaign output alone."""
     scenario = SCENARIOS[scenario_key]
     events = events or scenario.default_events(n0)
     sample_every = sample_every or max(64, events // 8)
@@ -192,6 +197,8 @@ def run_scenario(
     wall = time.perf_counter() - t0
     row = _metrics_row(result, scenario_key, overlay_key, n0, seed, wall)
     row["final_n"] = overlay.size
+    if series:
+        row["series"] = _series_block(result)
 
     if compare_sequential:
         # Fresh overlay + fresh adversary, identical seed and event
@@ -232,6 +239,7 @@ def _metrics_row(
         "batches": result.batches,
         "batched_events": result.batched_events,
         "fallback_batches": result.fallback_batches,
+        "fallbacks": result.fallbacks,
         "skipped": result.skipped_actions,
         "heal_per_event_ms": round(result.heal_per_event_ms(), 6),
         "min_gap": round(result.min_gap, 6),
@@ -239,6 +247,18 @@ def _metrics_row(
         "max_degree": result.max_degree_seen,
         "messages_total": result.messages_total(),
         "wall_s": round(wall, 3),
+    }
+
+
+def _series_block(result: CampaignResult) -> dict:
+    """The full sampled time series, JSON-shaped: one ``[boundary,
+    value]`` pair per sample.  Gap values are rounded to keep campaign
+    reports diff-able; degree/size/messages are exact integers."""
+    return {
+        "gap": [[step, round(gap, 6)] for step, gap in result.gap_samples],
+        "degree": [list(pair) for pair in result.degree_samples],
+        "size": [list(pair) for pair in result.size_samples],
+        "messages": [list(pair) for pair in result.message_samples],
     }
 
 
@@ -250,7 +270,7 @@ def point_key(scenario: str, overlay: str, n0: int, seed: int) -> str:
 # the matrix (optionally multiprocess, one worker per point)
 # ----------------------------------------------------------------------
 def _matrix_point(args: tuple) -> tuple[str, dict]:
-    (scenario, overlay, n0, seed, events, max_batch, compare, kwargs) = args
+    (scenario, overlay, n0, seed, events, max_batch, compare, kwargs, series) = args
     row = run_scenario(
         scenario,
         overlay,
@@ -260,6 +280,7 @@ def _matrix_point(args: tuple) -> tuple[str, dict]:
         max_batch=max_batch,
         compare_sequential=compare,
         overlay_kwargs=kwargs,
+        series=series,
     )
     return point_key(scenario, overlay, n0, seed), row
 
@@ -275,13 +296,14 @@ def run_matrix(
     overlay_kwargs: dict | None = None,
     workers: int | None = None,
     progress: bool = False,
+    series: bool = False,
 ) -> dict[str, dict]:
     """Every scenario x overlay x size x seed point, fanned out one
     worker process per point (the ``perf --sweep`` shape); ``workers=1``
     stays in-process for simpler traces and identical numbers."""
     points = [
         (sc, ov, n0, seed, events, max_batch, compare_sequential,
-         overlay_kwargs or {})
+         overlay_kwargs or {}, series)
         for sc in scenarios
         for ov in overlays
         for n0 in sizes
@@ -289,18 +311,21 @@ def run_matrix(
     ]
     max_workers = workers or min(len(points), os.cpu_count() or 1)
     results: dict[str, dict] = {}
+    def _progress_row(row: dict) -> dict:
+        return {k: v for k, v in row.items() if k != "series"}
+
     if max_workers <= 1 or len(points) == 1:
         for point in points:
             key, row = _matrix_point(point)
             results[key] = row
             if progress:
-                print(f"  {key}: {row}", file=sys.stderr)
+                print(f"  {key}: {_progress_row(row)}", file=sys.stderr)
         return results
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         for key, row in pool.map(_matrix_point, points):
             results[key] = row
             if progress:
-                print(f"  {key}: {row}", file=sys.stderr)
+                print(f"  {key}: {_progress_row(row)}", file=sys.stderr)
     return results
 
 
@@ -327,6 +352,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--compare-sequential", action="store_true",
                         help="also run the same workload through the sequential "
                         "runner and record campaign_speedup_x")
+    parser.add_argument("--series", action="store_true",
+                        help="persist the full per-sample time series "
+                        "(gap/degree/size/messages per boundary) in each "
+                        "campaign row, for Figure-style decay plots")
     parser.add_argument("--no-validate-batches", action="store_true",
                         help="run DEX with validate_batches=False (engine-vs-engine "
                         "comparison; single-node steps do no batch validation)")
@@ -385,6 +414,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         overlay_kwargs=overlay_kwargs,
         workers=workers,
         progress=True,
+        series=args.series,
     )
     wall = time.perf_counter() - t0
 

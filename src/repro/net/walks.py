@@ -292,46 +292,53 @@ def _wave_scalar(
     neighbor_cdf = graph.neighbor_cdf
     random_unit = gen.random if gen is not None else rng.random
     used: set[int] = set()
-    proposals: list[NodeId | None] = []
+    used_add = used.add
+    # Wave-local CDF memo: the topology is frozen for the wave's whole
+    # lifetime (resolution happens after the wave returns), so the
+    # version-stamp revalidation inside ``neighbor_cdf`` -- two dict
+    # lookups plus a stamp compare per hop -- is paid once per *visited
+    # node*, not once per hop.  Bounded by O(visited nodes x degree)
+    # array entries, dropped with the wave.
+    cdf_memo: dict[NodeId, tuple[list[NodeId], list[int], int]] = {}
+    memo_get = cdf_memo.get
     while active:
         rounds += 1
         used.clear()
-        # Pass 1: this round's uniform block, consumed in active order.
+        # This round's uniform block, consumed in active order.
         if gen is not None:
             block = gen.random(len(active)).tolist()
         else:  # pragma: no cover - numpy-free fallback
             block = [random_unit() for _ in active]
-        proposals.clear()
-        for slot, idx in enumerate(active):
-            neighbors, cumulative, total = neighbor_cdf(positions[idx])
-            if total == 0:
-                proposals.append(None)  # stuck: leaves the wave in place
-            else:
-                proposals.append(
-                    neighbors[bisect_right(cumulative, int(block[slot] * total))]
-                )
-        # Pass 2: conditional redraws for tokens that hit their excluded
-        # node (probability m_u/total, so the O(degree) scan is rare).
-        for slot, idx in enumerate(active):
-            avoid = excl[idx]
-            if avoid is not None and proposals[slot] == avoid:
-                proposals[slot] = _filtered_redraw(
-                    graph, positions[idx], avoid, random_unit
-                )
-        # Pass 3: edge claims in active order, then movement.
+        # The protocol's three passes (block proposals, ordered redraws,
+        # ordered edge claims) fuse into one loop: the block is drawn up
+        # front and redraws/claims both resolve in active order, so the
+        # fused loop consumes the identical uniform stream and resolves
+        # the identical claims -- the engine-equivalence oracle checks
+        # this against the vector engine after every audited churn step.
         write = 0
         for slot, idx in enumerate(active):
-            nxt = proposals[slot]
-            if nxt is None:
-                continue
             at = positions[idx]
+            entry = memo_get(at)
+            if entry is None:
+                cdf_memo[at] = entry = neighbor_cdf(at)
+            neighbors, cumulative, total = entry
+            if total == 0:
+                continue  # stuck: the token stays put and leaves the wave
+            nxt = neighbors[bisect_right(cumulative, int(block[slot] * total))]
+            avoid = excl[idx]
+            if avoid is not None and nxt == avoid:
+                # Conditional redraw on an excluded-node hit
+                # (probability m_u/total, so the O(degree) scan is rare).
+                nxt = _filtered_redraw(graph, at, avoid, random_unit)
+                if nxt is None:
+                    continue  # every neighbor excluded: token is stuck
             if nxt != at:
                 key = (at << 32) | (nxt & 0xFFFFFFFF)
                 if key in used:
                     active[write] = idx  # blocked: retry next round
                     write += 1
                     continue
-                used.add(key)
+                used_add(key)
             positions[idx] = nxt
             total_hops += 1
             if nxt in members:

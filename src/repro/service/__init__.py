@@ -1,0 +1,30 @@
+"""The membership-service layer (PR 5): an asyncio gateway that turns a
+live stream of concurrent ``join``/``leave`` requests into the batch
+waves of :mod:`repro.core.multi`, with per-request outcomes, bounded
+backpressure, client load generators and latency metrics.
+
+See :mod:`repro.service.gateway` for the architecture notes.
+"""
+
+from repro.service.gateway import Ack, MembershipGateway
+from repro.service.loadgen import (
+    LoadStats,
+    Population,
+    flash_crowd_load,
+    poisson_load,
+    saturating_load,
+)
+from repro.service.metrics import FlushRecord, ServiceMetrics, exact_quantile
+
+__all__ = [
+    "Ack",
+    "MembershipGateway",
+    "LoadStats",
+    "Population",
+    "flash_crowd_load",
+    "poisson_load",
+    "saturating_load",
+    "FlushRecord",
+    "ServiceMetrics",
+    "exact_quantile",
+]

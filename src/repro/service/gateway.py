@@ -1,0 +1,365 @@
+"""The asyncio membership-service gateway (the serving layer).
+
+Everything below :mod:`repro.harness` replays recorded adversary
+scripts; this module is the first *online* surface: many concurrent
+clients call :meth:`MembershipGateway.join` / ``leave`` and await an
+answer, and the gateway turns that request stream into the
+congestion-synchronous batch waves the healing engine already speaks.
+DEX's healing is local and concurrent by construction (Corollary 2), so
+the serving layer's whole job is coalescing:
+
+* **Ingestion** -- a bounded FIFO queue.  A request arriving at a full
+  queue is *answered* with a rejected outcome (or
+  :class:`~repro.errors.GatewayOverloaded` under the ``"raise"``
+  policy), never silently dropped: backpressure is an explicit contract
+  with the client, not a timeout.
+* **Adaptive micro-batching** -- each flush is kind-segregated (it maps
+  to exactly one ``insert_batch`` or ``delete_batch`` wave), led by the
+  oldest queued request.  The batcher gathers that kind *across* the
+  queue, because reordering around the other kind is only observable
+  when two requests name the same node id: a ``leave(x)`` can only race
+  a ``join(x)`` if ``x`` was pinned by the client (a gateway-assigned
+  id is unknown until the join's ack resolves), so any request naming
+  an id that a skipped earlier request also names acts as a barrier and
+  stays queued for a later flush.  The flush fires as soon as the
+  gather reaches ``max_batch`` or the ``batch_window_ms`` timer
+  expires; under saturation the gateway therefore heals
+  ``max_batch``-sized waves, while at low arrival rates a request waits
+  at most one window.  ``batch_window_ms=0`` with ``max_batch=1``
+  degenerates to a per-request gateway -- the baseline the soak
+  benchmark compares against.
+* **Partial-batch outcomes** -- each flush maps to exactly one
+  :func:`~repro.core.multi.insert_batch_partial` /
+  :func:`~repro.core.multi.delete_batch_partial` call, and every
+  client's future resolves with its *individual* :class:`Ack`: healed
+  requests learn their assigned node id; illegal ones (stale attach
+  hint, duplicate leave, victim that would disconnect the remainder)
+  learn the engine's per-request rejection reason while the legal
+  majority of their batch still heals in one wave.
+
+The heal call itself runs synchronously on the event loop -- the engine
+is CPU-bound Python over one shared graph, so handing it to a thread
+would serialize on the same state anyway; the batcher yields between
+flushes so clients keep enqueueing while a wave heals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import GatewayClosed, GatewayOverloaded
+from repro.service.metrics import ServiceMetrics
+from repro.types import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.dex import DexNetwork
+
+
+@dataclass(frozen=True)
+class Ack:
+    """One client's outcome: the resolution of a ``join``/``leave``."""
+
+    ok: bool
+    kind: str  # "join" | "leave"
+    #: the (assigned) node id the request was about; joins learn their
+    #: id here even when the gateway chose it
+    node: NodeId | None
+    #: rejection reason (``None`` on success) -- the engine's per-request
+    #: reason, or the gateway's backpressure notice
+    reason: str | None
+    #: enqueue-to-resolution seconds as measured by the gateway
+    latency_s: float
+    #: size of the flush that carried the request (0 for requests
+    #: answered at the door, i.e. backpressure)
+    batch_size: int
+
+
+@dataclass(eq=False)  # identity semantics: each request is unique
+class _Request:
+    kind: str
+    node: NodeId | None
+    attach_hint: NodeId | None
+    future: asyncio.Future
+    submitted_at: float
+
+
+class MembershipGateway:
+    """Async facade over one :class:`~repro.core.dex.DexNetwork`.
+
+    Use as an async context manager (or call :meth:`start` /
+    :meth:`close` explicitly)::
+
+        async with MembershipGateway(net, max_batch=64) as gateway:
+            ack = await gateway.join()
+            assert ack.ok and net.graph.has_node(ack.node)
+
+    ``overload`` selects the backpressure policy: ``"reject"`` (default)
+    answers queue-full requests with a rejected :class:`Ack`;
+    ``"raise"`` raises :class:`~repro.errors.GatewayOverloaded` instead.
+    """
+
+    #: reason string of backpressure rejections (tested verbatim)
+    BACKPRESSURE_REASON = "backpressure: ingestion queue full"
+
+    def __init__(
+        self,
+        net: "DexNetwork",
+        *,
+        max_batch: int = 64,
+        batch_window_ms: float = 2.0,
+        queue_limit: int = 4096,
+        overload: str = "reject",
+        seed: int | None = None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if batch_window_ms < 0:
+            raise ValueError(f"batch_window_ms must be >= 0, got {batch_window_ms}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if overload not in ("reject", "raise"):
+            raise ValueError(f"unknown overload policy {overload!r}")
+        self.net = net
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_ms / 1e3
+        self.queue_limit = queue_limit
+        self.metrics = metrics or ServiceMetrics()
+        self._overload = overload
+        self._rng = random.Random(
+            seed if seed is not None else getattr(net.config, "seed", 0)
+        )
+        self._queue: deque[_Request] = deque()
+        self._wake = asyncio.Event()
+        self._batcher: asyncio.Task | None = None
+        self._closing = False
+        self._clock = time.perf_counter
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "MembershipGateway":
+        if self._batcher is None:
+            self._batcher = asyncio.ensure_future(self._run())
+        return self
+
+    async def close(self) -> None:
+        """Stop accepting requests, drain the queue (every queued
+        request still gets its outcome), and join the batcher."""
+        self._closing = True
+        self._wake.set()
+        if self._batcher is not None:
+            await self._batcher
+            self._batcher = None
+
+    async def __aenter__(self) -> "MembershipGateway":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # the client surface
+    # ------------------------------------------------------------------
+    async def join(
+        self, node_id: NodeId | None = None, attach_hint: NodeId | None = None
+    ) -> Ack:
+        """Request membership: a new node (gateway-assigned id unless
+        ``node_id`` pins one) attached at ``attach_hint`` (a uniformly
+        sampled live node unless pinned).  Resolves when the request's
+        micro-batch healed."""
+        return await self._submit("join", node_id, attach_hint)
+
+    async def leave(self, node_id: NodeId) -> Ack:
+        """Request departure of ``node_id``; resolves when the request's
+        micro-batch healed (or with the per-victim rejection reason)."""
+        return await self._submit("leave", node_id, None)
+
+    def _submit(
+        self, kind: str, node: NodeId | None, attach_hint: NodeId | None
+    ) -> asyncio.Future:
+        if self._closing or self._batcher is None:
+            raise GatewayClosed(
+                f"{kind} request arrived while the gateway is "
+                f"{'closing' if self._closing else 'not started'}"
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        if len(self._queue) >= self.queue_limit:
+            self.metrics.record_backpressure()
+            if self._overload == "raise":
+                raise GatewayOverloaded(
+                    f"ingestion queue full ({self.queue_limit} pending)"
+                )
+            future.set_result(
+                Ack(
+                    ok=False,
+                    kind=kind,
+                    node=node,
+                    reason=self.BACKPRESSURE_REASON,
+                    latency_s=0.0,
+                    batch_size=0,
+                )
+            )
+            return future
+        self._queue.append(
+            _Request(kind, node, attach_hint, future, self._clock())
+        )
+        self.metrics.record_enqueue(len(self._queue))
+        self._wake.set()
+        return future
+
+    # ------------------------------------------------------------------
+    # the batcher
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def _selection(self) -> list[_Request]:
+        """The next flush, selected non-destructively: up to
+        ``max_batch`` requests of the lead kind (the oldest queued
+        request's), gathered across the queue.  A *skipped* request's
+        pinned node id is a barrier -- later lead-kind requests naming
+        it are skipped too, so per-node operation order is preserved
+        even though kinds interleave.  Single source of truth for both
+        the window decision (:meth:`_gatherable`) and the dequeue
+        (:meth:`_gather`)."""
+        kind = self._queue[0].kind
+        barriers: set[NodeId] = set()
+        batch: list[_Request] = []
+        for request in self._queue:
+            if (
+                len(batch) < self.max_batch
+                and request.kind == kind
+                and (request.node is None or request.node not in barriers)
+            ):
+                batch.append(request)
+            elif request.node is not None:
+                barriers.add(request.node)
+        return batch
+
+    def _gatherable(self) -> int:
+        return len(self._selection())
+
+    def _gather(self) -> list[_Request]:
+        batch = self._selection()
+        selected = set(batch)  # _Request hashes by identity
+        self._queue = deque(r for r in self._queue if r not in selected)
+        return batch
+
+    async def _run(self) -> None:
+        while True:
+            if not self._queue:
+                if self._closing:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            await self._collect()
+            batch = self._gather()
+            self._flush(batch[0].kind, batch)
+            # Yield so awaiting clients resolve and new arrivals land
+            # before the next flush decision.
+            await asyncio.sleep(0)
+
+    async def _collect(self) -> None:
+        """Adaptive wait: let the gatherable flush grow until it
+        reaches ``max_batch`` or the window expires.  A closing gateway
+        drains immediately."""
+        if self.batch_window_s <= 0 or self._closing:
+            return
+        deadline = self._clock() + self.batch_window_s
+        while not self._closing and self._gatherable() < self.max_batch:
+            timeout = deadline - self._clock()
+            if timeout <= 0:
+                return
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+            except asyncio.TimeoutError:
+                return
+
+    def _flush(self, kind: str, requests: list[_Request]) -> None:
+        """One micro-batch -> one partial-batch heal call -> one
+        individual outcome per caller."""
+        try:
+            if kind == "join":
+                payload = self._join_payload(requests)
+                t0 = self._clock()
+                outcome = self.net.insert_batch_partial(payload)
+                heal_s = self._clock() - t0
+                nodes = [new_id for new_id, _attach in payload]
+            else:
+                nodes = [request.node for request in requests]
+                t0 = self._clock()
+                outcome = self.net.delete_batch_partial(nodes)
+                heal_s = self._clock() - t0
+        except BaseException as exc:
+            # An engine failure (e.g. RecoveryError) is not a per-request
+            # rejection: surface it to every waiting caller -- the
+            # flushed batch AND everything still queued (the batcher
+            # dies with this raise, so a queued future would otherwise
+            # never resolve and its client would hang forever) -- and to
+            # the gateway owner instead of masking it as an outcome.
+            self._closing = True
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            while self._queue:
+                queued = self._queue.popleft()
+                if not queued.future.done():
+                    queued.future.set_exception(exc)
+            raise
+        reasons = {r.index: r.reason for r in outcome.rejected}
+        now = self._clock()
+        batch_size = len(requests)
+        for index, request in enumerate(requests):
+            reason = reasons.get(index)
+            latency = now - request.submitted_at
+            self.metrics.record_ack(latency, ok=reason is None)
+            request.future.set_result(
+                Ack(
+                    ok=reason is None,
+                    kind=kind,
+                    node=nodes[index],
+                    reason=reason,
+                    latency_s=latency,
+                    batch_size=batch_size,
+                )
+            )
+        self.metrics.record_flush(
+            kind, batch_size, len(outcome.accepted), len(outcome.rejected), heal_s
+        )
+
+    def _join_payload(
+        self, requests: list[_Request]
+    ) -> list[tuple[NodeId, NodeId]]:
+        """Concrete ``(new_id, attach_to)`` pairs: pinned ids kept,
+        fresh consecutive ids otherwise; missing attach hints filled
+        with uniform live samples from the gateway's own rng (stale
+        pinned hints are left for the engine to reject per-request)."""
+        explicit = {r.node for r in requests if r.node is not None}
+        has_node = self.net.graph.has_node
+        pairs: list[tuple[NodeId, NodeId]] = []
+        nid: NodeId | None = None
+        for request in requests:
+            if request.node is not None:
+                new_id = request.node
+            else:
+                nid = self.net.fresh_id() if nid is None else nid + 1
+                while nid in explicit or has_node(nid):
+                    nid += 1
+                new_id = nid
+            attach = (
+                request.attach_hint
+                if request.attach_hint is not None
+                else self.net.sample_node(self._rng)
+            )
+            pairs.append((new_id, attach))
+        return pairs

@@ -1,0 +1,226 @@
+"""Client-side load generators for the membership gateway.
+
+Three traffic shapes, all driving real concurrent clients (one
+coroutine per in-flight request) against a
+:class:`~repro.service.gateway.MembershipGateway`:
+
+* :func:`poisson_load` -- **open loop**: arrivals follow an exponential
+  inter-arrival clock at ``rate_hz`` regardless of how fast the gateway
+  answers, the standard model for independent users.  Ack latency under
+  an open loop is the honest number -- a slow gateway builds queue and
+  the percentiles show it.
+* :func:`flash_crowd_load` -- a ``surge`` of simultaneous joins at t=0
+  (the service-layer twin of the `flash-crowd` campaign scenario),
+  followed by open-loop mixed churn.
+* :func:`saturating_load` -- **closed loop**: ``clients`` workers each
+  keep exactly one request in flight, back to back.  This measures
+  sustained capacity (events/sec at full pressure) -- the number the
+  soak benchmark compares micro-batched vs. per-request gateways on.
+
+Leave targets come from a shared :class:`Population` tracking ids the
+generator believes are alive (bootstrap members plus its own healed
+joins).  The view is deliberately optimistic -- concurrent leaves race,
+and a stale victim exercises exactly the per-request rejection path the
+partial-batch engine exists for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.gateway import Ack, MembershipGateway
+
+
+@dataclass
+class LoadStats:
+    """What one generator run offered and what came back."""
+
+    offered: int = 0
+    completed: int = 0
+    ok: int = 0
+    rejected: int = 0
+    backpressure: int = 0
+    #: rejection reason -> count (backpressure included)
+    reasons: dict[str, int] = field(default_factory=dict)
+
+    def record(self, ack: "Ack") -> None:
+        from repro.service.gateway import MembershipGateway
+
+        self.completed += 1
+        if ack.ok:
+            self.ok += 1
+            return
+        self.rejected += 1
+        reason = ack.reason or "unknown"
+        self.reasons[reason] = self.reasons.get(reason, 0) + 1
+        if reason == MembershipGateway.BACKPRESSURE_REASON:
+            self.backpressure += 1
+
+
+class Population:
+    """The generator's optimistic view of live node ids: uniform victim
+    sampling in O(1) via swap-remove over a list + index map."""
+
+    def __init__(self, ids, rng: random.Random) -> None:
+        self._ids = list(ids)
+        self._index = {node: i for i, node in enumerate(self._ids)}
+        self._rng = rng
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def sample(self):
+        if not self._ids:
+            return None
+        return self._ids[self._rng.randrange(len(self._ids))]
+
+    def add(self, node) -> None:
+        if node is not None and node not in self._index:
+            self._index[node] = len(self._ids)
+            self._ids.append(node)
+
+    def discard(self, node) -> None:
+        i = self._index.pop(node, None)
+        if i is None:
+            return
+        last = self._ids.pop()
+        if i < len(self._ids):
+            self._ids[i] = last
+            self._index[last] = i
+
+
+async def _client(
+    gateway: "MembershipGateway",
+    kind: str,
+    victim,
+    population: Population,
+    stats: LoadStats,
+) -> None:
+    if kind == "join":
+        ack = await gateway.join()
+        if ack.ok:
+            population.add(ack.node)
+    else:
+        ack = await gateway.leave(victim)
+        if ack.ok:
+            population.discard(victim)
+    stats.record(ack)
+
+
+def _pick(
+    rng: random.Random, join_fraction: float, population: Population
+) -> tuple[str, object]:
+    if rng.random() < join_fraction or not len(population):
+        return "join", None
+    return "leave", population.sample()
+
+
+async def poisson_load(
+    gateway: "MembershipGateway",
+    *,
+    rate_hz: float,
+    duration_s: float,
+    join_fraction: float = 0.6,
+    seed: int = 0,
+) -> LoadStats:
+    """Open-loop Poisson arrivals at ``rate_hz`` for ``duration_s``
+    seconds; returns the aggregated :class:`LoadStats` once every
+    spawned client resolved."""
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+    rng = random.Random(seed)
+    stats = LoadStats()
+    population = Population(gateway.net.nodes(), rng)
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + duration_s
+    clients: list[asyncio.Task] = []
+    while True:
+        delay = rng.expovariate(rate_hz)
+        now = loop.time()
+        if now + delay >= deadline:
+            break
+        await asyncio.sleep(delay)
+        kind, victim = _pick(rng, join_fraction, population)
+        stats.offered += 1
+        clients.append(
+            asyncio.ensure_future(
+                _client(gateway, kind, victim, population, stats)
+            )
+        )
+    if clients:
+        await asyncio.gather(*clients)
+    return stats
+
+
+async def flash_crowd_load(
+    gateway: "MembershipGateway",
+    *,
+    surge: int,
+    rate_hz: float,
+    duration_s: float,
+    join_fraction: float = 0.5,
+    seed: int = 0,
+) -> LoadStats:
+    """A ``surge`` of simultaneous join requests (all in flight before
+    the first flush can complete), then open-loop mixed churn for the
+    remaining ``duration_s``."""
+    rng = random.Random(seed)
+    stats = LoadStats()
+    population = Population(gateway.net.nodes(), rng)
+    surge_clients = [
+        asyncio.ensure_future(
+            _client(gateway, "join", None, population, stats)
+        )
+        for _ in range(surge)
+    ]
+    stats.offered += surge
+    steady = await poisson_load(
+        gateway,
+        rate_hz=rate_hz,
+        duration_s=duration_s,
+        join_fraction=join_fraction,
+        seed=seed + 1,
+    )
+    if surge_clients:
+        await asyncio.gather(*surge_clients)
+    stats.offered += steady.offered
+    stats.completed += steady.completed
+    stats.ok += steady.ok
+    stats.rejected += steady.rejected
+    stats.backpressure += steady.backpressure
+    for reason, count in steady.reasons.items():
+        stats.reasons[reason] = stats.reasons.get(reason, 0) + count
+    return stats
+
+
+async def saturating_load(
+    gateway: "MembershipGateway",
+    *,
+    duration_s: float,
+    clients: int = 256,
+    join_fraction: float = 0.5,
+    seed: int = 0,
+) -> LoadStats:
+    """Closed-loop saturation: ``clients`` workers each keep one request
+    in flight back to back until the deadline.  Sustained completed
+    events/sec under this load is the gateway's capacity."""
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    rng = random.Random(seed)
+    stats = LoadStats()
+    population = Population(gateway.net.nodes(), rng)
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + duration_s
+
+    async def worker() -> None:
+        while loop.time() < deadline:
+            kind, victim = _pick(rng, join_fraction, population)
+            stats.offered += 1
+            await _client(gateway, kind, victim, population, stats)
+
+    await asyncio.gather(*(worker() for _ in range(clients)))
+    return stats

@@ -1,0 +1,201 @@
+"""Service-side observability for the membership gateway.
+
+The gateway records three signal families into a :class:`ServiceMetrics`
+instance: per-request **ack latency** (enqueue to future resolution),
+per-flush **batch shape** (submitted / accepted / rejected sizes and
+engine wall-clock), and **queue depth** at every enqueue.  A
+:meth:`~ServiceMetrics.snapshot` turns the accumulated samples into the
+row the soak harness persists under the ``service`` key of
+``BENCH_perf.json``: sustained events/sec plus p50/p90/p99/max ack
+latency.
+
+Quantiles are *exact* -- :func:`exact_quantile` sorts the window and
+linearly interpolates, matching ``numpy.quantile``'s default method bit
+for bit (the test suite checks them against the numpy reference) --
+because the percentile math must not be another dependency's
+approximation.  Retention is *bounded*: counters and means are running
+aggregates over the whole run, while percentile samples keep the most
+recent ``sample_cap`` acks (a long-running ``repro.cli serve`` must not
+grow memory with uptime), so a soak within the cap gets full-run-exact
+percentiles and anything longer gets recent-window-exact ones.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+def exact_quantile(values: Sequence[float], q: float) -> float | None:
+    """The ``q``-quantile of ``values`` by linear interpolation between
+    closest ranks (``numpy.quantile``'s default ``linear`` method).
+    Returns ``None`` for an empty window -- an empty soak interval is a
+    fact to report, not an exception."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not values:
+        return None
+    data = sorted(values)
+    position = q * (len(data) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(data) - 1)
+    fraction = position - lower
+    return data[lower] * (1.0 - fraction) + data[upper] * fraction
+
+
+def _ms(seconds: float | None) -> float | None:
+    return None if seconds is None else round(seconds * 1e3, 6)
+
+
+@dataclass
+class FlushRecord:
+    """Shape of one gateway flush (one batch-engine wave)."""
+
+    kind: str
+    submitted: int
+    accepted: int
+    rejected: int
+    heal_s: float
+
+
+@dataclass
+class ServiceMetrics:
+    """Accumulates gateway samples; cheap to record, summarised on
+    demand.  ``clock`` is injectable so tests can drive deterministic
+    latencies; ``sample_cap`` bounds percentile-sample (and flush-log)
+    retention."""
+
+    clock: Callable[[], float] = time.perf_counter
+    started_at: float | None = None
+    #: most recent ack latencies (seconds), bounded to ``sample_cap``
+    sample_cap: int = 200_000
+    ack_latencies_s: deque = field(default_factory=deque)
+    #: the most recent flushes, same bound
+    flushes: deque = field(default_factory=deque)
+    accepted_events: int = 0
+    rejected_events: int = 0
+    #: requests refused at the door by the bounded queue (answered with
+    #: a rejected outcome, never silently dropped)
+    backpressure_rejections: int = 0
+    heal_s: float = 0.0
+    # running aggregates (whole run, unbounded time, O(1) memory)
+    batches: int = 0
+    _batch_size_sum: int = 0
+    _batch_size_max: int = 0
+    _depth_count: int = 0
+    _depth_sum: int = 0
+    _depth_max: int = 0
+    _ack_sum_s: float = 0.0
+    _ack_max_s: float = 0.0
+    #: acks since the last :meth:`window` call (cleared by it)
+    _window_acks: list = field(default_factory=list)
+    _window_started_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.started_at is None:
+            self.started_at = self.clock()
+        self._window_started_at = self.started_at
+        self.ack_latencies_s = deque(self.ack_latencies_s, maxlen=self.sample_cap)
+        self.flushes = deque(self.flushes, maxlen=self.sample_cap)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_enqueue(self, depth: int) -> None:
+        self._depth_count += 1
+        self._depth_sum += depth
+        if depth > self._depth_max:
+            self._depth_max = depth
+
+    def record_ack(self, latency_s: float, ok: bool) -> None:
+        self.ack_latencies_s.append(latency_s)
+        self._window_acks.append(latency_s)
+        self._ack_sum_s += latency_s
+        if latency_s > self._ack_max_s:
+            self._ack_max_s = latency_s
+        if ok:
+            self.accepted_events += 1
+        else:
+            self.rejected_events += 1
+
+    def record_backpressure(self) -> None:
+        self.backpressure_rejections += 1
+
+    def record_flush(
+        self, kind: str, submitted: int, accepted: int, rejected: int, heal_s: float
+    ) -> None:
+        self.flushes.append(
+            FlushRecord(kind, submitted, accepted, rejected, heal_s)
+        )
+        self.batches += 1
+        self._batch_size_sum += submitted
+        if submitted > self._batch_size_max:
+            self._batch_size_max = submitted
+        self.heal_s += heal_s
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    def _summarise(
+        self, acks: Sequence[float], events: int, elapsed_s: float
+    ) -> dict[str, float | int | None]:
+        return {
+            "elapsed_s": round(elapsed_s, 6),
+            "events": events,
+            "events_per_s": round(events / elapsed_s, 3) if elapsed_s > 0 else 0.0,
+            "accepted": self.accepted_events,
+            "rejected": self.rejected_events,
+            "backpressure": self.backpressure_rejections,
+            "ack_p50_ms": _ms(exact_quantile(acks, 0.50)),
+            "ack_p90_ms": _ms(exact_quantile(acks, 0.90)),
+            "ack_p99_ms": _ms(exact_quantile(acks, 0.99)),
+            "ack_max_ms": _ms(self._ack_max_s if events else None),
+            "ack_mean_ms": _ms(self._ack_sum_s / events if events else None),
+            "batches": self.batches,
+            "mean_batch": (
+                round(self._batch_size_sum / self.batches, 3)
+                if self.batches
+                else 0.0
+            ),
+            "max_batch_seen": self._batch_size_max,
+            "queue_depth_max": self._depth_max,
+            "queue_depth_mean": (
+                round(self._depth_sum / self._depth_count, 3)
+                if self._depth_count
+                else 0.0
+            ),
+            "heal_s": round(self.heal_s, 6),
+            "heal_utilization": (
+                round(self.heal_s / elapsed_s, 4) if elapsed_s > 0 else 0.0
+            ),
+        }
+
+    def snapshot(self) -> dict[str, float | int | None]:
+        """Cumulative summary since construction: throughput, ack
+        latency percentiles (over the retained ``sample_cap`` newest
+        acks), batch shape and queue pressure.  Safe on an empty run
+        (rates zero, percentiles ``None``)."""
+        return self._summarise(
+            list(self.ack_latencies_s),
+            self.accepted_events + self.rejected_events,
+            self.clock() - (self.started_at or 0.0),
+        )
+
+    def window(self) -> dict[str, float | int | None]:
+        """Summary of the acks since the previous :meth:`window` call
+        (the periodic progress row of ``repro.cli serve``), then drop
+        the consumed samples and advance the boundary.  Counter and
+        batch/queue columns stay cumulative."""
+        now = self.clock()
+        acks = self._window_acks
+        row = self._summarise(
+            acks, len(acks), now - (self._window_started_at or now)
+        )
+        # per-window max/mean, not the run-wide aggregates
+        row["ack_max_ms"] = _ms(max(acks) if acks else None)
+        row["ack_mean_ms"] = _ms(sum(acks) / len(acks) if acks else None)
+        self._window_acks = []
+        self._window_started_at = now
+        return row

@@ -1,5 +1,6 @@
-"""The perf harness: schema-3 report plumbing, v1/v2 migration, batch,
-CSR and wave benchmark helpers, and the sweep worker (in-process)."""
+"""The perf harness: schema-5 report plumbing, older-schema migration,
+batch, CSR, wave and gateway-soak benchmark helpers, and the sweep
+worker (in-process)."""
 
 from __future__ import annotations
 
@@ -58,6 +59,29 @@ class TestReportPlumbing:
         assert report["runs"]["lbl"]["n64"]["churn_per_step_ms"] == 0.5
         assert report["sweeps"]["lbl"]["n64_s1"]["wall_s"] == 1.0
         assert "workers" in report["sweeps"]["lbl"]["meta"]
+
+    def test_v4_report_upgrades_in_place(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "schema": "dex-perf/4",
+            "campaigns": {"pr4": {"flash-crowd/dex/n64_s1": {"events": 32}}},
+        }))
+        report = perf.load_report(path)
+        assert report["schema"] == perf.SCHEMA
+        assert report["campaigns"]["pr4"]["flash-crowd/dex/n64_s1"]["events"] == 32
+
+    def test_write_service_merges_under_service_key(self, tmp_path):
+        path = tmp_path / "bench.json"
+        perf.write_report(path, "lbl", {"n64": {"churn_per_step_ms": 0.5}}, [64], 30)
+        perf.write_service(
+            path, "service", {"n64": {"events_per_s": 1000.0, "ack_p50_ms": 3.0}}
+        )
+        report = json.loads(path.read_text())
+        assert report["schema"] == perf.SCHEMA
+        assert report["service"]["service"]["n64"]["events_per_s"] == 1000.0
+        assert "created" in report["service"]["service"]["meta"]
+        # existing sections untouched
+        assert report["runs"]["lbl"]["n64"]["churn_per_step_ms"] == 0.5
 
     def test_speedups_include_batch_metrics(self):
         runs = {
@@ -124,3 +148,21 @@ class TestBenchHelpers:
     def test_run_sweep_single_worker(self):
         results = perf.run_sweep(sizes=[48], seeds=[1, 2], batch=4, rounds=1, workers=1)
         assert set(results) == {"n48_s1", "n48_s2"}
+
+    def test_bench_service_soak_row(self):
+        row = perf.bench_service_soak(
+            48, duration_s=0.2, max_batch=8, clients=16, seed=3
+        )
+        assert row["events"] > 0
+        assert row["events_per_s"] > 0
+        assert row["ack_p50_ms"] is not None and row["ack_p50_ms"] > 0
+        assert row["ack_p99_ms"] >= row["ack_p50_ms"]
+        assert row["batches"] > 0
+        assert row["final_n"] >= 3
+
+    def test_bench_service_records_per_request_baseline(self):
+        row = perf.bench_service(
+            48, duration_s=0.2, max_batch=8, clients=16, seed=3
+        )
+        assert row["per_request_events_per_s"] > 0
+        assert row["service_speedup_x"] > 0

@@ -133,6 +133,110 @@ class TestCampaignRunner:
             run_campaign(net, RandomChurn(seed=211), events=8, max_batch=0)
 
 
+class ScriptedBatches:
+    """Emits pre-planned whole batches (the batch-native protocol)."""
+
+    def __init__(self, batches):
+        self._batches = list(batches)
+
+    def next_batch(self, view, max_batch):
+        if not self._batches:
+            return []
+        batch = self._batches[0]
+        taken, rest = batch[:max_batch], batch[max_batch:]
+        if rest:
+            self._batches[0] = rest
+        else:
+            self._batches.pop(0)
+        return taken
+
+
+class TestPartialBatchCampaign:
+    """The single-pass partial path that replaced bisection."""
+
+    def _delete_schedule(self, net):
+        victims = sorted(net.nodes())[:4]
+        return [
+            [ChurnAction("insert") for _ in range(6)],
+            # 4 legal victims + a nonexistent one + a duplicate
+            [ChurnAction("delete", node=u) for u in victims]
+            + [ChurnAction("delete", node=10**9)]
+            + [ChurnAction("delete", node=victims[0])],
+        ]
+
+    def test_rejections_heal_legal_majority_in_one_call(self):
+        net = DexNetwork.bootstrap(32, DexConfig(seed=301))
+        result = run_campaign(
+            net, ScriptedBatches(self._delete_schedule(net)), events=12,
+            max_batch=16,
+        )
+        assert result.steps == 12
+        # one insert wave + one delete wave: exactly two engine calls,
+        # no bisection, no per-step replay
+        assert len(result.ledgers) == 2
+        assert result.fallback_batches == 0
+        assert result.fallbacks == 2  # the bogus and the duplicate victim
+        assert result.skipped_actions == 2
+        assert result.batched_events == 10
+        net.check_invariants()
+
+    def test_batched_and_sequential_agree_on_rejected_actions(self):
+        """Regression for the fallback accounting: the same schedule
+        healed batched and per-step must report identical
+        rejected-action totals (and end at the same size)."""
+        batched_net = DexNetwork.bootstrap(32, DexConfig(seed=303))
+        seq_net = DexNetwork.bootstrap(32, DexConfig(seed=303))
+        batched = run_campaign(
+            batched_net,
+            ScriptedBatches(self._delete_schedule(batched_net)),
+            events=12,
+            max_batch=16,
+        )
+        sequential = run_campaign(
+            seq_net,
+            ScriptedBatches(self._delete_schedule(seq_net)),
+            events=12,
+            max_batch=1,  # singleton runs: the per-step path
+        )
+        assert batched.skipped_actions == sequential.skipped_actions == 2
+        assert batched.fallbacks == 2
+        assert sequential.batched_events == 0
+        assert batched_net.size == seq_net.size
+
+    def test_overlay_without_partial_support_replays_rejected_batch(self):
+        """A strict-batch-only overlay still heals the legal actions of
+        an engine-rejected run, one step at a time."""
+
+        class StrictOnly:
+            """DEX with the partial surface hidden."""
+
+            name = "strict-only"
+
+            def __init__(self, net):
+                self._net = net
+
+            def __getattr__(self, attribute):
+                if attribute in ("insert_batch_partial", "delete_batch_partial"):
+                    raise AttributeError(attribute)
+                return getattr(self._net, attribute)
+
+            @property
+            def size(self):
+                return self._net.size
+
+        net = DexNetwork.bootstrap(32, DexConfig(seed=305))
+        overlay = StrictOnly(net)
+        result = run_campaign(
+            overlay, ScriptedBatches(self._delete_schedule(net)), events=12,
+            max_batch=16,
+        )
+        assert result.steps == 12
+        assert result.fallback_batches == 1  # the delete run was replayed
+        assert result.fallbacks == 0
+        assert result.skipped_actions == 2
+        net.check_invariants()
+
+
 class TestTable:
     def test_render(self):
         table = Table("demo", ["name", "value"])

@@ -63,6 +63,26 @@ class TestRunScenario:
         assert "seq_heal_per_event_ms" in row
         assert row["campaign_speedup_x"] > 0
 
+    def test_series_flag_persists_full_time_series(self):
+        row = run_scenario(
+            "flash-crowd", "dex", 32, 7, events=48, max_batch=8,
+            sample_every=16, series=True,
+        )
+        series = row["series"]
+        assert set(series) == {"gap", "degree", "size", "messages"}
+        boundaries = [step for step, _ in series["gap"]]
+        assert boundaries[0] == 0 and boundaries[-1] == row["events"]
+        for key in ("degree", "size", "messages"):
+            assert [step for step, _ in series[key]] == boundaries
+        # cumulative message series stays monotone, ready for plotting
+        message_totals = [total for _, total in series["messages"]]
+        assert message_totals == sorted(message_totals)
+        assert series["messages"][-1][1] == row["messages_total"]
+
+    def test_series_omitted_by_default(self):
+        row = run_scenario("flash-crowd", "dex", 32, 7, events=32, max_batch=8)
+        assert "series" not in row
+
     def test_matrix_in_process(self):
         results = run_matrix(
             ["trace-replay"], ["dex", "law-siu"], [32], [7],

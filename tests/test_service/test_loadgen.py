@@ -1,0 +1,129 @@
+"""Client load generators: population bookkeeping, open-loop Poisson,
+flash-crowd and closed-loop saturation against a live gateway."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro.core import invariants
+from repro.core.config import DexConfig
+from repro.core.dex import DexNetwork
+from repro.service import (
+    MembershipGateway,
+    Population,
+    flash_crowd_load,
+    poisson_load,
+    saturating_load,
+)
+
+
+def service_net(n0: int = 48, seed: int = 81) -> DexNetwork:
+    config = DexConfig(seed=seed, type2_mode="simplified", validate_every_step=False)
+    return DexNetwork.bootstrap(n0, config, seed=seed)
+
+
+def checked(net: DexNetwork) -> None:
+    invariants.check_all(net.overlay, net.config)
+    assert net.coordinator.verify()
+
+
+class TestPopulation:
+    def test_sample_add_discard(self):
+        population = Population([1, 2, 3], random.Random(5))
+        assert len(population) == 3
+        assert population.sample() in {1, 2, 3}
+        population.add(9)
+        assert len(population) == 4
+        population.discard(2)
+        assert len(population) == 3
+        assert all(population.sample() != 2 for _ in range(20))
+        population.discard(2)  # idempotent
+        assert len(population) == 3
+
+    def test_empty_population_samples_none(self):
+        population = Population([], random.Random(5))
+        assert population.sample() is None
+        population.add(4)
+        population.discard(4)
+        assert population.sample() is None
+
+    def test_duplicate_add_ignored(self):
+        population = Population([1], random.Random(5))
+        population.add(1)
+        assert len(population) == 1
+
+
+class TestGenerators:
+    def test_poisson_load_completes_every_client(self):
+        async def scenario():
+            net = service_net()
+            async with MembershipGateway(
+                net, max_batch=16, batch_window_ms=1.0, seed=3
+            ) as gw:
+                stats = await poisson_load(
+                    gw, rate_hz=2000.0, duration_s=0.25, seed=7
+                )
+            return net, stats
+
+        net, stats = asyncio.run(scenario())
+        assert stats.offered > 0
+        assert stats.completed == stats.offered  # open loop, all answered
+        assert stats.ok + stats.rejected == stats.completed
+        checked(net)
+
+    def test_flash_crowd_surge_heals(self):
+        async def scenario():
+            net = service_net()
+            before = net.size
+            async with MembershipGateway(
+                net, max_batch=32, batch_window_ms=2.0, seed=3
+            ) as gw:
+                stats = await flash_crowd_load(
+                    gw, surge=24, rate_hz=500.0, duration_s=0.1, seed=7
+                )
+            return net, before, stats
+
+        net, before, stats = asyncio.run(scenario())
+        assert stats.offered >= 24
+        assert stats.completed == stats.offered
+        assert net.size > before  # the surge grew the network
+        checked(net)
+
+    def test_saturating_load_keeps_clients_full(self):
+        async def scenario():
+            net = service_net()
+            async with MembershipGateway(
+                net, max_batch=16, batch_window_ms=1.0, seed=3
+            ) as gw:
+                stats = await saturating_load(
+                    gw, duration_s=0.25, clients=16, seed=7
+                )
+            return net, gw.metrics, stats
+
+        net, metrics, stats = asyncio.run(scenario())
+        assert stats.completed == stats.offered
+        assert stats.completed >= 16  # every client got at least one ack
+        snap = metrics.snapshot()
+        assert snap["events"] == stats.completed
+        assert snap["events_per_s"] > 0
+        checked(net)
+
+    def test_rejections_recorded_with_reasons(self):
+        """Stale victims from the optimistic population view surface as
+        per-request rejections with engine reasons, never crashes."""
+
+        async def scenario():
+            net = service_net()
+            async with MembershipGateway(
+                net, max_batch=8, batch_window_ms=1.0, seed=3
+            ) as gw:
+                stats = await saturating_load(
+                    gw, duration_s=0.3, clients=24, join_fraction=0.3, seed=7
+                )
+            return stats
+
+        stats = asyncio.run(scenario())
+        assert stats.completed == stats.offered
+        if stats.rejected:
+            assert sum(stats.reasons.values()) == stats.rejected

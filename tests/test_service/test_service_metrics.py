@@ -1,0 +1,125 @@
+"""Service metrics: exact quantile math against the numpy reference,
+empty-window edge cases, and snapshot/window accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.service.metrics import ServiceMetrics, exact_quantile
+
+
+class TestExactQuantile:
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+            ),
+            min_size=1,
+            max_size=64,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_matches_numpy_linear_interpolation(self, values, q):
+        ours = exact_quantile(values, q)
+        reference = float(np.quantile(np.asarray(values), q))
+        assert ours == pytest.approx(reference, rel=1e-12, abs=1e-9)
+
+    def test_known_values(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert exact_quantile(data, 0.0) == 1.0
+        assert exact_quantile(data, 1.0) == 4.0
+        assert exact_quantile(data, 0.5) == 2.5
+        assert exact_quantile(data, 0.25) == 1.75
+
+    def test_unsorted_input(self):
+        assert exact_quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_singleton_every_quantile(self):
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert exact_quantile([7.0], q) == 7.0
+
+    def test_empty_window_is_none(self):
+        assert exact_quantile([], 0.5) is None
+
+    def test_out_of_range_quantile_raises(self):
+        with pytest.raises(ValueError):
+            exact_quantile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            exact_quantile([1.0], -0.1)
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestServiceMetrics:
+    def test_empty_snapshot_has_no_percentiles(self):
+        clock = _FakeClock()
+        metrics = ServiceMetrics(clock=clock)
+        clock.now += 2.0
+        snap = metrics.snapshot()
+        assert snap["events"] == 0
+        assert snap["events_per_s"] == 0.0
+        assert snap["ack_p50_ms"] is None
+        assert snap["ack_p99_ms"] is None
+        assert snap["ack_max_ms"] is None
+        assert snap["batches"] == 0
+        assert snap["mean_batch"] == 0.0
+        assert snap["queue_depth_max"] == 0
+
+    def test_snapshot_throughput_and_percentiles(self):
+        clock = _FakeClock()
+        metrics = ServiceMetrics(clock=clock)
+        for latency in (0.010, 0.020, 0.030, 0.040):
+            metrics.record_ack(latency, ok=True)
+        metrics.record_ack(0.050, ok=False)
+        metrics.record_flush("join", 4, 4, 0, heal_s=0.004)
+        metrics.record_flush("leave", 1, 0, 1, heal_s=0.001)
+        metrics.record_enqueue(3)
+        metrics.record_enqueue(5)
+        clock.now += 2.0
+        snap = metrics.snapshot()
+        assert snap["events"] == 5
+        assert snap["events_per_s"] == pytest.approx(2.5)
+        assert snap["accepted"] == 4
+        assert snap["rejected"] == 1
+        assert snap["ack_p50_ms"] == pytest.approx(30.0)
+        assert snap["ack_max_ms"] == pytest.approx(50.0)
+        assert snap["batches"] == 2
+        assert snap["mean_batch"] == pytest.approx(2.5)
+        assert snap["max_batch_seen"] == 4
+        assert snap["queue_depth_max"] == 5
+        assert snap["heal_s"] == pytest.approx(0.005)
+        assert snap["heal_utilization"] == pytest.approx(0.0025)
+
+    def test_window_resets_between_calls(self):
+        clock = _FakeClock()
+        metrics = ServiceMetrics(clock=clock)
+        metrics.record_ack(0.010, ok=True)
+        clock.now += 1.0
+        first = metrics.window()
+        assert first["events"] == 1
+        assert first["ack_p50_ms"] == pytest.approx(10.0)
+        metrics.record_ack(0.030, ok=True)
+        clock.now += 1.0
+        second = metrics.window()
+        assert second["events"] == 1  # only the ack since the last window
+        assert second["ack_p50_ms"] == pytest.approx(30.0)
+        empty = metrics.window()
+        assert empty["events"] == 0
+        assert empty["ack_p50_ms"] is None
+
+    def test_backpressure_counted_separately(self):
+        metrics = ServiceMetrics(clock=_FakeClock())
+        metrics.record_backpressure()
+        metrics.record_backpressure()
+        snap = metrics.snapshot()
+        assert snap["backpressure"] == 2
+        assert snap["events"] == 0  # backpressure answers are not acks
