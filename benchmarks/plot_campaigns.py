@@ -1,0 +1,277 @@
+"""Regenerate Figure-style campaign plots from ``BENCH_perf.json``.
+
+The scenario campaign engine (``repro.harness.scenarios --series``)
+persists per-sample time series -- spectral gap, max degree, live size
+and cumulative message cost against the event boundary -- under each
+campaign row's ``series`` key.  This script turns those into the
+paper's gap-decay-style figures: one plot per (campaign label, metric),
+one line per campaign point::
+
+    PYTHONPATH=src python benchmarks/plot_campaigns.py
+    PYTHONPATH=src python benchmarks/plot_campaigns.py \
+        --metrics gap degree --labels pr6-series --out-dir benchmarks/results
+
+Rendering prefers matplotlib when it is importable and otherwise falls
+back to a dependency-free SVG writer (the benchmark container carries
+no plotting stack), so the figures regenerate anywhere the report
+does.  Campaign rows without a ``series`` block (e.g. the pr4 matrix,
+which predates ``--series``) are skipped with a note.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Sequence
+
+METRICS = ("gap", "degree", "size", "messages")
+
+AXIS_LABELS = {
+    "gap": "spectral gap",
+    "degree": "max degree",
+    "size": "live nodes",
+    "messages": "cumulative messages",
+}
+
+#: simple qualitative palette (hex), cycled per line
+PALETTE = (
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+    "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+)
+
+
+def load_series(report_path: pathlib.Path) -> dict[str, dict[str, dict]]:
+    """``{campaign label: {point key: series block}}`` for every
+    campaign row that carries one, from the report at ``report_path``."""
+    report = json.loads(report_path.read_text())
+    out: dict[str, dict[str, dict]] = {}
+    for label, entry in report.get("campaigns", {}).items():
+        points = {
+            key: row["series"]
+            for key, row in entry.items()
+            if key != "meta" and isinstance(row, dict) and "series" in row
+        }
+        if points:
+            out[label] = points
+    return out
+
+
+# ----------------------------------------------------------------------
+# dependency-free SVG backend
+# ----------------------------------------------------------------------
+def _scale(values: Sequence[float], lo: float, hi: float, span: float, offset: float):
+    width = (hi - lo) or 1.0
+    return [offset + (v - lo) / width * span for v in values]
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> list[float]:
+    if hi == lo:
+        return [lo]
+    step = (hi - lo) / (count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+def _fmt(value: float) -> str:
+    if abs(value) >= 10_000:
+        return f"{value:.2g}"
+    if abs(value - round(value)) < 1e-9:
+        return str(int(round(value)))
+    return f"{value:.3g}"
+
+
+def render_svg(
+    lines: dict[str, list[tuple[float, float]]],
+    *,
+    title: str,
+    x_label: str,
+    y_label: str,
+) -> str:
+    """One self-contained SVG: the polylines in ``lines`` (name ->
+    [(x, y), ...]) over shared axes with ticks and a legend."""
+    width, height = 720, 440
+    left, right, top, bottom = 70, 180, 40, 50
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    xs = [x for pts in lines.values() for x, _ in pts]
+    ys = [y for pts in lines.values() for _, y in pts]
+    x_lo, x_hi = (min(xs), max(xs)) if xs else (0.0, 1.0)
+    y_lo, y_hi = (min(ys), max(ys)) if ys else (0.0, 1.0)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{left + plot_w / 2}" y="22" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="14">{title}</text>',
+        # axes
+        f'<line x1="{left}" y1="{top}" x2="{left}" y2="{top + plot_h}" '
+        f'stroke="black"/>',
+        f'<line x1="{left}" y1="{top + plot_h}" x2="{left + plot_w}" '
+        f'y2="{top + plot_h}" stroke="black"/>',
+        f'<text x="{left + plot_w / 2}" y="{height - 12}" '
+        f'text-anchor="middle" font-family="sans-serif" font-size="12">'
+        f'{x_label}</text>',
+        f'<text x="16" y="{top + plot_h / 2}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="12" '
+        f'transform="rotate(-90 16 {top + plot_h / 2})">{y_label}</text>',
+    ]
+    for tick in _ticks(x_lo, x_hi):
+        px = _scale([tick], x_lo, x_hi, plot_w, left)[0]
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{top + plot_h}" x2="{px:.1f}" '
+            f'y2="{top + plot_h + 4}" stroke="black"/>'
+            f'<text x="{px:.1f}" y="{top + plot_h + 18}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="10">{_fmt(tick)}</text>'
+        )
+    for tick in _ticks(y_lo, y_hi):
+        py = top + plot_h - _scale([tick], y_lo, y_hi, plot_h, 0)[0]
+        parts.append(
+            f'<line x1="{left - 4}" y1="{py:.1f}" x2="{left}" '
+            f'y2="{py:.1f}" stroke="black"/>'
+            f'<text x="{left - 8}" y="{py + 3:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{_fmt(tick)}</text>'
+        )
+    for index, (name, pts) in enumerate(sorted(lines.items())):
+        color = PALETTE[index % len(PALETTE)]
+        if pts:
+            px = _scale([x for x, _ in pts], x_lo, x_hi, plot_w, left)
+            py = [
+                top + plot_h - v
+                for v in _scale([y for _, y in pts], y_lo, y_hi, plot_h, 0)
+            ]
+            coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(px, py))
+            parts.append(
+                f'<polyline points="{coords}" fill="none" '
+                f'stroke="{color}" stroke-width="1.5"/>'
+            )
+        ly = top + 14 + index * 16
+        parts.append(
+            f'<line x1="{left + plot_w + 10}" y1="{ly - 4}" '
+            f'x2="{left + plot_w + 30}" y2="{ly - 4}" stroke="{color}" '
+            f'stroke-width="1.5"/>'
+            f'<text x="{left + plot_w + 34}" y="{ly}" '
+            f'font-family="sans-serif" font-size="10">{name}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# rendering drivers
+# ----------------------------------------------------------------------
+def plot_metric(
+    points: dict[str, dict],
+    metric: str,
+    out_path: pathlib.Path,
+    *,
+    title: str,
+    use_matplotlib: bool,
+) -> pathlib.Path:
+    """Render ``metric`` for every campaign point into ``out_path``
+    (suffix decided by the backend) and return the written path."""
+    lines = {
+        key: [(float(x), float(y)) for x, y in series.get(metric, [])]
+        for key, series in sorted(points.items())
+    }
+    lines = {k: v for k, v in lines.items() if v}
+    x_label = "events applied"
+    y_label = AXIS_LABELS.get(metric, metric)
+    if use_matplotlib:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+
+        fig, ax = plt.subplots(figsize=(7.2, 4.4))
+        for index, (name, pts) in enumerate(sorted(lines.items())):
+            ax.plot(
+                [x for x, _ in pts],
+                [y for _, y in pts],
+                label=name,
+                color=PALETTE[index % len(PALETTE)],
+            )
+        ax.set_title(title)
+        ax.set_xlabel(x_label)
+        ax.set_ylabel(y_label)
+        ax.legend(fontsize=8, loc="center left", bbox_to_anchor=(1.02, 0.5))
+        out_path = out_path.with_suffix(".png")
+        fig.savefig(out_path, bbox_inches="tight", dpi=120)
+        plt.close(fig)
+    else:
+        out_path = out_path.with_suffix(".svg")
+        out_path.write_text(
+            render_svg(lines, title=title, x_label=x_label, y_label=y_label)
+        )
+    return out_path
+
+
+def matplotlib_available() -> bool:
+    try:
+        import matplotlib  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_perf.json"))
+    parser.add_argument("--out-dir", type=pathlib.Path,
+                        default=pathlib.Path(__file__).parent / "results")
+    parser.add_argument("--metrics", nargs="+", default=["gap"],
+                        choices=METRICS)
+    parser.add_argument("--labels", nargs="+", default=None,
+                        help="campaign labels to plot (default: all with series)")
+    parser.add_argument("--backend", choices=["auto", "svg", "matplotlib"],
+                        default="auto")
+    args = parser.parse_args(argv)
+
+    if not args.report.is_file():
+        print(f"no report at {args.report}", file=sys.stderr)
+        return 1
+    campaigns = load_series(args.report)
+    if args.labels is not None:
+        missing = sorted(set(args.labels) - campaigns.keys())
+        if missing:
+            print(
+                f"no series data for labels {missing} in {args.report} "
+                f"(have: {sorted(campaigns) or 'none'})",
+                file=sys.stderr,
+            )
+            return 1
+        campaigns = {label: campaigns[label] for label in args.labels}
+    if not campaigns:
+        print(
+            f"{args.report} has no campaign rows with a series block; "
+            "run repro.harness.scenarios with --series first",
+            file=sys.stderr,
+        )
+        return 1
+
+    use_matplotlib = (
+        args.backend == "matplotlib"
+        or (args.backend == "auto" and matplotlib_available())
+    )
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for label, points in sorted(campaigns.items()):
+        for metric in args.metrics:
+            out = plot_metric(
+                points,
+                metric,
+                args.out_dir / f"campaign_{label}_{metric}",
+                title=f"{label}: {AXIS_LABELS.get(metric, metric)} vs events",
+                use_matplotlib=use_matplotlib,
+            )
+            written.append(out)
+            print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -97,19 +97,43 @@ def _serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--report-every", type=float, default=1.0,
                         help="seconds between progress snapshots (0 = final only)")
+    parser.add_argument("--checkpoint-dir", type=pathlib.Path, default=None,
+                        help="write periodic snapshots into this directory")
+    parser.add_argument("--checkpoint-every", type=int, default=32,
+                        help="flushes between checkpoints")
+    parser.add_argument("--checkpoint-keep", type=int, default=3,
+                        help="newest checkpoints retained")
+    parser.add_argument("--restore", action="store_true",
+                        help="restore from the newest checkpoint in "
+                        "--checkpoint-dir instead of bootstrapping")
     return parser
 
 
 def cmd_serve(argv: list[str]) -> int:
     import asyncio
+    import contextlib
+    import signal as signal_module
 
     from repro.core.config import DexConfig
     from repro.core.dex import DexNetwork
     from repro.service import MembershipGateway, poisson_load
 
     args = _serve_parser().parse_args(argv)
-    config = DexConfig(seed=args.seed, type2_mode="simplified")
-    net = DexNetwork.bootstrap(args.n0, config, seed=args.seed)
+    if args.restore:
+        if args.checkpoint_dir is None:
+            print("--restore requires --checkpoint-dir", file=sys.stderr)
+            return 2
+        from repro.persist import restore_latest
+
+        net, restored_from, skipped = restore_latest(args.checkpoint_dir)
+        print(
+            f"restored step {net.step_count} (n = {net.size}) from "
+            f"{restored_from}"
+            + (f", skipped {len(skipped)} corrupt checkpoints" if skipped else "")
+        )
+    else:
+        config = DexConfig(seed=args.seed, type2_mode="simplified")
+        net = DexNetwork.bootstrap(args.n0, config, seed=args.seed)
 
     async def reporter(gateway: MembershipGateway) -> None:
         while True:
@@ -128,45 +152,94 @@ def cmd_serve(argv: list[str]) -> int:
             batch_window_ms=args.window_ms,
             queue_limit=args.queue_limit,
             seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_keep=args.checkpoint_keep,
         )
-        async with gateway:
-            watcher = (
-                asyncio.ensure_future(reporter(gateway))
-                if args.report_every > 0
-                else None
-            )
+        # Windows re-anchored after any (possibly slow) restore, so the
+        # first reported rates use this process's serving time only.
+        gateway.metrics.reset_windows()
+        await gateway.start()
+        # Ctrl-C / SIGTERM become a graceful drain: stop offering load,
+        # answer every queued future, write the final checkpoint.  A
+        # raw KeyboardInterrupt would instead tear the loop down with
+        # unresolved futures.
+        loop = asyncio.get_running_loop()
+        interrupted = asyncio.Event()
+        handled: list = []
+        for signum in (signal_module.SIGINT, signal_module.SIGTERM):
             try:
-                stats = await poisson_load(
-                    gateway,
-                    rate_hz=args.rate,
-                    duration_s=args.duration,
-                    join_fraction=args.join_fraction,
-                    seed=args.seed + 1,
-                )
-            finally:
-                if watcher is not None:
-                    watcher.cancel()
-        return stats, gateway.metrics.snapshot()
+                loop.add_signal_handler(signum, interrupted.set)
+                handled.append(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        watcher = (
+            asyncio.ensure_future(reporter(gateway))
+            if args.report_every > 0
+            else None
+        )
+        load = asyncio.ensure_future(
+            poisson_load(
+                gateway,
+                rate_hz=args.rate,
+                duration_s=args.duration,
+                join_fraction=args.join_fraction,
+                seed=args.seed + 1,
+            )
+        )
+        stop = asyncio.ensure_future(interrupted.wait())
+        try:
+            await asyncio.wait({load, stop}, return_when=asyncio.FIRST_COMPLETED)
+            stats = None
+            if interrupted.is_set() and not load.done():
+                print("interrupt: draining queued requests ...")
+                load.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await load
+            else:
+                stats = await load
+            summary = await gateway.drain()
+            # Let clients the cancelled generator left behind observe
+            # their (already resolved) acks before the loop closes.
+            for _ in range(3):
+                await asyncio.sleep(0)
+        finally:
+            stop.cancel()
+            if watcher is not None:
+                watcher.cancel()
+            for signum in handled:
+                loop.remove_signal_handler(signum)
+        return stats, gateway.metrics.snapshot(), summary
 
     print(
-        f"serving n0={args.n0} at {args.rate:.0f} req/s for {args.duration}s "
+        f"serving n0={net.size} at {args.rate:.0f} req/s for {args.duration}s "
         f"(max_batch={args.max_batch}, window={args.window_ms}ms)"
     )
-    stats, snap = asyncio.run(run())
+    stats, snap, summary = asyncio.run(run())
     table = Table(
         f"gateway soak (n0={args.n0}, rate={args.rate:.0f}/s, "
         f"seed={args.seed})",
         ["quantity", "value"],
     )
-    table.add_row("offered", stats.offered)
-    table.add_row("acked ok", stats.ok)
-    table.add_row("rejected", stats.rejected)
-    table.add_row("backpressure", stats.backpressure)
+    if stats is not None:
+        table.add_row("offered", stats.offered)
+        table.add_row("acked ok", stats.ok)
+        table.add_row("rejected", stats.rejected)
+        table.add_row("backpressure", stats.backpressure)
+    else:
+        table.add_row("interrupted", "yes (drained)")
+        table.add_row("pending answered", summary["pending_answered"])
     table.add_row("events/sec", snap["events_per_s"])
     table.add_row("ack p50 (ms)", snap["ack_p50_ms"])
     table.add_row("ack p99 (ms)", snap["ack_p99_ms"])
     table.add_row("mean batch", snap["mean_batch"])
     table.add_note(f"final n = {net.size}, batches = {snap['batches']}")
+    if summary["final_checkpoint"] is not None:
+        table.add_note(
+            f"checkpoints: {summary['checkpoints_written']} written "
+            f"({summary['checkpoint_errors']} errors), "
+            f"final {summary['final_checkpoint']}"
+        )
     print(table.render())
     return 0
 
@@ -187,6 +260,13 @@ def _soak_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-baseline", action="store_true",
                         help="skip the per-request comparison run")
     parser.add_argument("--label", default="service")
+    parser.add_argument("--checkpoint-dir", type=pathlib.Path, default=None,
+                        help="periodically snapshot the batched soak's "
+                        "network into this directory")
+    parser.add_argument("--checkpoint-every", type=int, default=32,
+                        help="flushes between checkpoints")
+    parser.add_argument("--checkpoint-keep", type=int, default=3,
+                        help="newest checkpoints retained")
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="merge results into this BENCH_perf.json (omit to skip)")
     return parser
@@ -198,6 +278,11 @@ def cmd_soak(argv: list[str]) -> int:
     args = _soak_parser().parse_args(argv)
     results: dict[str, dict] = {}
     for n in args.sizes:
+        checkpoint_dir = (
+            str(args.checkpoint_dir / f"n{n}")
+            if args.checkpoint_dir is not None
+            else None
+        )
         row = perf.bench_service(
             n,
             duration_s=args.duration,
@@ -206,6 +291,9 @@ def cmd_soak(argv: list[str]) -> int:
             clients=args.clients,
             seed=args.seed,
             compare_per_request=not args.no_baseline,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_keep=args.checkpoint_keep,
         )
         results[f"n{n}"] = row
         speedup = (
@@ -213,10 +301,15 @@ def cmd_soak(argv: list[str]) -> int:
             if "service_speedup_x" in row
             else ""
         )
+        checkpoints = (
+            f"  checkpoints={row['checkpoints_written']}"
+            if "checkpoints_written" in row
+            else ""
+        )
         print(
             f"n{n}: {row['events']} events at {row['events_per_s']:.0f}/s "
             f"(p50={row['ack_p50_ms']}ms p99={row['ack_p99_ms']}ms, "
-            f"mean batch {row['mean_batch']}){speedup}"
+            f"mean batch {row['mean_batch']}){speedup}{checkpoints}"
         )
     if args.out is not None:
         perf.write_service(args.out, args.label, results)

@@ -73,6 +73,20 @@ class GatewayOverloaded(ServiceError):
     request is always *answered*, never dropped."""
 
 
+class SnapshotError(ReproError):
+    """A checkpoint could not be written or a restore request could not
+    be satisfied (no checkpoint available, a staggered type-2 recovery
+    in flight at save time, ...)."""
+
+
+class CorruptSnapshot(SnapshotError):
+    """A snapshot directory failed verification on load: missing or
+    truncated manifest, checksum mismatch, or internal inconsistency
+    between the serialized arrays and the manifest aggregates.  Raised
+    *before* any network state is built -- a corrupt checkpoint is
+    skipped, never half-loaded."""
+
+
 class DHTError(ReproError):
     """A DHT operation failed (lookup of a missing key is *not* an error;
     this signals protocol-level misuse)."""

@@ -1,0 +1,566 @@
+"""Fault-injection harness: kill the serving tier mid-soak and prove it
+comes back.
+
+The unit under test is the whole crash-recovery story of
+:mod:`repro.persist`: a **worker process** runs a live
+:class:`~repro.service.gateway.MembershipGateway` under closed-loop
+churn with periodic checkpointing, the harness SIGKILLs it mid-load
+(and, per the :class:`FaultPlan`, additionally corrupts what the crash
+left on disk), restores from the newest loadable checkpoint, audits the
+full invariant oracle, verifies the ack journal against the restored
+state, and finally *resumes* the soak on the restored network.
+
+The honesty contract is the **ack journal**, a write-ahead log of the
+checkpoint stream.  The worker records every state-changing ack in
+memory tagged with the step it was healed at, and flushes the backlog
+-- write + fsync -- from the gateway's ``on_before_checkpoint`` hook,
+*before* the covering snapshot is written.  The journal is therefore
+always durable strictly ahead of the checkpoints: when a restore lands
+on step ``R``, every op with ``step <= R`` is provably in the journal
+and must be reflected -- journaled joins present, journaled leaves
+absent (last op per node wins).  The ordering matters: flushing *after*
+the checkpoint publishes (the obvious implementation) has a real race,
+where a kill between the snapshot rename and the journal flush leaves a
+durable checkpoint whose last interval of ops is unjournaled, and a
+node whose leave fell in that window looks like state contradicting the
+log.  Journal entries *past* the restored step -- their covering
+checkpoint never published, or was corrupted -- are the *bounded
+in-flight loss*: at most ``checkpoint_every * max_batch`` acks ride
+between two checkpoints, so a clean kill can lose at most one interval
+and one corrupted checkpoint at most one more -- and the harness
+asserts exactly that bound.  No silent drops: every request was either
+answered and journaled, answered inside the final (bounded) interval,
+or never acknowledged at all.
+
+Run directly for the CI crash-recovery smoke::
+
+    PYTHONPATH=src python -m repro.harness.faults \
+        --n0 256 --duration 4 --corrupt corrupt-array --wall-budget 240
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import json
+import multiprocessing
+import os
+import random
+import signal
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ReproError, SnapshotError
+from repro.persist.snapshot import (
+    MANIFEST_NAME,
+    list_checkpoints,
+    restore_latest,
+)
+
+JOURNAL_NAME = "journal.jsonl"
+
+#: what the plan may do to the newest checkpoint after the kill
+CORRUPTIONS = ("none", "corrupt-array", "truncate-manifest", "delete-manifest")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One crash scenario: when to kill, and what additional damage the
+    'disk' takes."""
+
+    #: SIGKILL the worker at this fraction of the soak duration (once at
+    #: least one checkpoint exists -- killing before any durability
+    #: exists would test nothing)
+    kill_at_fraction: float = 0.5
+    #: post-crash damage to the *newest* checkpoint (see ``CORRUPTIONS``)
+    corruption: str = "none"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.kill_at_fraction < 1.0:
+            raise ValueError(
+                f"kill_at_fraction must be in (0, 1), got {self.kill_at_fraction}"
+            )
+        if self.corruption not in CORRUPTIONS:
+            raise ValueError(
+                f"corruption must be one of {CORRUPTIONS}, got {self.corruption!r}"
+            )
+
+
+@dataclass
+class RecoveryReport:
+    """Everything the recovery proved (or failed to)."""
+
+    plan: dict
+    killed: bool = False
+    checkpoints_on_disk: int = 0
+    corrupted: str | None = None
+    restored_step: int = -1
+    restored_path: str = ""
+    skipped_corrupt: int = 0
+    invariants_ok: bool = False
+    journal_total: int = 0
+    journal_checked_nodes: int = 0
+    journal_lost: int = 0
+    journal_lost_bound: int = 0
+    journal_mismatches: list = field(default_factory=list)
+    resumed_events: int = 0
+    resumed_ok_events: int = 0
+    final_step: int = -1
+    resumed_invariants_ok: bool = False
+    wall_s: float = 0.0
+    error: str | None = None
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.killed
+            and self.error is None
+            and self.invariants_ok
+            and not self.journal_mismatches
+            and self.journal_lost <= self.journal_lost_bound
+            and self.resumed_invariants_ok
+            and self.resumed_ok_events > 0
+        )
+
+
+# ----------------------------------------------------------------------
+# the worker process (the thing that gets killed)
+# ----------------------------------------------------------------------
+def _soak_worker(cfg: dict) -> None:
+    """Child-process entry: bootstrap a network, serve closed-loop churn
+    with periodic checkpoints, journal every state-changing ack under
+    its covering checkpoint.  The parent SIGKILLs this process; nothing
+    here cleans up, by design."""
+    from repro.core.config import DexConfig
+    from repro.core.dex import DexNetwork
+    from repro.service import MembershipGateway
+
+    root = Path(cfg["root"])
+    net = DexNetwork.bootstrap(
+        cfg["n0"],
+        DexConfig(seed=cfg["seed"], type2_mode="simplified"),
+        seed=cfg["seed"],
+    )
+    pending: list[dict] = []
+
+    def record_ack(ack) -> None:
+        # Synchronous tap inside the flush, after the heal: the op is in
+        # the in-memory state at `net.step_count` the moment we see it.
+        if ack.ok:
+            pending.append(
+                {"step": net.step_count, "kind": ack.kind, "node": ack.node}
+            )
+
+    def flush_journal(_step: int) -> None:
+        # Fires inside checkpoint_now *before* the snapshot is written:
+        # the journal is durable strictly ahead of the checkpoint, so no
+        # checkpoint can ever become durable while ops it covers are
+        # missing from the journal.  (The reverse ordering is a real
+        # race this harness caught: a kill between the snapshot rename
+        # and a trailing journal flush leaves a durable checkpoint whose
+        # last interval of ops -- leaves especially -- is unjournaled,
+        # which the verifier reads as state contradicting the log.)
+        # Entries whose covering checkpoint then never publishes are the
+        # bounded in-flight loss the verifier counts.
+        if not pending:
+            return
+        with open(root / JOURNAL_NAME, "a", encoding="utf-8") as handle:
+            for entry in pending:
+                handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        pending.clear()
+
+    async def run() -> None:
+        gateway = MembershipGateway(
+            net,
+            max_batch=cfg["max_batch"],
+            queue_limit=cfg["max_batch"] * 8,
+            seed=cfg["seed"],
+            checkpoint_dir=root,
+            checkpoint_every=cfg["checkpoint_every"],
+            checkpoint_keep=cfg["checkpoint_keep"],
+            on_before_checkpoint=flush_journal,
+            on_ack=record_ack,
+        )
+        await gateway.start()
+        await _closed_loop_churn(
+            gateway,
+            duration_s=cfg["duration_s"],
+            clients=cfg["clients"],
+            join_fraction=cfg["join_fraction"],
+            seed=cfg["seed"] + 1,
+        )
+        await gateway.drain()
+
+    asyncio.run(run())
+
+
+async def _closed_loop_churn(
+    gateway,
+    *,
+    duration_s: float,
+    clients: int,
+    join_fraction: float,
+    seed: int,
+) -> tuple[int, int]:
+    """Closed-loop mixed churn (the loadgen shape): ``clients`` workers
+    keep one request in flight each.  Returns ``(completed, ok)``."""
+    from repro.service import Population
+
+    rng = random.Random(seed)
+    population = Population(gateway.net.nodes(), rng)
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + duration_s
+    completed = ok = 0
+
+    async def worker() -> None:
+        nonlocal completed, ok
+        while loop.time() < deadline:
+            if rng.random() < join_fraction or not len(population):
+                ack = await gateway.join()
+                if ack.ok:
+                    population.add(ack.node)
+            else:
+                victim = population.sample()
+                ack = await gateway.leave(victim)
+                if ack.ok:
+                    population.discard(victim)
+            completed += 1
+            if ack.ok:
+                ok += 1
+
+    await asyncio.gather(*(worker() for _ in range(clients)))
+    return completed, ok
+
+
+# ----------------------------------------------------------------------
+# corruption injection
+# ----------------------------------------------------------------------
+def _apply_corruption(root: Path, mode: str) -> str | None:
+    """Damage the newest checkpoint per the plan; returns its name."""
+    if mode == "none":
+        return None
+    checkpoints = list_checkpoints(root)
+    if not checkpoints:
+        return None
+    target = checkpoints[-1]
+    if mode == "corrupt-array":
+        victim = target / "nodes.npy"
+        payload = bytearray(victim.read_bytes())
+        position = len(payload) // 2
+        payload[position] ^= 0xFF
+        victim.write_bytes(bytes(payload))
+    elif mode == "truncate-manifest":
+        manifest = target / MANIFEST_NAME
+        payload = manifest.read_bytes()
+        manifest.write_bytes(payload[: len(payload) // 2])
+    elif mode == "delete-manifest":
+        (target / MANIFEST_NAME).unlink()
+    else:  # pragma: no cover - guarded by FaultPlan
+        raise ValueError(f"unknown corruption {mode!r}")
+    return target.name
+
+
+# ----------------------------------------------------------------------
+# journal verification
+# ----------------------------------------------------------------------
+def _verify_journal(
+    root: Path, net, restored_step: int
+) -> tuple[int, int, int, list]:
+    """Check every journaled ack against the restored network.  Returns
+    ``(total entries, nodes checked, lost entries, mismatches)``.  The
+    journal is written ahead of each checkpoint, so ops with
+    ``step <= restored_step`` are *complete* and must all be reflected;
+    ops journaled past the restored step (their covering checkpoint
+    never published before the kill) are the bounded in-flight loss.  A
+    torn final line (the kill landed mid-write; its checkpoint cannot
+    have published) counts as lost, not as corruption."""
+    journal = root / JOURNAL_NAME
+    if not journal.exists():
+        return 0, 0, 0, []
+    total = lost = 0
+    last_op: dict[int, str] = {}
+    with open(journal, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                total += 1
+                lost += 1
+                continue
+            total += 1
+            if entry["step"] > restored_step:
+                lost += 1
+                continue
+            last_op[entry["node"]] = entry["kind"]
+    mismatches = []
+    for node, kind in last_op.items():
+        present = net.graph.has_node(node)
+        if kind == "join" and not present:
+            mismatches.append(f"journaled join of {node} missing after restore")
+        elif kind == "leave" and present:
+            mismatches.append(f"journaled leave of {node} still present after restore")
+    return total, len(last_op), lost, mismatches
+
+
+# ----------------------------------------------------------------------
+# the harness
+# ----------------------------------------------------------------------
+def run_fault_scenario(
+    *,
+    n0: int = 256,
+    duration_s: float = 4.0,
+    plan: FaultPlan | None = None,
+    checkpoint_every: int = 4,
+    checkpoint_keep: int = 4,
+    max_batch: int = 32,
+    clients: int = 64,
+    join_fraction: float = 0.55,
+    resume_s: float | None = None,
+    seed: int = 11,
+    root: str | Path | None = None,
+) -> RecoveryReport:
+    """One full kill-and-recover cycle; see the module docstring.  The
+    returned report's :attr:`~RecoveryReport.passed` is the single
+    green/red bit the CI smoke asserts."""
+    plan = plan or FaultPlan()
+    started = time.perf_counter()
+    owns_root = root is None
+    if owns_root:
+        workdir = tempfile.TemporaryDirectory(prefix="dex-faults-")
+        root = Path(workdir.name)
+    else:
+        workdir = None
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+    report = RecoveryReport(plan=dataclasses.asdict(plan))
+    try:
+        cfg = {
+            "root": str(root),
+            "n0": n0,
+            "duration_s": duration_s,
+            "checkpoint_every": checkpoint_every,
+            "checkpoint_keep": checkpoint_keep,
+            "max_batch": max_batch,
+            "clients": clients,
+            "join_fraction": join_fraction,
+            "seed": seed,
+        }
+        report.killed = _run_and_kill(cfg, plan, duration_s)
+        report.checkpoints_on_disk = len(list_checkpoints(root))
+        report.corrupted = _apply_corruption(root, plan.corruption)
+
+        net, path, skipped = restore_latest(root, verify=False)
+        report.restored_step = net.step_count
+        report.restored_path = str(path)
+        report.skipped_corrupt = len(skipped)
+        try:
+            net.check_invariants()
+            net.graph.verify_caches()
+            report.invariants_ok = True
+        except ReproError as exc:
+            report.error = f"post-restore audit failed: {exc}"
+            return report
+
+        (
+            report.journal_total,
+            report.journal_checked_nodes,
+            report.journal_lost,
+            report.journal_mismatches,
+        ) = _verify_journal(root, net, report.restored_step)
+        # One interval of journaled-but-never-checkpointed ops can be
+        # lost on any kill (the journal runs ahead of durability);
+        # corrupting the newest checkpoint forfeits one interval more.
+        lost_intervals = 1 if plan.corruption == "none" else 2
+        report.journal_lost_bound = lost_intervals * checkpoint_every * max_batch
+
+        report.resumed_events, report.resumed_ok_events = _resume_soak(
+            net,
+            root,
+            duration_s=resume_s if resume_s is not None else duration_s / 4,
+            checkpoint_every=checkpoint_every,
+            checkpoint_keep=checkpoint_keep,
+            max_batch=max_batch,
+            clients=clients,
+            join_fraction=join_fraction,
+            seed=seed + 1000,
+        )
+        report.final_step = net.step_count
+        try:
+            net.check_invariants()
+            net.graph.verify_caches()
+            report.resumed_invariants_ok = True
+        except ReproError as exc:
+            report.error = f"post-resume audit failed: {exc}"
+    except (SnapshotError, OSError, RuntimeError) as exc:
+        report.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        report.wall_s = round(time.perf_counter() - started, 3)
+        if workdir is not None:
+            workdir.cleanup()
+    return report
+
+
+def _run_and_kill(cfg: dict, plan: FaultPlan, duration_s: float) -> bool:
+    """Start the soak worker and SIGKILL it at the planned fraction of
+    the duration -- but never before its first checkpoint is durable.
+    Returns whether the kill actually happened (a worker that finished
+    early proves nothing)."""
+    ctx = multiprocessing.get_context("spawn")
+    process = ctx.Process(target=_soak_worker, args=(cfg,), daemon=True)
+    process.start()
+    root = Path(cfg["root"])
+    kill_at = plan.kill_at_fraction * duration_s
+    # Generous ceiling: bootstrap + first checkpoint must land within it.
+    deadline = time.perf_counter() + duration_s + 60.0
+    t0 = time.perf_counter()
+    try:
+        while True:
+            if not process.is_alive():
+                return False
+            elapsed = time.perf_counter() - t0
+            if elapsed >= kill_at and list_checkpoints(root):
+                break
+            if time.perf_counter() > deadline:
+                raise RuntimeError(
+                    "soak worker produced no checkpoint within the "
+                    f"{duration_s + 60.0:.0f}s ceiling"
+                )
+            time.sleep(0.02)
+        os.kill(process.pid, signal.SIGKILL)
+        process.join(timeout=30.0)
+        return True
+    finally:
+        if process.is_alive():  # pragma: no cover - defensive
+            process.terminate()
+            process.join(timeout=10.0)
+
+
+def _resume_soak(
+    net,
+    root: Path,
+    *,
+    duration_s: float,
+    checkpoint_every: int,
+    checkpoint_keep: int,
+    max_batch: int,
+    clients: int,
+    join_fraction: float,
+    seed: int,
+) -> tuple[int, int]:
+    """Continue serving on the restored network (in-process), with
+    checkpointing re-enabled into the same directory, and drain."""
+    from repro.service import MembershipGateway
+
+    async def run() -> tuple[int, int]:
+        gateway = MembershipGateway(
+            net,
+            max_batch=max_batch,
+            queue_limit=max_batch * 8,
+            seed=seed,
+            checkpoint_dir=root,
+            checkpoint_every=checkpoint_every,
+            checkpoint_keep=checkpoint_keep,
+        )
+        gateway.metrics.reset_windows()
+        await gateway.start()
+        completed, ok = await _closed_loop_churn(
+            gateway,
+            duration_s=duration_s,
+            clients=clients,
+            join_fraction=join_fraction,
+            seed=seed,
+        )
+        await gateway.drain()
+        return completed, ok
+
+    return asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# CLI (the CI crash-recovery smoke drives this)
+# ----------------------------------------------------------------------
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.faults",
+        description="Kill a checkpointing gateway soak mid-load, restore "
+        "from the surviving checkpoints, audit, and resume.",
+    )
+    parser.add_argument("--n0", type=int, default=256)
+    parser.add_argument("--duration", type=float, default=4.0)
+    parser.add_argument("--kill-at", type=float, default=0.5,
+                        help="kill fraction of --duration (in (0, 1))")
+    parser.add_argument("--corrupt", choices=CORRUPTIONS, default="none",
+                        help="additional damage to the newest checkpoint")
+    parser.add_argument("--checkpoint-every", type=int, default=4,
+                        help="flushes between checkpoints")
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--clients", type=int, default=64)
+    parser.add_argument("--resume", type=float, default=None,
+                        help="resumed-soak seconds (default duration/4)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--wall-budget", type=float, default=None,
+                        help="fail if the whole cycle exceeds this many seconds")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    args = parser.parse_args(argv)
+
+    plan = FaultPlan(kill_at_fraction=args.kill_at, corruption=args.corrupt)
+    report = run_fault_scenario(
+        n0=args.n0,
+        duration_s=args.duration,
+        plan=plan,
+        checkpoint_every=args.checkpoint_every,
+        max_batch=args.max_batch,
+        clients=args.clients,
+        resume_s=args.resume,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(dataclasses.asdict(report), indent=2))
+    else:
+        print(
+            f"killed={report.killed} corrupted={report.corrupted} "
+            f"restored step {report.restored_step} "
+            f"(skipped {report.skipped_corrupt} corrupt) "
+            f"invariants_ok={report.invariants_ok}"
+        )
+        print(
+            f"journal: {report.journal_total} entries, "
+            f"{report.journal_checked_nodes} nodes checked, "
+            f"{report.journal_lost} lost "
+            f"(bound {report.journal_lost_bound}), "
+            f"{len(report.journal_mismatches)} mismatches"
+        )
+        print(
+            f"resumed: {report.resumed_ok_events}/{report.resumed_events} "
+            f"acks ok, final step {report.final_step}, "
+            f"audit ok={report.resumed_invariants_ok}, "
+            f"wall {report.wall_s}s"
+        )
+        if report.error:
+            print(f"error: {report.error}", file=sys.stderr)
+    if not report.passed:
+        print("FAULT SCENARIO FAILED", file=sys.stderr)
+        return 1
+    if args.wall_budget is not None and report.wall_s > args.wall_budget:
+        print(
+            f"wall clock {report.wall_s}s exceeded budget {args.wall_budget}s",
+            file=sys.stderr,
+        )
+        return 1
+    print("fault scenario passed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()
+    sys.exit(main())

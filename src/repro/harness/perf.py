@@ -112,6 +112,7 @@ CLI::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import pathlib
@@ -413,13 +414,19 @@ def bench_service_soak(
     queue_limit: int = 8192,
     seed: int = 11,
     per_request: bool = False,
+    checkpoint_dir: "str | None" = None,
+    checkpoint_every: int = 32,
+    checkpoint_keep: int = 3,
 ) -> dict:
     """Soak the membership gateway over a fresh n-node network with a
     closed-loop saturating client fleet for ``duration_s`` seconds and
     report sustained throughput plus ack-latency percentiles.
     ``per_request=True`` runs the degenerate gateway (``max_batch=1``,
     ``batch_window_ms=0``) -- the baseline the micro-batching speedup is
-    measured against."""
+    measured against.  ``checkpoint_dir`` turns on periodic snapshots
+    (every ``checkpoint_every`` flushes) plus a final one at drain, so
+    the soak doubles as a crash-recovery fixture; the checkpoint columns
+    then land in the row."""
     import asyncio
 
     from repro.service import MembershipGateway, saturating_load
@@ -433,8 +440,12 @@ def bench_service_soak(
             batch_window_ms=0.0 if per_request else batch_window_ms,
             queue_limit=queue_limit,
             seed=seed,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            checkpoint_keep=checkpoint_keep,
         )
-        async with gateway:
+        await gateway.start()
+        try:
             stats = await saturating_load(
                 gateway,
                 duration_s=duration_s,
@@ -442,10 +453,20 @@ def bench_service_soak(
                 join_fraction=join_fraction,
                 seed=seed + 1,
             )
-        return stats, gateway.metrics.snapshot()
+        finally:
+            summary = await gateway.drain()
+        return stats, gateway.metrics.snapshot(), summary
 
-    stats, snap = asyncio.run(drive())
-    return {
+    stats, snap, drain_summary = asyncio.run(drive())
+    checkpoint_columns = (
+        {
+            "checkpoints_written": drain_summary["checkpoints_written"],
+            "checkpoint_errors": drain_summary["checkpoint_errors"],
+        }
+        if checkpoint_dir is not None
+        else {}
+    )
+    return checkpoint_columns | {
         "duration_s": duration_s,
         "clients": clients,
         "max_batch": 1 if per_request else max_batch,
@@ -476,11 +497,16 @@ def bench_service(
     clients: int = DEFAULT_SOAK_CLIENTS,
     seed: int = 11,
     compare_per_request: bool = True,
+    checkpoint_dir: "str | None" = None,
+    checkpoint_every: int = 32,
+    checkpoint_keep: int = 3,
 ) -> dict:
     """The soak row for one size: the micro-batched gateway, optionally
     the per-request twin on an identically seeded fresh network, and
     ``service_speedup_x`` (batched / per-request events per second) --
-    the serving layer's acceptance receipt."""
+    the serving layer's acceptance receipt.  Checkpointing (when
+    ``checkpoint_dir`` is set) applies to the batched run only; the
+    per-request baseline stays undisturbed."""
     row = bench_service_soak(
         n,
         duration_s=duration_s,
@@ -488,6 +514,9 @@ def bench_service(
         batch_window_ms=batch_window_ms,
         clients=clients,
         seed=seed,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        checkpoint_keep=checkpoint_keep,
     )
     if compare_per_request:
         baseline = bench_service_soak(
@@ -506,6 +535,89 @@ def bench_service(
             else 0.0
         )
     return row
+
+
+def bench_snapshot_restore(
+    n: int,
+    *,
+    churn_steps: int = 1000,
+    seed: int = 11,
+    repeats: int = 3,
+) -> dict:
+    """Restore-vs-replay (PR 6 acceptance): time rebuilding a network of
+    size ~``n`` by replaying its history (bootstrap + ``churn_steps``
+    insert/delete steps -- exactly how the state was produced) against
+    restoring it from one on-disk snapshot.  Restore is O(state) while
+    replay is O(history), so the reported ``restore_speedup_x`` grows
+    with ``churn_steps``; the default 1000 is about one checkpoint
+    interval of gateway operations (32 flushes x 32 ops).  Restore time
+    is the median of ``repeats`` loads (the first load in a fresh
+    process additionally pays the allocator's page-fault warmup, which
+    replay pays during bootstrap); the one-off full invariant audit is
+    timed separately as ``audit_s``."""
+    import random as random_module
+    import shutil
+    import tempfile
+
+    from repro.persist import load_snapshot, save_snapshot
+
+    def replay() -> "DexNetwork":
+        built = _build(n, seed)
+        driver = random_module.Random(seed + 1)
+        for _ in range(churn_steps):
+            if driver.random() < 0.5:
+                built.insert()
+            else:
+                built.delete(driver.choice(built.graph._nodes))
+        return built
+
+    t0 = time.perf_counter()
+    net = replay()
+    replay_s = time.perf_counter() - t0
+
+    root = tempfile.mkdtemp(prefix="dex-snapshot-bench-")
+    try:
+        t0 = time.perf_counter()
+        path = save_snapshot(net, root)
+        save_s = time.perf_counter() - t0
+        snapshot_bytes = sum(
+            entry.stat().st_size for entry in path.iterdir()
+        )
+        restored = None
+        load_times = []
+        for _ in range(max(1, repeats)):
+            # A network is cyclic (overlay <-> coordinator listeners), so
+            # dropping the previous copy needs the collector; without it,
+            # dead copies pile up and every load pays fresh page faults
+            # instead of reusing arenas -- allocator noise, not restore
+            # cost.
+            restored = None
+            gc.collect()
+            t0 = time.perf_counter()
+            restored = load_snapshot(path, verify=False)
+            load_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        restored.check_invariants()
+        restored.graph.verify_caches()
+        audit_s = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    first_load_s = load_times[0]
+    load_times.sort()
+    restore_s = load_times[len(load_times) // 2]
+    return {
+        "churn_steps": churn_steps,
+        "final_n": net.size,
+        "replay_s": round(replay_s, 6),
+        "save_s": round(save_s, 6),
+        "restore_s": round(restore_s, 6),
+        "restore_first_s": round(first_load_s, 6),
+        "audit_s": round(audit_s, 6),
+        "snapshot_mb": round(snapshot_bytes / 2**20, 3),
+        "restore_speedup_x": (
+            round(replay_s / restore_s, 2) if restore_s > 0 else 0.0
+        ),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -740,10 +852,46 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--soak-window-ms", type=float, default=DEFAULT_SOAK_WINDOW_MS)
     parser.add_argument("--soak-no-baseline", action="store_true",
                         help="skip the per-request (max_batch=1) comparison run")
+    parser.add_argument("--snapshot", action="store_true",
+                        help="run the snapshot restore-vs-replay benchmark "
+                        "instead of the suite")
+    parser.add_argument("--snapshot-sizes", type=int, nargs="+", default=[100_000])
+    parser.add_argument("--snapshot-steps", type=int, default=1000,
+                        help="replayed churn steps (the history length)")
+    parser.add_argument("--snapshot-repeats", type=int, default=3,
+                        help="timed restores per size (median reported)")
     parser.add_argument("--out", type=pathlib.Path, default=pathlib.Path("BENCH_perf.json"))
     args = parser.parse_args(argv)
 
     load_report(args.out)  # refuse a corrupt report before the long run
+
+    if args.snapshot:
+        print(
+            f"snapshot restore-vs-replay: sizes={args.snapshot_sizes} "
+            f"history={args.snapshot_steps} steps label={args.label!r}"
+        )
+        results: dict[str, dict] = {}
+        for n in args.snapshot_sizes:
+            row = bench_snapshot_restore(
+                n,
+                churn_steps=args.snapshot_steps,
+                seed=args.seed,
+                repeats=args.snapshot_repeats,
+            )
+            results[f"n{n}"] = row
+            print(
+                f"  n={n}: replay {row['replay_s']}s vs restore "
+                f"{row['restore_s']}s -> {row['restore_speedup_x']}x "
+                f"(save {row['save_s']}s, audit {row['audit_s']}s, "
+                f"{row['snapshot_mb']} MB)",
+                file=sys.stderr,
+            )
+        write_service(
+            args.out, args.label, results,
+            extra_meta={"benchmark": "snapshot_restore"},
+        )
+        print(f"wrote {args.out}")
+        return 0
 
     if args.soak:
         print(

@@ -1,0 +1,26 @@
+"""Crash-safe persistence for :class:`~repro.core.dex.DexNetwork`.
+
+One snapshot is one directory with an atomic, checksummed manifest;
+:func:`restore` rebuilds a network from it in O(load) -- no history
+replay.  See :mod:`repro.persist.snapshot` for the format.
+"""
+
+from repro.persist.snapshot import (
+    SNAPSHOT_SCHEMA,
+    list_checkpoints,
+    load_snapshot,
+    prune_checkpoints,
+    restore_latest,
+    save_snapshot,
+    state_fingerprint,
+)
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "list_checkpoints",
+    "load_snapshot",
+    "prune_checkpoints",
+    "restore_latest",
+    "save_snapshot",
+    "state_fingerprint",
+]

@@ -50,9 +50,10 @@ import random
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
 
-from repro.errors import GatewayClosed, GatewayOverloaded
+from repro.errors import GatewayClosed, GatewayOverloaded, SnapshotError
 from repro.service.metrics import ServiceMetrics
 from repro.types import NodeId
 
@@ -116,6 +117,12 @@ class MembershipGateway:
         overload: str = "reject",
         seed: int | None = None,
         metrics: ServiceMetrics | None = None,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 32,
+        checkpoint_keep: int = 3,
+        on_before_checkpoint: Callable[[int], None] | None = None,
+        on_checkpoint: Callable[[int, Path], None] | None = None,
+        on_ack: Callable[[Ack], None] | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -125,6 +132,10 @@ class MembershipGateway:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
         if overload not in ("reject", "raise"):
             raise ValueError(f"unknown overload policy {overload!r}")
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if checkpoint_keep < 1:
+            raise ValueError(f"checkpoint_keep must be >= 1, got {checkpoint_keep}")
         self.net = net
         self.max_batch = max_batch
         self.batch_window_s = batch_window_ms / 1e3
@@ -134,6 +145,27 @@ class MembershipGateway:
         self._rng = random.Random(
             seed if seed is not None else getattr(net.config, "seed", 0)
         )
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_keep = checkpoint_keep
+        #: fired with the step about to be checkpointed, *before* the
+        #: snapshot is written or published.  A subscriber that must
+        #: stay ahead of durable state (e.g. a write-ahead journal:
+        #: flush + fsync here, so no checkpoint can become durable with
+        #: the journal lagging it) does its work here; raising OSError
+        #: vetoes the checkpoint (counted in ``checkpoint_errors``).
+        self.on_before_checkpoint = on_before_checkpoint
+        self.on_checkpoint = on_checkpoint
+        #: synchronous ack tap, fired the moment an outcome is decided
+        #: (inside the flush, before control returns to the event loop).
+        #: At checkpoint time every ack issued so far is therefore
+        #: visible to the tap -- the property the fault harness's
+        #: journal relies on.  Must not raise.
+        self.on_ack = on_ack
+        self.checkpoints_written = 0
+        self.checkpoint_errors = 0
+        self.last_checkpoint: Path | None = None
+        self._flushes_since_checkpoint = 0
         self._queue: deque[_Request] = deque()
         self._wake = asyncio.Event()
         self._batcher: asyncio.Task | None = None
@@ -156,6 +188,45 @@ class MembershipGateway:
         if self._batcher is not None:
             await self._batcher
             self._batcher = None
+
+    async def drain(self) -> dict:
+        """Graceful shutdown: stop accepting new requests, answer
+        **every** queued future (the batcher keeps flushing until the
+        queue is empty -- no client is left hanging), then write one
+        final checkpoint.  Returns a small summary the caller can log.
+        The final checkpoint happens strictly *after* the last flush, so
+        it captures every acknowledged request."""
+        pending = len(self._queue)
+        await self.close()
+        final = None
+        if self.checkpoint_dir is not None:
+            final = self._checkpoint_guarded()
+        return {
+            "pending_answered": pending,
+            "final_checkpoint": str(final) if final is not None else None,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_errors": self.checkpoint_errors,
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls, checkpoint_root: str | Path, **kwargs
+    ) -> "MembershipGateway":
+        """Build a gateway over the newest loadable checkpoint under
+        ``checkpoint_root``.  The restored gateway checkpoints back into
+        the same directory unless ``checkpoint_dir`` overrides it, and
+        its metrics windows are re-anchored *after* the restore
+        completes -- ``perf_counter`` anchors from the previous process
+        (or from before a multi-second restore) would otherwise corrupt
+        the first reported rates."""
+        from repro.persist.snapshot import restore_latest
+
+        net, path, _skipped = restore_latest(checkpoint_root)
+        kwargs.setdefault("checkpoint_dir", checkpoint_root)
+        gateway = cls(net, **kwargs)
+        gateway.last_checkpoint = path
+        gateway.metrics.reset_windows()
+        return gateway
 
     async def __aenter__(self) -> "MembershipGateway":
         return await self.start()
@@ -196,16 +267,17 @@ class MembershipGateway:
                 raise GatewayOverloaded(
                     f"ingestion queue full ({self.queue_limit} pending)"
                 )
-            future.set_result(
-                Ack(
-                    ok=False,
-                    kind=kind,
-                    node=node,
-                    reason=self.BACKPRESSURE_REASON,
-                    latency_s=0.0,
-                    batch_size=0,
-                )
+            ack = Ack(
+                ok=False,
+                kind=kind,
+                node=node,
+                reason=self.BACKPRESSURE_REASON,
+                latency_s=0.0,
+                batch_size=0,
             )
+            future.set_result(ack)
+            if self.on_ack is not None:
+                self.on_ack(ack)
             return future
         self._queue.append(
             _Request(kind, node, attach_hint, future, self._clock())
@@ -264,9 +336,53 @@ class MembershipGateway:
             await self._collect()
             batch = self._gather()
             self._flush(batch[0].kind, batch)
+            # Checkpoints sit *between* flushes: the heal call above has
+            # returned, so the network is in a steady state (never
+            # mid-heal, never with a staggered layer in flight).
+            if self.checkpoint_dir is not None:
+                self._flushes_since_checkpoint += 1
+                if self._flushes_since_checkpoint >= self.checkpoint_every:
+                    self._checkpoint_guarded()
             # Yield so awaiting clients resolve and new arrivals land
             # before the next flush decision.
             await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint_now(self) -> Path:
+        """Write one checkpoint synchronously (callers outside the
+        batcher must know the engine is idle -- the batcher itself only
+        calls this between flushes).  Prunes to ``checkpoint_keep`` and
+        fires ``on_checkpoint`` *after* the snapshot is durable, so a
+        subscriber's bookkeeping (e.g. the fault harness's ack journal)
+        is always covered by an on-disk checkpoint."""
+        if self.checkpoint_dir is None:
+            raise SnapshotError("gateway has no checkpoint_dir configured")
+        from repro.persist.snapshot import prune_checkpoints, save_snapshot
+
+        if self.on_before_checkpoint is not None:
+            self.on_before_checkpoint(self.net.step_count)
+        path = save_snapshot(self.net, self.checkpoint_dir)
+        prune_checkpoints(self.checkpoint_dir, self.checkpoint_keep)
+        self.checkpoints_written += 1
+        self.last_checkpoint = path
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(self.net.step_count, path)
+        return path
+
+    def _checkpoint_guarded(self) -> Path | None:
+        """A checkpoint attempt that cannot take the service down: a
+        full disk or a snapshot refusal is counted and logged onto the
+        gateway (``checkpoint_errors``), but the batcher keeps answering
+        clients -- losing durability is strictly better than hanging
+        every queued future."""
+        self._flushes_since_checkpoint = 0
+        try:
+            return self.checkpoint_now()
+        except (SnapshotError, OSError):
+            self.checkpoint_errors += 1
+            return None
 
     async def _collect(self) -> None:
         """Adaptive wait: let the gatherable flush grow until it
@@ -323,16 +439,17 @@ class MembershipGateway:
             reason = reasons.get(index)
             latency = now - request.submitted_at
             self.metrics.record_ack(latency, ok=reason is None)
-            request.future.set_result(
-                Ack(
-                    ok=reason is None,
-                    kind=kind,
-                    node=nodes[index],
-                    reason=reason,
-                    latency_s=latency,
-                    batch_size=batch_size,
-                )
+            ack = Ack(
+                ok=reason is None,
+                kind=kind,
+                node=nodes[index],
+                reason=reason,
+                latency_s=latency,
+                batch_size=batch_size,
             )
+            request.future.set_result(ack)
+            if self.on_ack is not None:
+                self.on_ack(ack)
         self.metrics.record_flush(
             kind, batch_size, len(outcome.accepted), len(outcome.rejected), heal_s
         )

@@ -183,6 +183,20 @@ class ServiceMetrics:
             self.clock() - (self.started_at or 0.0),
         )
 
+    def reset_windows(self) -> None:
+        """Re-anchor the elapsed/window clocks at *now* and drop pending
+        window samples.  Required after a process restore: ``started_at``
+        is a ``perf_counter`` reading, which is meaningless across
+        processes (and inflated by however long the restore itself took),
+        so a freshly restored gateway would otherwise report garbage
+        ``elapsed_s`` / ``events_per_s`` in its first
+        :meth:`snapshot`/:meth:`window` rows.  Cumulative counters are
+        kept -- only the time base and the rolling window reset."""
+        now = self.clock()
+        self.started_at = now
+        self._window_started_at = now
+        self._window_acks = []
+
     def window(self) -> dict[str, float | int | None]:
         """Summary of the acks since the previous :meth:`window` call
         (the periodic progress row of ``repro.cli serve``), then drop

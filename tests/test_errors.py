@@ -15,6 +15,8 @@ class TestHierarchy:
         errors.InvariantViolation,
         errors.RecoveryError,
         errors.AdversaryError,
+        errors.SnapshotError,
+        errors.CorruptSnapshot,
         errors.DHTError,
         errors.SimulationError,
     ]
@@ -30,6 +32,10 @@ class TestHierarchy:
     def test_not_collapsed_into_one(self):
         assert not issubclass(errors.TopologyError, errors.MappingError)
         assert not issubclass(errors.DHTError, errors.SimulationError)
+
+    def test_corrupt_snapshot_is_a_snapshot_error(self):
+        assert issubclass(errors.CorruptSnapshot, errors.SnapshotError)
+        assert not issubclass(errors.SnapshotError, errors.CorruptSnapshot)
 
     def test_library_raises_its_own_types(self):
         from repro.virtual.primes import initial_prime

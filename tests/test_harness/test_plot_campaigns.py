@@ -1,0 +1,149 @@
+"""The campaign plotter (``benchmarks/plot_campaigns.py``): series
+extraction from BENCH_perf.json, the dependency-free SVG backend's
+geometry, and the CLI's exit discipline.  Imported by file path --
+``benchmarks/`` is deliberately not a package."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import re
+
+import pytest
+
+_MODULE_PATH = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "plot_campaigns.py"
+)
+_spec = importlib.util.spec_from_file_location("plot_campaigns", _MODULE_PATH)
+plot_campaigns = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(plot_campaigns)
+
+
+SERIES = {
+    "gap": [[0, 0.31], [60, 0.28], [120, 0.3]],
+    "degree": [[0, 12.0], [60, 12.5], [120, 12.2]],
+    "size": [[0, 64], [60, 70], [120, 66]],
+    "messages": [[0, 0], [60, 900], [120, 1700]],
+}
+
+
+def write_report(path: pathlib.Path, *, with_series: bool = True) -> pathlib.Path:
+    row = {"events": 120, "final_gap": 0.3}
+    if with_series:
+        row["series"] = SERIES
+    report = {
+        "campaigns": {
+            "demo": {
+                "meta": {"generated": "test"},
+                "flash-crowd/dex/n64_s1": dict(row),
+                "mass-leave/dex/n64_s1": dict(row),
+            },
+            "bare": {"flash-crowd/dex/n64_s1": {"events": 120}},
+        }
+    }
+    path.write_text(json.dumps(report))
+    return path
+
+
+class TestLoadSeries:
+    def test_extracts_only_rows_with_series(self, tmp_path):
+        loaded = plot_campaigns.load_series(write_report(tmp_path / "r.json"))
+        assert sorted(loaded) == ["demo"]  # "bare" has no series rows
+        assert sorted(loaded["demo"]) == [
+            "flash-crowd/dex/n64_s1",
+            "mass-leave/dex/n64_s1",
+        ]
+        assert loaded["demo"]["flash-crowd/dex/n64_s1"]["gap"] == SERIES["gap"]
+
+    def test_empty_report_yields_nothing(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps({"sizes": {}}))
+        assert plot_campaigns.load_series(path) == {}
+
+
+class TestRenderSvg:
+    def test_polylines_stay_inside_the_plot_box(self):
+        svg = plot_campaigns.render_svg(
+            {
+                "a": [(0.0, 0.1), (50.0, 0.4), (100.0, 0.2)],
+                "b": [(0.0, 0.3), (100.0, 0.35)],
+            },
+            title="t", x_label="x", y_label="y",
+        )
+        polylines = re.findall(r'<polyline[^>]*points="([^"]+)"', svg)
+        assert len(polylines) == 2
+        for points in polylines:
+            for pair in points.split():
+                x, y = map(float, pair.split(","))
+                assert 70 - 1e-6 <= x <= 720 - 180 + 1e-6
+                assert 40 - 1e-6 <= y <= 440 - 50 + 1e-6
+
+    def test_legend_and_labels_present(self):
+        svg = plot_campaigns.render_svg(
+            {"only-line": [(0.0, 1.0), (1.0, 2.0)]},
+            title="the title", x_label="events applied", y_label="gap",
+        )
+        assert "the title" in svg
+        assert "only-line" in svg
+        assert "events applied" in svg and "gap" in svg
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        svg = plot_campaigns.render_svg(
+            {"flat": [(0.0, 5.0), (10.0, 5.0)]},
+            title="t", x_label="x", y_label="y",
+        )
+        assert "<polyline" in svg and "nan" not in svg.lower()
+
+
+class TestMain:
+    def test_writes_one_svg_per_label_metric(self, tmp_path, capsys):
+        report = write_report(tmp_path / "r.json")
+        out_dir = tmp_path / "plots"
+        rc = plot_campaigns.main(
+            [
+                "--report", str(report),
+                "--out-dir", str(out_dir),
+                "--metrics", "gap", "messages",
+                "--backend", "svg",
+            ]
+        )
+        assert rc == 0
+        names = sorted(p.name for p in out_dir.iterdir())
+        assert names == ["campaign_demo_gap.svg", "campaign_demo_messages.svg"]
+        assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_label_exits_nonzero_listing_available(self, tmp_path, capsys):
+        report = write_report(tmp_path / "r.json")
+        rc = plot_campaigns.main(
+            ["--report", str(report), "--labels", "nope", "--backend", "svg"]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "nope" in err and "demo" in err
+
+    def test_report_without_series_exits_nonzero(self, tmp_path, capsys):
+        report = write_report(tmp_path / "r.json", with_series=False)
+        rc = plot_campaigns.main(["--report", str(report), "--backend", "svg"])
+        assert rc == 1
+        assert "--series" in capsys.readouterr().err
+
+    def test_missing_report_exits_nonzero(self, tmp_path, capsys):
+        rc = plot_campaigns.main(["--report", str(tmp_path / "absent.json")])
+        assert rc == 1
+        assert "no report" in capsys.readouterr().err
+
+    @pytest.mark.skipif(
+        plot_campaigns.matplotlib_available(),
+        reason="matplotlib present; auto backend would write .png",
+    )
+    def test_auto_backend_falls_back_to_svg(self, tmp_path):
+        report = write_report(tmp_path / "r.json")
+        out_dir = tmp_path / "plots"
+        assert (
+            plot_campaigns.main(
+                ["--report", str(report), "--out-dir", str(out_dir)]
+            )
+            == 0
+        )
+        assert (out_dir / "campaign_demo_gap.svg").is_file()

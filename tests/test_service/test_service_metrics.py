@@ -123,3 +123,22 @@ class TestServiceMetrics:
         snap = metrics.snapshot()
         assert snap["backpressure"] == 2
         assert snap["events"] == 0  # backpressure answers are not acks
+
+    def test_reset_windows_reanchors_clock_keeps_counters(self):
+        """The post-restore hygiene call: elapsed/window time restarts at
+        *now* and pending window samples drop, but cumulative counters
+        (acks, batches) survive -- a freshly restored gateway must not
+        report the dead process's wall clock."""
+        clock = _FakeClock()
+        metrics = ServiceMetrics(clock=clock)
+        metrics.record_ack(0.010, ok=True)
+        metrics.record_flush("join", 1, 1, 0, 0.001)
+        clock.now += 50.0  # the old process's lifetime + restore time
+        metrics.reset_windows()
+        clock.now += 2.0
+        snap = metrics.snapshot()
+        assert snap["elapsed_s"] == pytest.approx(2.0)
+        assert snap["accepted"] == 1 and snap["batches"] == 1
+        window = metrics.window()
+        assert window["events"] == 0
+        assert window["elapsed_s"] == pytest.approx(2.0)  # since the reset, not 52
