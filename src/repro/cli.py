@@ -80,6 +80,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_overload_flags(parser: argparse.ArgumentParser) -> None:
+    """The PR 7 overload-control knobs, shared by serve and soak."""
+    from repro.service import POLICIES
+
+    parser.add_argument("--policy", default="fixed", choices=sorted(POLICIES),
+                        help="gateway admission/batching policy")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request deadline; expired requests are "
+                        "answered with a rejection, never healed late")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="client retries on backpressure/shed rejections "
+                        "(0 = no retry)")
+    parser.add_argument("--retry-base-ms", type=float, default=2.0,
+                        help="base backoff of the retry policy")
+    parser.add_argument("--retry-cap-ms", type=float, default=50.0,
+                        help="backoff cap of the retry policy")
+
+
+def _retry_policy(args):
+    from repro.service import RetryPolicy
+
+    if args.retries <= 0:
+        return None
+    return RetryPolicy(
+        max_retries=args.retries,
+        base_ms=args.retry_base_ms,
+        cap_ms=args.retry_cap_ms,
+    )
+
+
 def _serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli serve",
@@ -94,6 +124,7 @@ def _serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-batch", type=int, default=64)
     parser.add_argument("--window-ms", type=float, default=2.0)
     parser.add_argument("--queue-limit", type=int, default=4096)
+    _add_overload_flags(parser)
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--report-every", type=float, default=1.0,
                         help="seconds between progress snapshots (0 = final only)")
@@ -151,6 +182,8 @@ def cmd_serve(argv: list[str]) -> int:
             max_batch=args.max_batch,
             batch_window_ms=args.window_ms,
             queue_limit=args.queue_limit,
+            policy=args.policy,
+            deadline_ms=args.deadline_ms,
             seed=args.seed,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
@@ -185,6 +218,7 @@ def cmd_serve(argv: list[str]) -> int:
                 duration_s=args.duration,
                 join_fraction=args.join_fraction,
                 seed=args.seed + 1,
+                retry=_retry_policy(args),
             )
         )
         stop = asyncio.ensure_future(interrupted.wait())
@@ -226,14 +260,24 @@ def cmd_serve(argv: list[str]) -> int:
         table.add_row("acked ok", stats.ok)
         table.add_row("rejected", stats.rejected)
         table.add_row("backpressure", stats.backpressure)
+        if stats.shed:
+            table.add_row("shed", stats.shed)
+        if stats.deadline_timeouts:
+            table.add_row("deadline timeouts", stats.deadline_timeouts)
+        if stats.retries:
+            table.add_row("retries", stats.retries)
     else:
         table.add_row("interrupted", "yes (drained)")
         table.add_row("pending answered", summary["pending_answered"])
     table.add_row("events/sec", snap["events_per_s"])
+    table.add_row("goodput/sec", snap["goodput_per_s"])
     table.add_row("ack p50 (ms)", snap["ack_p50_ms"])
     table.add_row("ack p99 (ms)", snap["ack_p99_ms"])
     table.add_row("mean batch", snap["mean_batch"])
-    table.add_note(f"final n = {net.size}, batches = {snap['batches']}")
+    table.add_note(
+        f"final n = {net.size}, batches = {snap['batches']}, "
+        f"policy = {args.policy}"
+    )
     if summary["final_checkpoint"] is not None:
         table.add_note(
             f"checkpoints: {summary['checkpoints_written']} written "
@@ -256,6 +300,7 @@ def _soak_parser() -> argparse.ArgumentParser:
     parser.add_argument("--clients", type=int, default=256)
     parser.add_argument("--max-batch", type=int, default=128)
     parser.add_argument("--window-ms", type=float, default=2.0)
+    _add_overload_flags(parser)
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--no-baseline", action="store_true",
                         help="skip the per-request comparison run")
@@ -291,6 +336,9 @@ def cmd_soak(argv: list[str]) -> int:
             clients=args.clients,
             seed=args.seed,
             compare_per_request=not args.no_baseline,
+            policy=args.policy,
+            deadline_ms=args.deadline_ms,
+            retry=_retry_policy(args),
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
             checkpoint_keep=args.checkpoint_keep,

@@ -73,6 +73,12 @@ class GatewayOverloaded(ServiceError):
     request is always *answered*, never dropped."""
 
 
+class PolicyError(ServiceError):
+    """An admission-policy specification was invalid: an unknown policy
+    name, or a policy parameter outside its legal range (e.g. a shed
+    high-water mark below one, watermark fractions out of order)."""
+
+
 class SnapshotError(ReproError):
     """A checkpoint could not be written or a restore request could not
     be satisfied (no checkpoint available, a staggered type-2 recovery

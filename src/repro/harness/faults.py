@@ -32,10 +32,24 @@ asserts exactly that bound.  No silent drops: every request was either
 answered and journaled, answered inside the final (bounded) interval,
 or never acknowledged at all.
 
+The plan can also inject an **overload fault** (PR 7): at
+``overload_at_fraction`` of the soak a second closed-loop fleet of
+``overload_clients`` piles on for the remainder, pushing offered load
+past heal capacity -- optionally concurrent with the SIGKILL, or with
+``kill=False`` for the saturation-without-crash scenario, whose clean
+drain (plus the worker's final metrics snapshot in
+``worker_final.json``) is the receipt that no client hung under
+overload.
+
 Run directly for the CI crash-recovery smoke::
 
     PYTHONPATH=src python -m repro.harness.faults \
         --n0 256 --duration 4 --corrupt corrupt-array --wall-budget 240
+
+    # overload spike mid-soak under shed-oldest, no kill:
+    PYTHONPATH=src python -m repro.harness.faults --no-kill \
+        --n0 256 --duration 4 --overload-at 0.4 --overload-clients 512 \
+        --policy shed-oldest --wall-budget 240
 """
 
 from __future__ import annotations
@@ -63,6 +77,7 @@ from repro.persist.snapshot import (
 )
 
 JOURNAL_NAME = "journal.jsonl"
+WORKER_FINAL_NAME = "worker_final.json"
 
 #: what the plan may do to the newest checkpoint after the kill
 CORRUPTIONS = ("none", "corrupt-array", "truncate-manifest", "delete-manifest")
@@ -70,8 +85,8 @@ CORRUPTIONS = ("none", "corrupt-array", "truncate-manifest", "delete-manifest")
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """One crash scenario: when to kill, and what additional damage the
-    'disk' takes."""
+    """One crash scenario: when to kill, what additional damage the
+    'disk' takes, and an optional mid-soak overload spike."""
 
     #: SIGKILL the worker at this fraction of the soak duration (once at
     #: least one checkpoint exists -- killing before any durability
@@ -79,6 +94,15 @@ class FaultPlan:
     kill_at_fraction: float = 0.5
     #: post-crash damage to the *newest* checkpoint (see ``CORRUPTIONS``)
     corruption: str = "none"
+    #: whether to kill at all; ``False`` runs the soak to a clean drain
+    #: (the overload-only scenario: saturation without a crash)
+    kill: bool = True
+    #: at this fraction of the duration, a second closed-loop fleet of
+    #: ``overload_clients`` piles on for the remainder -- the
+    #: offered-load spike.  ``None`` disables the spike.
+    overload_at_fraction: float | None = None
+    #: size of the spike fleet
+    overload_clients: int = 256
 
     def __post_init__(self) -> None:
         if not 0.0 < self.kill_at_fraction < 1.0:
@@ -88,6 +112,17 @@ class FaultPlan:
         if self.corruption not in CORRUPTIONS:
             raise ValueError(
                 f"corruption must be one of {CORRUPTIONS}, got {self.corruption!r}"
+            )
+        if self.overload_at_fraction is not None and not (
+            0.0 < self.overload_at_fraction < 1.0
+        ):
+            raise ValueError(
+                "overload_at_fraction must be in (0, 1), got "
+                f"{self.overload_at_fraction}"
+            )
+        if self.overload_clients < 1:
+            raise ValueError(
+                f"overload_clients must be >= 1, got {self.overload_clients}"
             )
 
 
@@ -112,13 +147,18 @@ class RecoveryReport:
     resumed_ok_events: int = 0
     final_step: int = -1
     resumed_invariants_ok: bool = False
+    #: the worker's own final metrics snapshot + drain summary, present
+    #: only when the worker drained cleanly (``kill=False`` plans) --
+    #: the overload scenario's receipt that every future was answered
+    overload: dict | None = None
     wall_s: float = 0.0
     error: str | None = None
 
     @property
     def passed(self) -> bool:
+        kill_expected = self.plan.get("kill", True)
         return (
-            self.killed
+            (self.killed or not kill_expected)
             and self.error is None
             and self.invariants_ok
             and not self.journal_mismatches
@@ -181,6 +221,8 @@ def _soak_worker(cfg: dict) -> None:
             net,
             max_batch=cfg["max_batch"],
             queue_limit=cfg["max_batch"] * 8,
+            policy=cfg.get("policy", "fixed"),
+            deadline_ms=cfg.get("deadline_ms"),
             seed=cfg["seed"],
             checkpoint_dir=root,
             checkpoint_every=cfg["checkpoint_every"],
@@ -189,14 +231,40 @@ def _soak_worker(cfg: dict) -> None:
             on_ack=record_ack,
         )
         await gateway.start()
-        await _closed_loop_churn(
+        steady = _closed_loop_churn(
             gateway,
             duration_s=cfg["duration_s"],
             clients=cfg["clients"],
             join_fraction=cfg["join_fraction"],
             seed=cfg["seed"] + 1,
         )
-        await gateway.drain()
+        overload_at = cfg.get("overload_at_fraction")
+        if overload_at is None:
+            await steady
+        else:
+
+            async def spike() -> tuple[int, int]:
+                # The offered-load fault: after the fuse, a second fleet
+                # piles on for the remainder of the soak, pushing offered
+                # load past heal capacity while the steady fleet keeps
+                # running (and, per the plan, a SIGKILL may land mid-spike).
+                await asyncio.sleep(overload_at * cfg["duration_s"])
+                return await _closed_loop_churn(
+                    gateway,
+                    duration_s=(1.0 - overload_at) * cfg["duration_s"],
+                    clients=cfg.get("overload_clients", 256),
+                    join_fraction=cfg["join_fraction"],
+                    seed=cfg["seed"] + 77,
+                )
+
+            await asyncio.gather(steady, spike())
+        summary = await gateway.drain()
+        # Only reached on a clean (un-killed) run: the worker's receipt
+        # that the soak -- overload spike included -- drained with every
+        # future answered.
+        (root / WORKER_FINAL_NAME).write_text(
+            json.dumps({"snapshot": gateway.metrics.snapshot(), "drain": summary})
+        )
 
     asyncio.run(run())
 
@@ -326,6 +394,8 @@ def run_fault_scenario(
     clients: int = 64,
     join_fraction: float = 0.55,
     resume_s: float | None = None,
+    policy: str = "fixed",
+    deadline_ms: float | None = None,
     seed: int = 11,
     root: str | Path | None = None,
 ) -> RecoveryReport:
@@ -353,11 +423,18 @@ def run_fault_scenario(
             "max_batch": max_batch,
             "clients": clients,
             "join_fraction": join_fraction,
+            "policy": policy,
+            "deadline_ms": deadline_ms,
+            "overload_at_fraction": plan.overload_at_fraction,
+            "overload_clients": plan.overload_clients,
             "seed": seed,
         }
         report.killed = _run_and_kill(cfg, plan, duration_s)
         report.checkpoints_on_disk = len(list_checkpoints(root))
         report.corrupted = _apply_corruption(root, plan.corruption)
+        worker_final = root / WORKER_FINAL_NAME
+        if worker_final.exists():
+            report.overload = json.loads(worker_final.read_text())
 
         net, path, skipped = restore_latest(root, verify=False)
         report.restored_step = net.step_count
@@ -414,11 +491,33 @@ def _run_and_kill(cfg: dict, plan: FaultPlan, duration_s: float) -> bool:
     """Start the soak worker and SIGKILL it at the planned fraction of
     the duration -- but never before its first checkpoint is durable.
     Returns whether the kill actually happened (a worker that finished
-    early proves nothing)."""
+    early proves nothing).  A ``kill=False`` plan just waits for the
+    worker to drain cleanly (the overload-without-crash scenario) and
+    returns ``False``."""
     ctx = multiprocessing.get_context("spawn")
     process = ctx.Process(target=_soak_worker, args=(cfg,), daemon=True)
     process.start()
     root = Path(cfg["root"])
+    if not plan.kill:
+        try:
+            # Generous ceiling: a saturated drain can take a while, but a
+            # hung future would hang forever -- the join timeout is the
+            # harness's no-hung-clients assertion.
+            process.join(timeout=duration_s + 120.0)
+            if process.is_alive():
+                raise RuntimeError(
+                    "soak worker failed to drain within the "
+                    f"{duration_s + 120.0:.0f}s ceiling (hung future?)"
+                )
+            if process.exitcode != 0:
+                raise RuntimeError(
+                    f"soak worker exited with code {process.exitcode}"
+                )
+            return False
+        finally:
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=10.0)
     kill_at = plan.kill_at_fraction * duration_s
     # Generous ceiling: bootstrap + first checkpoint must land within it.
     deadline = time.perf_counter() + duration_s + 60.0
@@ -499,8 +598,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--duration", type=float, default=4.0)
     parser.add_argument("--kill-at", type=float, default=0.5,
                         help="kill fraction of --duration (in (0, 1))")
+    parser.add_argument("--no-kill", action="store_true",
+                        help="run to a clean drain instead of killing "
+                        "(the overload-without-crash scenario)")
     parser.add_argument("--corrupt", choices=CORRUPTIONS, default="none",
                         help="additional damage to the newest checkpoint")
+    parser.add_argument("--overload-at", type=float, default=None,
+                        help="start an offered-load spike at this fraction "
+                        "of --duration (in (0, 1))")
+    parser.add_argument("--overload-clients", type=int, default=256,
+                        help="size of the spike fleet")
+    parser.add_argument("--policy", default="fixed",
+                        help="gateway admission policy for the soak worker")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request deadline for the soak worker")
     parser.add_argument("--checkpoint-every", type=int, default=4,
                         help="flushes between checkpoints")
     parser.add_argument("--max-batch", type=int, default=32)
@@ -514,7 +625,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="print the full report as JSON")
     args = parser.parse_args(argv)
 
-    plan = FaultPlan(kill_at_fraction=args.kill_at, corruption=args.corrupt)
+    plan = FaultPlan(
+        kill_at_fraction=args.kill_at,
+        corruption=args.corrupt,
+        kill=not args.no_kill,
+        overload_at_fraction=args.overload_at,
+        overload_clients=args.overload_clients,
+    )
     report = run_fault_scenario(
         n0=args.n0,
         duration_s=args.duration,
@@ -523,6 +640,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         max_batch=args.max_batch,
         clients=args.clients,
         resume_s=args.resume,
+        policy=args.policy,
+        deadline_ms=args.deadline_ms,
         seed=args.seed,
     )
     if args.json:

@@ -7,12 +7,12 @@ several network sizes, and merges the results into a machine-readable
 report so successive PRs can compare against a recorded baseline
 instead of folklore.
 
-Report format (schema ``dex-perf/5``; ``dex-perf/1`` through
-``dex-perf/4`` reports are upgraded in place, their recorded runs
+Report format (schema ``dex-perf/6``; ``dex-perf/1`` through
+``dex-perf/5`` reports are upgraded in place, their recorded runs
 kept)::
 
     {
-      "schema": "dex-perf/5",
+      "schema": "dex-perf/6",
       "churn_steps": 200,              # steps per churn loop
       "sizes": [256, 1024, 4096],
       "runs": {
@@ -73,15 +73,33 @@ kept)::
           "n4096": {
             "duration_s": 2.0, "clients": 256,
             "max_batch": 128, "batch_window_ms": 2.0,
+            "policy": "fixed", "deadline_ms": null,
             "events": 31873, "events_per_s": 15936.0,
+            "goodput_per_s": 15730.0,  # healed acks only (PR 7)
             "ack_p50_ms": 7.9, "ack_p99_ms": 16.2, "ack_max_ms": 31.0,
             "batches": 270, "mean_batch": 118.0,
-            "rejected": 12, "backpressure": 0, "final_n": 4103,
+            "rejected": 12, "backpressure": 0,
+            "shed": 0, "deadline_timeouts": 0, "retries": 0,
+            "final_n": 4103,
             # the per-request twin (max_batch=1, window=0) and the
             # micro-batching receipt:
             "per_request_events_per_s": 5213.0,
             "per_request_ack_p50_ms": 41.0,
             "service_speedup_x": 3.06
+          },
+          # --- policy frontier sweep (PR 7): offered load x admission
+          # policy under an open loop; the capacity-planning curves ---
+          "n4096/shed-oldest/r12000": {
+            "policy": "shed-oldest", "offered_rate_hz": 12000.0,
+            "duration_s": 2.0, "offered": 23998, "completed": 23998,
+            "ok": 13890, "backpressure": 0, "shed": 9983,
+            "deadline_timeouts": 0, "retries": 0,
+            "shed_rate": 0.416, "goodput_per_s": 6903.0,
+            "events_per_s": 7012.0, "ack_p99_ms": 74.0,
+            "queue_depth_max": 520, "heal_utilization": 0.97,
+            "policy_state": {"policy": "shed-oldest", "high_water": 512,
+                             "shed_total": 9983},
+            "final_n": 4311
           }
         }
       }
@@ -107,6 +125,11 @@ CLI::
     # membership-gateway soak (micro-batched vs per-request gateway):
     PYTHONPATH=src python -m repro.harness.perf --soak \\
         --soak-sizes 4096 --soak-duration 2 --out BENCH_perf.json
+
+    # overload-control frontier: offered load x admission policy:
+    PYTHONPATH=src python -m repro.harness.perf --frontier \\
+        --frontier-sizes 4096 --frontier-rates 2000 6000 12000 \\
+        --out BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -129,13 +152,14 @@ from repro.core.dex import DexNetwork
 from repro.errors import AdversaryError
 from repro.net.walks import random_walk, run_wave
 
-SCHEMA = "dex-perf/5"
+SCHEMA = "dex-perf/6"
 _COMPATIBLE_SCHEMAS = (
     "dex-perf/1",
     "dex-perf/2",
     "dex-perf/3",
     "dex-perf/4",
     "dex-perf/5",
+    "dex-perf/6",
 )
 DEFAULT_SIZES = (256, 1024, 4096)
 DEFAULT_STEPS = 200
@@ -414,6 +438,9 @@ def bench_service_soak(
     queue_limit: int = 8192,
     seed: int = 11,
     per_request: bool = False,
+    policy: str = "fixed",
+    deadline_ms: float | None = None,
+    retry: "object | None" = None,
     checkpoint_dir: "str | None" = None,
     checkpoint_every: int = 32,
     checkpoint_keep: int = 3,
@@ -423,10 +450,13 @@ def bench_service_soak(
     report sustained throughput plus ack-latency percentiles.
     ``per_request=True`` runs the degenerate gateway (``max_batch=1``,
     ``batch_window_ms=0``) -- the baseline the micro-batching speedup is
-    measured against.  ``checkpoint_dir`` turns on periodic snapshots
-    (every ``checkpoint_every`` flushes) plus a final one at drain, so
-    the soak doubles as a crash-recovery fixture; the checkpoint columns
-    then land in the row."""
+    measured against.  ``policy`` / ``deadline_ms`` select the
+    overload-control configuration and ``retry`` an optional
+    :class:`~repro.service.loadgen.RetryPolicy` for the client fleet.
+    ``checkpoint_dir`` turns on periodic snapshots (every
+    ``checkpoint_every`` flushes) plus a final one at drain, so the soak
+    doubles as a crash-recovery fixture; the checkpoint columns then
+    land in the row."""
     import asyncio
 
     from repro.service import MembershipGateway, saturating_load
@@ -439,6 +469,8 @@ def bench_service_soak(
             max_batch=1 if per_request else max_batch,
             batch_window_ms=0.0 if per_request else batch_window_ms,
             queue_limit=queue_limit,
+            policy=policy,
+            deadline_ms=deadline_ms,
             seed=seed,
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
@@ -452,6 +484,7 @@ def bench_service_soak(
                 clients=clients,
                 join_fraction=join_fraction,
                 seed=seed + 1,
+                retry=retry,
             )
         finally:
             summary = await gateway.drain()
@@ -471,9 +504,12 @@ def bench_service_soak(
         "clients": clients,
         "max_batch": 1 if per_request else max_batch,
         "batch_window_ms": 0.0 if per_request else batch_window_ms,
+        "policy": policy,
+        "deadline_ms": deadline_ms,
         "offered": stats.offered,
         "events": snap["events"],
         "events_per_s": snap["events_per_s"],
+        "goodput_per_s": snap["goodput_per_s"],
         "ack_p50_ms": snap["ack_p50_ms"],
         "ack_p90_ms": snap["ack_p90_ms"],
         "ack_p99_ms": snap["ack_p99_ms"],
@@ -482,6 +518,9 @@ def bench_service_soak(
         "mean_batch": snap["mean_batch"],
         "rejected": snap["rejected"],
         "backpressure": snap["backpressure"],
+        "shed": snap["shed"],
+        "deadline_timeouts": snap["deadline_timeouts"],
+        "retries": snap["retries"],
         "queue_depth_max": snap["queue_depth_max"],
         "heal_utilization": snap["heal_utilization"],
         "final_n": net.size,
@@ -497,6 +536,9 @@ def bench_service(
     clients: int = DEFAULT_SOAK_CLIENTS,
     seed: int = 11,
     compare_per_request: bool = True,
+    policy: str = "fixed",
+    deadline_ms: float | None = None,
+    retry: "object | None" = None,
     checkpoint_dir: "str | None" = None,
     checkpoint_every: int = 32,
     checkpoint_keep: int = 3,
@@ -506,7 +548,9 @@ def bench_service(
     ``service_speedup_x`` (batched / per-request events per second) --
     the serving layer's acceptance receipt.  Checkpointing (when
     ``checkpoint_dir`` is set) applies to the batched run only; the
-    per-request baseline stays undisturbed."""
+    per-request baseline stays undisturbed, as does the overload
+    configuration (the baseline always runs ``fixed`` with no
+    deadline, so the speedup compares batching, not shedding)."""
     row = bench_service_soak(
         n,
         duration_s=duration_s,
@@ -514,6 +558,9 @@ def bench_service(
         batch_window_ms=batch_window_ms,
         clients=clients,
         seed=seed,
+        policy=policy,
+        deadline_ms=deadline_ms,
+        retry=retry,
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
         checkpoint_keep=checkpoint_keep,
@@ -535,6 +582,117 @@ def bench_service(
             else 0.0
         )
     return row
+
+
+DEFAULT_FRONTIER_RATES = (2000.0, 6000.0, 12000.0)
+DEFAULT_FRONTIER_POLICIES = ("fixed", "adaptive-window", "shed-oldest")
+
+
+def bench_policy_frontier(
+    n: int,
+    *,
+    rates: Sequence[float] = DEFAULT_FRONTIER_RATES,
+    policies: Sequence[str] = DEFAULT_FRONTIER_POLICIES,
+    duration_s: float = DEFAULT_SOAK_DURATION,
+    max_batch: int = DEFAULT_SOAK_BATCH,
+    batch_window_ms: float = DEFAULT_SOAK_WINDOW_MS,
+    queue_limit: int = 4096,
+    join_fraction: float = 0.5,
+    deadline_ms: float | None = None,
+    retry: "object | None" = None,
+    seed: int = 11,
+    progress: bool = False,
+) -> dict:
+    """The capacity-planning sweep: offered load x admission policy.
+
+    Each (policy, rate) point drives an *open-loop* Poisson fleet at
+    ``rate_hz`` against a fresh, identically seeded n-node gateway --
+    open loop because a closed loop self-throttles and can never
+    overdrive the server, so it cannot show what a policy does when
+    offered load exceeds heal capacity.  Rows are keyed
+    ``n{n}/{policy}/r{rate}`` and carry latency (p50/p99), raw
+    completion throughput, goodput, and the shed rate
+    ``(backpressure + shed + deadline_timeouts) / offered`` -- the three
+    axes of the frontier curve.  Every spawned request is awaited before
+    the row is read: a point that hangs a client would hang the
+    benchmark, so a recorded frontier is itself a receipt that no
+    future was left unanswered."""
+    import asyncio
+
+    from repro.service import MembershipGateway, poisson_load
+
+    results: dict[str, dict] = {}
+    for policy in policies:
+        for rate in rates:
+            net = _build(n, seed)
+
+            async def drive():
+                gateway = MembershipGateway(
+                    net,
+                    max_batch=max_batch,
+                    batch_window_ms=batch_window_ms,
+                    queue_limit=queue_limit,
+                    policy=policy,
+                    deadline_ms=deadline_ms,
+                    seed=seed,
+                )
+                await gateway.start()
+                try:
+                    stats = await poisson_load(
+                        gateway,
+                        rate_hz=rate,
+                        duration_s=duration_s,
+                        join_fraction=join_fraction,
+                        seed=seed + 1,
+                        retry=retry,
+                    )
+                finally:
+                    await gateway.drain()
+                return stats, gateway.metrics.snapshot(), gateway.policy.describe()
+
+            stats, snap, policy_state = asyncio.run(drive())
+            dropped = stats.backpressure + stats.shed + stats.deadline_timeouts
+            row = {
+                "policy": policy,
+                "offered_rate_hz": float(rate),
+                "duration_s": duration_s,
+                "max_batch": max_batch,
+                "batch_window_ms": batch_window_ms,
+                "queue_limit": queue_limit,
+                "deadline_ms": deadline_ms,
+                "offered": stats.offered,
+                "completed": stats.completed,
+                "ok": stats.ok,
+                "rejected": stats.rejected,
+                "backpressure": stats.backpressure,
+                "shed": stats.shed,
+                "deadline_timeouts": stats.deadline_timeouts,
+                "retries": stats.retries,
+                "shed_rate": (
+                    round(dropped / stats.offered, 4) if stats.offered else 0.0
+                ),
+                "events": snap["events"],
+                "events_per_s": snap["events_per_s"],
+                "goodput_per_s": snap["goodput_per_s"],
+                "ack_p50_ms": snap["ack_p50_ms"],
+                "ack_p90_ms": snap["ack_p90_ms"],
+                "ack_p99_ms": snap["ack_p99_ms"],
+                "ack_max_ms": snap["ack_max_ms"],
+                "queue_depth_max": snap["queue_depth_max"],
+                "heal_utilization": snap["heal_utilization"],
+                "policy_state": policy_state,
+                "final_n": net.size,
+            }
+            key = f"n{n}/{policy}/r{int(rate)}"
+            results[key] = row
+            if progress:
+                print(
+                    f"  {key}: p99={row['ack_p99_ms']}ms "
+                    f"goodput={row['goodput_per_s']}/s "
+                    f"shed_rate={row['shed_rate']}",
+                    file=sys.stderr,
+                )
+    return results
 
 
 def bench_snapshot_restore(
@@ -852,6 +1010,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--soak-window-ms", type=float, default=DEFAULT_SOAK_WINDOW_MS)
     parser.add_argument("--soak-no-baseline", action="store_true",
                         help="skip the per-request (max_batch=1) comparison run")
+    parser.add_argument("--soak-policy", default="fixed",
+                        help="admission policy for the soak gateway")
+    parser.add_argument("--frontier", action="store_true",
+                        help="run the offered-load x policy frontier sweep "
+                        "instead of the suite")
+    parser.add_argument("--frontier-sizes", type=int, nargs="+", default=[4096])
+    parser.add_argument("--frontier-rates", type=float, nargs="+",
+                        default=list(DEFAULT_FRONTIER_RATES),
+                        help="open-loop offered rates (requests/s)")
+    parser.add_argument("--frontier-policies", nargs="+",
+                        default=list(DEFAULT_FRONTIER_POLICIES),
+                        help="admission policies to sweep")
+    parser.add_argument("--frontier-duration", type=float,
+                        default=DEFAULT_SOAK_DURATION,
+                        help="seconds of open-loop load per point")
+    parser.add_argument("--frontier-queue-limit", type=int, default=4096)
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request deadline for frontier/soak gateways")
     parser.add_argument("--snapshot", action="store_true",
                         help="run the snapshot restore-vs-replay benchmark "
                         "instead of the suite")
@@ -893,11 +1069,41 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"wrote {args.out}")
         return 0
 
+    if args.frontier:
+        print(
+            f"policy frontier: sizes={args.frontier_sizes} "
+            f"rates={args.frontier_rates} policies={args.frontier_policies} "
+            f"duration={args.frontier_duration}s label={args.label!r}"
+        )
+        results: dict[str, dict] = {}
+        for n in args.frontier_sizes:
+            results.update(
+                bench_policy_frontier(
+                    n,
+                    rates=args.frontier_rates,
+                    policies=args.frontier_policies,
+                    duration_s=args.frontier_duration,
+                    max_batch=args.soak_max_batch,
+                    batch_window_ms=args.soak_window_ms,
+                    queue_limit=args.frontier_queue_limit,
+                    deadline_ms=args.deadline_ms,
+                    seed=args.seed,
+                    progress=True,
+                )
+            )
+        write_service(
+            args.out, args.label, results,
+            extra_meta={"benchmark": "policy_frontier"},
+        )
+        print(f"wrote {args.out}")
+        return 0
+
     if args.soak:
         print(
             f"service soak: sizes={args.soak_sizes} duration={args.soak_duration}s "
             f"clients={args.soak_clients} max_batch={args.soak_max_batch} "
-            f"window={args.soak_window_ms}ms label={args.label!r}"
+            f"window={args.soak_window_ms}ms policy={args.soak_policy!r} "
+            f"label={args.label!r}"
         )
         results: dict[str, dict] = {}
         for n in args.soak_sizes:
@@ -909,6 +1115,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 clients=args.soak_clients,
                 seed=args.seed,
                 compare_per_request=not args.soak_no_baseline,
+                policy=args.soak_policy,
+                deadline_ms=args.deadline_ms,
             )
             results[f"n{n}"] = row
             print(f"  n={n}: {row}", file=sys.stderr)

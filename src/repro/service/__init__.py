@@ -1,30 +1,51 @@
 """The membership-service layer (PR 5): an asyncio gateway that turns a
 live stream of concurrent ``join``/``leave`` requests into the batch
 waves of :mod:`repro.core.multi`, with per-request outcomes, bounded
-backpressure, client load generators and latency metrics.
+backpressure, adaptive overload control (admission policies, request
+deadlines, controlled shedding), client load generators and latency
+metrics.
 
-See :mod:`repro.service.gateway` for the architecture notes.
+See :mod:`repro.service.gateway` for the architecture notes and
+:mod:`repro.service.policy` for the overload-control design.
 """
 
 from repro.service.gateway import Ack, MembershipGateway
 from repro.service.loadgen import (
     LoadStats,
     Population,
+    RetryPolicy,
     flash_crowd_load,
     poisson_load,
     saturating_load,
 )
 from repro.service.metrics import FlushRecord, ServiceMetrics, exact_quantile
+from repro.service.policy import (
+    POLICIES,
+    AdaptiveWindowPolicy,
+    AdmissionPolicy,
+    DegradeToRejectPolicy,
+    FixedPolicy,
+    ShedOldestPolicy,
+    make_policy,
+)
 
 __all__ = [
     "Ack",
     "MembershipGateway",
     "LoadStats",
     "Population",
+    "RetryPolicy",
     "flash_crowd_load",
     "poisson_load",
     "saturating_load",
     "FlushRecord",
     "ServiceMetrics",
     "exact_quantile",
+    "POLICIES",
+    "AdmissionPolicy",
+    "AdaptiveWindowPolicy",
+    "DegradeToRejectPolicy",
+    "FixedPolicy",
+    "ShedOldestPolicy",
+    "make_policy",
 ]

@@ -55,6 +55,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import GatewayClosed, GatewayOverloaded, SnapshotError
 from repro.service.metrics import ServiceMetrics
+from repro.service.policy import AdmissionPolicy, make_policy
 from repro.types import NodeId
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -87,6 +88,10 @@ class _Request:
     attach_hint: NodeId | None
     future: asyncio.Future
     submitted_at: float
+    #: absolute ``perf_counter`` instant after which the request must be
+    #: answered with a deadline rejection instead of healed (``None`` =
+    #: no deadline)
+    deadline_at: float | None = None
 
 
 class MembershipGateway:
@@ -102,10 +107,26 @@ class MembershipGateway:
     ``overload`` selects the backpressure policy: ``"reject"`` (default)
     answers queue-full requests with a rejected :class:`Ack`;
     ``"raise"`` raises :class:`~repro.errors.GatewayOverloaded` instead.
+
+    ``policy`` selects the admission/batching controller (a name from
+    :data:`~repro.service.policy.POLICIES` or a ready
+    :class:`~repro.service.policy.AdmissionPolicy` instance) and
+    ``deadline_ms`` an optional default per-request deadline: a queued
+    request whose deadline passes is answered with a rejected ack
+    (:data:`DEADLINE_REASON`), never healed late and never left hanging
+    -- the sweep runs before every flush, across :meth:`drain` and
+    across checkpoint pauses.
     """
 
     #: reason string of backpressure rejections (tested verbatim)
     BACKPRESSURE_REASON = "backpressure: ingestion queue full"
+    #: reason of door rejections issued by a degraded admission policy
+    #: (prefixed "backpressure" so clients treat both alike, e.g. retry)
+    DEGRADED_REASON = "backpressure: degraded under sustained saturation"
+    #: reason of requests shed from the queue by the admission policy
+    SHED_REASON = "shed: queue above high-water mark"
+    #: reason of requests whose deadline expired before their flush
+    DEADLINE_REASON = "deadline exceeded before heal"
 
     def __init__(
         self,
@@ -115,6 +136,8 @@ class MembershipGateway:
         batch_window_ms: float = 2.0,
         queue_limit: int = 4096,
         overload: str = "reject",
+        policy: "str | AdmissionPolicy" = "fixed",
+        deadline_ms: float | None = None,
         seed: int | None = None,
         metrics: ServiceMetrics | None = None,
         checkpoint_dir: str | Path | None = None,
@@ -132,6 +155,8 @@ class MembershipGateway:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
         if overload not in ("reject", "raise"):
             raise ValueError(f"unknown overload policy {overload!r}")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
         if checkpoint_every < 1:
             raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
         if checkpoint_keep < 1:
@@ -142,6 +167,16 @@ class MembershipGateway:
         self.queue_limit = queue_limit
         self.metrics = metrics or ServiceMetrics()
         self._overload = overload
+        self.policy = make_policy(policy)
+        self.policy.bind(
+            base_window_s=self.batch_window_s,
+            max_batch=max_batch,
+            queue_limit=queue_limit,
+        )
+        self.deadline_s = deadline_ms / 1e3 if deadline_ms is not None else None
+        #: set on the first request that carries a deadline; keeps the
+        #: per-flush sweep O(1) for deadline-free workloads
+        self._deadlines_active = self.deadline_s is not None
         self._rng = random.Random(
             seed if seed is not None else getattr(net.config, "seed", 0)
         )
@@ -171,12 +206,14 @@ class MembershipGateway:
         self._batcher: asyncio.Task | None = None
         self._closing = False
         self._clock = time.perf_counter
+        self._last_flush_end = self._clock()
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> "MembershipGateway":
         if self._batcher is None:
+            self._last_flush_end = self._clock()
             self._batcher = asyncio.ensure_future(self._run())
         return self
 
@@ -238,21 +275,32 @@ class MembershipGateway:
     # the client surface
     # ------------------------------------------------------------------
     async def join(
-        self, node_id: NodeId | None = None, attach_hint: NodeId | None = None
+        self,
+        node_id: NodeId | None = None,
+        attach_hint: NodeId | None = None,
+        *,
+        deadline_ms: float | None = None,
     ) -> Ack:
         """Request membership: a new node (gateway-assigned id unless
         ``node_id`` pins one) attached at ``attach_hint`` (a uniformly
         sampled live node unless pinned).  Resolves when the request's
-        micro-batch healed."""
-        return await self._submit("join", node_id, attach_hint)
+        micro-batch healed.  ``deadline_ms`` overrides the gateway
+        default deadline for this request only."""
+        return await self._submit("join", node_id, attach_hint, deadline_ms)
 
-    async def leave(self, node_id: NodeId) -> Ack:
+    async def leave(
+        self, node_id: NodeId, *, deadline_ms: float | None = None
+    ) -> Ack:
         """Request departure of ``node_id``; resolves when the request's
         micro-batch healed (or with the per-victim rejection reason)."""
-        return await self._submit("leave", node_id, None)
+        return await self._submit("leave", node_id, None, deadline_ms)
 
     def _submit(
-        self, kind: str, node: NodeId | None, attach_hint: NodeId | None
+        self,
+        kind: str,
+        node: NodeId | None,
+        attach_hint: NodeId | None,
+        deadline_ms: float | None = None,
     ) -> asyncio.Future:
         if self._closing or self._batcher is None:
             raise GatewayClosed(
@@ -261,17 +309,27 @@ class MembershipGateway:
             )
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        if len(self._queue) >= self.queue_limit:
+        depth = len(self._queue)
+        if depth >= self.queue_limit or not self.policy.admit(depth):
+            # At-the-door rejection: the hard queue limit first, then
+            # the policy's stricter admission (e.g. degrade-to-reject).
+            reason = (
+                self.BACKPRESSURE_REASON
+                if depth >= self.queue_limit
+                else self.DEGRADED_REASON
+            )
             self.metrics.record_backpressure()
             if self._overload == "raise":
                 raise GatewayOverloaded(
                     f"ingestion queue full ({self.queue_limit} pending)"
+                    if depth >= self.queue_limit
+                    else f"admission degraded by policy {self.policy.name!r}"
                 )
             ack = Ack(
                 ok=False,
                 kind=kind,
                 node=node,
-                reason=self.BACKPRESSURE_REASON,
+                reason=reason,
                 latency_s=0.0,
                 batch_size=0,
             )
@@ -279,10 +337,18 @@ class MembershipGateway:
             if self.on_ack is not None:
                 self.on_ack(ack)
             return future
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
+        deadline_s = deadline_ms / 1e3 if deadline_ms is not None else self.deadline_s
+        now = self._clock()
+        deadline_at = now + deadline_s if deadline_s is not None else None
+        if deadline_at is not None:
+            self._deadlines_active = True
         self._queue.append(
-            _Request(kind, node, attach_hint, future, self._clock())
+            _Request(kind, node, attach_hint, future, now, deadline_at)
         )
         self.metrics.record_enqueue(len(self._queue))
+        self._shed_excess()
         self._wake.set()
         return future
 
@@ -325,8 +391,70 @@ class MembershipGateway:
         self._queue = deque(r for r in self._queue if r not in selected)
         return batch
 
+    def _answer_dropped(self, request: _Request, reason: str) -> None:
+        """Resolve a request the gateway decided not to heal (shed or
+        deadline-expired) with a rejected ack -- answered, never
+        dropped, same contract as backpressure."""
+        ack = Ack(
+            ok=False,
+            kind=request.kind,
+            node=request.node,
+            reason=reason,
+            latency_s=self._clock() - request.submitted_at,
+            batch_size=0,
+        )
+        if not request.future.done():
+            request.future.set_result(ack)
+        if self.on_ack is not None:
+            self.on_ack(ack)
+
+    def _shed_excess(self) -> None:
+        """Answer-and-drop the oldest queued requests the policy wants
+        gone.  Skipped while closing: a draining gateway heals its
+        backlog rather than shedding it (deadlines still apply)."""
+        if self._closing:
+            return
+        count = self.policy.shed_count(len(self._queue))
+        for _ in range(min(count, len(self._queue))):
+            request = self._queue.popleft()
+            self.metrics.record_shed()
+            self._answer_dropped(request, self.SHED_REASON)
+
+    def _next_deadline(self) -> float | None:
+        """The soonest queued deadline, or ``None``."""
+        if not self._deadlines_active:
+            return None
+        deadlines = [
+            r.deadline_at for r in self._queue if r.deadline_at is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def _sweep_deadlines(self) -> None:
+        """Answer every queued request whose deadline has passed with a
+        deadline rejection.  Runs before every flush -- including while
+        closing and right after a checkpoint pause -- so an expired
+        request is never healed late and never left hanging."""
+        if not self._deadlines_active:
+            return
+        now = self._clock()
+        if not any(
+            r.deadline_at is not None and r.deadline_at <= now
+            for r in self._queue
+        ):
+            return
+        survivors: deque[_Request] = deque()
+        for request in self._queue:
+            if request.deadline_at is not None and request.deadline_at <= now:
+                self.metrics.record_timeout()
+                self._answer_dropped(request, self.DEADLINE_REASON)
+            else:
+                survivors.append(request)
+        self._queue = survivors
+
     async def _run(self) -> None:
         while True:
+            self._shed_excess()
+            self._sweep_deadlines()
             if not self._queue:
                 if self._closing:
                     return
@@ -334,8 +462,23 @@ class MembershipGateway:
                 await self._wake.wait()
                 continue
             await self._collect()
+            # The window wait (or a checkpoint pause last iteration) may
+            # have expired deadlines: answer them *before* gathering so
+            # an expired request is never healed late.
+            self._sweep_deadlines()
+            if not self._queue:
+                continue
             batch = self._gather()
-            self._flush(batch[0].kind, batch)
+            heal_s = self._flush(batch[0].kind, batch)
+            now = self._clock()
+            interval_s = now - self._last_flush_end
+            self._last_flush_end = now
+            self.policy.observe_flush(
+                depth=len(self._queue),
+                batch_size=len(batch),
+                heal_s=heal_s,
+                interval_s=interval_s,
+            )
             # Checkpoints sit *between* flushes: the heal call above has
             # returned, so the network is in a steady state (never
             # mid-heal, never with a staggered layer in flight).
@@ -386,24 +529,40 @@ class MembershipGateway:
 
     async def _collect(self) -> None:
         """Adaptive wait: let the gatherable flush grow until it
-        reaches ``max_batch`` or the window expires.  A closing gateway
-        drains immediately."""
-        if self.batch_window_s <= 0 or self._closing:
+        reaches ``max_batch`` or the policy's window expires.  A closing
+        gateway drains immediately.  A queued deadline that lands inside
+        the window wakes the wait early so the expiring request is
+        answered on time -- a deadline wake is *not* a window expiry;
+        the loop keeps waiting out the remainder."""
+        window_s = self.policy.window_s()
+        if window_s <= 0 or self._closing:
             return
-        deadline = self._clock() + self.batch_window_s
-        while not self._closing and self._gatherable() < self.max_batch:
-            timeout = deadline - self._clock()
-            if timeout <= 0:
+        expires = self._clock() + window_s
+        while (
+            not self._closing
+            and self._queue
+            and self._gatherable() < self.max_batch
+        ):
+            now = self._clock()
+            if now >= expires:
                 return
+            timeout = expires - now
+            soonest = self._next_deadline()
+            if soonest is not None and soonest < expires:
+                if soonest <= now:
+                    self._sweep_deadlines()
+                    continue
+                timeout = soonest - now
             self._wake.clear()
             try:
                 await asyncio.wait_for(self._wake.wait(), timeout)
             except asyncio.TimeoutError:
-                return
+                self._sweep_deadlines()
 
-    def _flush(self, kind: str, requests: list[_Request]) -> None:
+    def _flush(self, kind: str, requests: list[_Request]) -> float:
         """One micro-batch -> one partial-batch heal call -> one
-        individual outcome per caller."""
+        individual outcome per caller.  Returns the heal wall-clock
+        seconds (the policy's utilization signal)."""
         try:
             if kind == "join":
                 payload = self._join_payload(requests)
@@ -453,6 +612,7 @@ class MembershipGateway:
         self.metrics.record_flush(
             kind, batch_size, len(outcome.accepted), len(outcome.rejected), heal_s
         )
+        return heal_s
 
     def _join_payload(
         self, requests: list[_Request]

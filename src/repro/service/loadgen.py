@@ -17,6 +17,20 @@ coroutine per in-flight request) against a
   sustained capacity (events/sec at full pressure) -- the number the
   soak benchmark compares micro-batched vs. per-request gateways on.
 
+Every generator takes an optional :class:`RetryPolicy`: real clients do
+not give up on the first backpressure rejection, they back off and try
+again, and a shedding server only sees its true offered load when the
+fleet models that.  Retries use capped jittered exponential backoff and
+fire only on *load-related* rejections (backpressure, degraded
+admission, shed) -- an engine rejection ("stale attach hint", "victim
+would disconnect") is a fact about the request, not about load, and
+retrying it would just repeat the answer.
+
+:class:`LoadStats` reports **goodput** (healed requests) separately
+from raw completion throughput: under saturation most completions may
+be door rejections answered in microseconds, so counting them as
+"sustained events/s" would overstate served load by the shed rate.
+
 Leave targets come from a shared :class:`Population` tracking ids the
 generator believes are alive (bootstrap members plus its own healed
 joins).  The view is deliberately optimistic -- concurrent leaves race,
@@ -34,6 +48,44 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from repro.service.gateway import Ack, MembershipGateway
 
+#: rejection-reason prefixes a retrying client treats as transient
+#: load shedding (worth backing off and retrying) rather than a verdict
+#: about the request itself
+RETRYABLE_PREFIXES = ("backpressure", "shed")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped jittered exponential backoff for load-related rejections.
+
+    Attempt ``k`` (1-based) sleeps ``min(base_ms * 2**(k-1), cap_ms)``
+    scaled by a uniform jitter in ``[1 - jitter, 1]`` -- full
+    synchronized retry waves are exactly the thundering herd a shedding
+    server is trying to spread out."""
+
+    max_retries: int = 4
+    base_ms: float = 2.0
+    cap_ms: float = 50.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_ms <= 0 or self.cap_ms < self.base_ms:
+            raise ValueError(
+                f"need 0 < base_ms <= cap_ms, got [{self.base_ms}, {self.cap_ms}]"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        raw_ms = min(self.base_ms * 2 ** (attempt - 1), self.cap_ms)
+        return raw_ms * (1.0 - self.jitter * rng.random()) / 1e3
+
+    @staticmethod
+    def retryable(reason: str | None) -> bool:
+        return reason is not None and reason.startswith(RETRYABLE_PREFIXES)
+
 
 @dataclass
 class LoadStats:
@@ -41,15 +93,22 @@ class LoadStats:
 
     offered: int = 0
     completed: int = 0
+    #: healed requests -- the goodput numerator (a completion can also
+    #: be a rejection answered at the door in microseconds)
     ok: int = 0
     rejected: int = 0
     backpressure: int = 0
+    shed: int = 0
+    deadline_timeouts: int = 0
+    #: retry attempts made by clients (not counted in ``offered``: a
+    #: retried request is the same logical request)
+    retries: int = 0
+    #: wall-clock of the generator run, set once on return
+    elapsed_s: float = 0.0
     #: rejection reason -> count (backpressure included)
     reasons: dict[str, int] = field(default_factory=dict)
 
     def record(self, ack: "Ack") -> None:
-        from repro.service.gateway import MembershipGateway
-
         self.completed += 1
         if ack.ok:
             self.ok += 1
@@ -57,8 +116,35 @@ class LoadStats:
         self.rejected += 1
         reason = ack.reason or "unknown"
         self.reasons[reason] = self.reasons.get(reason, 0) + 1
-        if reason == MembershipGateway.BACKPRESSURE_REASON:
+        if reason.startswith("backpressure"):
             self.backpressure += 1
+        elif reason.startswith("shed"):
+            self.shed += 1
+        elif reason.startswith("deadline"):
+            self.deadline_timeouts += 1
+
+    def merge(self, other: "LoadStats") -> None:
+        self.offered += other.offered
+        self.completed += other.completed
+        self.ok += other.ok
+        self.rejected += other.rejected
+        self.backpressure += other.backpressure
+        self.shed += other.shed
+        self.deadline_timeouts += other.deadline_timeouts
+        self.retries += other.retries
+        for reason, count in other.reasons.items():
+            self.reasons[reason] = self.reasons.get(reason, 0) + count
+
+    @property
+    def completed_per_s(self) -> float:
+        """Raw completion throughput: every answered request per second,
+        door rejections included."""
+        return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def goodput_per_s(self) -> float:
+        """Healed requests per second -- the served-load number."""
+        return self.ok / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
 
 class Population:
@@ -99,16 +185,31 @@ async def _client(
     victim,
     population: Population,
     stats: LoadStats,
+    retry: RetryPolicy | None = None,
+    rng: random.Random | None = None,
 ) -> None:
-    if kind == "join":
-        ack = await gateway.join()
-        if ack.ok:
-            population.add(ack.node)
-    else:
-        ack = await gateway.leave(victim)
-        if ack.ok:
-            population.discard(victim)
-    stats.record(ack)
+    attempt = 0
+    while True:
+        if kind == "join":
+            ack = await gateway.join()
+            if ack.ok:
+                population.add(ack.node)
+        else:
+            ack = await gateway.leave(victim)
+            if ack.ok:
+                population.discard(victim)
+        if (
+            ack.ok
+            or retry is None
+            or attempt >= retry.max_retries
+            or not RetryPolicy.retryable(ack.reason)
+        ):
+            stats.record(ack)
+            return
+        attempt += 1
+        stats.retries += 1
+        gateway.metrics.record_retry()
+        await asyncio.sleep(retry.backoff_s(attempt, rng or random))
 
 
 def _pick(
@@ -126,33 +227,53 @@ async def poisson_load(
     duration_s: float,
     join_fraction: float = 0.6,
     seed: int = 0,
+    retry: RetryPolicy | None = None,
 ) -> LoadStats:
     """Open-loop Poisson arrivals at ``rate_hz`` for ``duration_s``
     seconds; returns the aggregated :class:`LoadStats` once every
-    spawned client resolved."""
+    spawned client resolved.
+
+    The arrival clock is absolute: the loop sleeps until the next
+    scheduled arrival instant and then spawns *every* arrival already
+    due, so the offered count tracks ``rate_hz * duration_s`` even when
+    the event loop lags under load -- an open-loop generator whose
+    offered rate silently sagged with gateway pressure would be a
+    closed loop in disguise."""
     if rate_hz <= 0:
         raise ValueError(f"rate_hz must be positive, got {rate_hz}")
     rng = random.Random(seed)
     stats = LoadStats()
     population = Population(gateway.net.nodes(), rng)
     loop = asyncio.get_running_loop()
-    deadline = loop.time() + duration_s
+    started = loop.time()
+    deadline = started + duration_s
     clients: list[asyncio.Task] = []
-    while True:
-        delay = rng.expovariate(rate_hz)
-        now = loop.time()
-        if now + delay >= deadline:
-            break
-        await asyncio.sleep(delay)
+
+    def spawn() -> None:
         kind, victim = _pick(rng, join_fraction, population)
         stats.offered += 1
         clients.append(
             asyncio.ensure_future(
-                _client(gateway, kind, victim, population, stats)
+                _client(gateway, kind, victim, population, stats, retry, rng)
             )
         )
+
+    next_at = started + rng.expovariate(rate_hz)
+    while next_at < deadline:
+        delay = next_at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        else:
+            # Lagging behind the arrival clock: yield so the batcher
+            # and resolving clients run between spawn bursts.
+            await asyncio.sleep(0)
+        now = loop.time()
+        while next_at < deadline and next_at <= now:
+            spawn()
+            next_at += rng.expovariate(rate_hz)
     if clients:
         await asyncio.gather(*clients)
+    stats.elapsed_s = loop.time() - started
     return stats
 
 
@@ -164,6 +285,7 @@ async def flash_crowd_load(
     duration_s: float,
     join_fraction: float = 0.5,
     seed: int = 0,
+    retry: RetryPolicy | None = None,
 ) -> LoadStats:
     """A ``surge`` of simultaneous join requests (all in flight before
     the first flush can complete), then open-loop mixed churn for the
@@ -171,9 +293,11 @@ async def flash_crowd_load(
     rng = random.Random(seed)
     stats = LoadStats()
     population = Population(gateway.net.nodes(), rng)
+    loop = asyncio.get_running_loop()
+    started = loop.time()
     surge_clients = [
         asyncio.ensure_future(
-            _client(gateway, "join", None, population, stats)
+            _client(gateway, "join", None, population, stats, retry, rng)
         )
         for _ in range(surge)
     ]
@@ -184,16 +308,12 @@ async def flash_crowd_load(
         duration_s=duration_s,
         join_fraction=join_fraction,
         seed=seed + 1,
+        retry=retry,
     )
     if surge_clients:
         await asyncio.gather(*surge_clients)
-    stats.offered += steady.offered
-    stats.completed += steady.completed
-    stats.ok += steady.ok
-    stats.rejected += steady.rejected
-    stats.backpressure += steady.backpressure
-    for reason, count in steady.reasons.items():
-        stats.reasons[reason] = stats.reasons.get(reason, 0) + count
+    stats.merge(steady)
+    stats.elapsed_s = loop.time() - started
     return stats
 
 
@@ -204,6 +324,7 @@ async def saturating_load(
     clients: int = 256,
     join_fraction: float = 0.5,
     seed: int = 0,
+    retry: RetryPolicy | None = None,
 ) -> LoadStats:
     """Closed-loop saturation: ``clients`` workers each keep one request
     in flight back to back until the deadline.  Sustained completed
@@ -214,13 +335,19 @@ async def saturating_load(
     stats = LoadStats()
     population = Population(gateway.net.nodes(), rng)
     loop = asyncio.get_running_loop()
-    deadline = loop.time() + duration_s
+    started = loop.time()
+    deadline = started + duration_s
 
     async def worker() -> None:
         while loop.time() < deadline:
             kind, victim = _pick(rng, join_fraction, population)
             stats.offered += 1
-            await _client(gateway, kind, victim, population, stats)
+            await _client(gateway, kind, victim, population, stats, retry, rng)
+            # A door rejection resolves its future synchronously, so a
+            # worker whose every attempt is rejected would otherwise spin
+            # without suspending and starve the batcher off the loop.
+            await asyncio.sleep(0)
 
     await asyncio.gather(*(worker() for _ in range(clients)))
+    stats.elapsed_s = loop.time() - started
     return stats

@@ -79,6 +79,14 @@ class ServiceMetrics:
     #: requests refused at the door by the bounded queue (answered with
     #: a rejected outcome, never silently dropped)
     backpressure_rejections: int = 0
+    #: queued requests dropped by the admission policy's high-water mark
+    #: (each answered with a rejected shed outcome)
+    shed_events: int = 0
+    #: queued requests whose deadline expired before their flush (each
+    #: answered with a rejected deadline outcome, never healed late)
+    deadline_timeouts: int = 0
+    #: client retry attempts observed by the load generator
+    retries: int = 0
     heal_s: float = 0.0
     # running aggregates (whole run, unbounded time, O(1) memory)
     batches: int = 0
@@ -123,6 +131,15 @@ class ServiceMetrics:
     def record_backpressure(self) -> None:
         self.backpressure_rejections += 1
 
+    def record_shed(self) -> None:
+        self.shed_events += 1
+
+    def record_timeout(self) -> None:
+        self.deadline_timeouts += 1
+
+    def record_retry(self) -> None:
+        self.retries += 1
+
     def record_flush(
         self, kind: str, submitted: int, accepted: int, rejected: int, heal_s: float
     ) -> None:
@@ -148,6 +165,9 @@ class ServiceMetrics:
             "accepted": self.accepted_events,
             "rejected": self.rejected_events,
             "backpressure": self.backpressure_rejections,
+            "shed": self.shed_events,
+            "deadline_timeouts": self.deadline_timeouts,
+            "retries": self.retries,
             "ack_p50_ms": _ms(exact_quantile(acks, 0.50)),
             "ack_p90_ms": _ms(exact_quantile(acks, 0.90)),
             "ack_p99_ms": _ms(exact_quantile(acks, 0.99)),
@@ -176,12 +196,21 @@ class ServiceMetrics:
         """Cumulative summary since construction: throughput, ack
         latency percentiles (over the retained ``sample_cap`` newest
         acks), batch shape and queue pressure.  Safe on an empty run
-        (rates zero, percentiles ``None``)."""
-        return self._summarise(
+        (rates zero, percentiles ``None``).  ``events_per_s`` counts
+        every flushed request; ``goodput_per_s`` counts only healed
+        (``ok``) ones -- under saturation the gap between the two is the
+        served-but-rejected fraction, and door rejections (backpressure,
+        shed, deadline) appear in neither."""
+        elapsed_s = self.clock() - (self.started_at or 0.0)
+        row = self._summarise(
             list(self.ack_latencies_s),
             self.accepted_events + self.rejected_events,
-            self.clock() - (self.started_at or 0.0),
+            elapsed_s,
         )
+        row["goodput_per_s"] = (
+            round(self.accepted_events / elapsed_s, 3) if elapsed_s > 0 else 0.0
+        )
+        return row
 
     def reset_windows(self) -> None:
         """Re-anchor the elapsed/window clocks at *now* and drop pending

@@ -15,6 +15,10 @@ class TestHierarchy:
         errors.InvariantViolation,
         errors.RecoveryError,
         errors.AdversaryError,
+        errors.ServiceError,
+        errors.GatewayClosed,
+        errors.GatewayOverloaded,
+        errors.PolicyError,
         errors.SnapshotError,
         errors.CorruptSnapshot,
         errors.DHTError,
@@ -36,6 +40,10 @@ class TestHierarchy:
     def test_corrupt_snapshot_is_a_snapshot_error(self):
         assert issubclass(errors.CorruptSnapshot, errors.SnapshotError)
         assert not issubclass(errors.SnapshotError, errors.CorruptSnapshot)
+
+    def test_policy_error_is_a_service_error(self):
+        assert issubclass(errors.PolicyError, errors.ServiceError)
+        assert not issubclass(errors.GatewayOverloaded, errors.PolicyError)
 
     def test_library_raises_its_own_types(self):
         from repro.virtual.primes import initial_prime

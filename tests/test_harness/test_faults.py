@@ -111,3 +111,58 @@ class TestKillAndRecover:
         assert report.journal_lost <= report.journal_lost_bound
         assert report.journal_mismatches == []
         assert report.passed, report
+
+
+class TestOverloadFault:
+    def test_overload_fraction_must_be_interior(self):
+        for fraction in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError, match="overload_at_fraction"):
+                FaultPlan(overload_at_fraction=fraction)
+        with pytest.raises(ValueError, match="overload_clients"):
+            FaultPlan(overload_at_fraction=0.5, overload_clients=0)
+
+    def test_no_kill_report_passes_without_a_kill(self):
+        report = RecoveryReport(
+            plan={"kill": False},
+            killed=False,
+            invariants_ok=True,
+            journal_lost=0,
+            journal_lost_bound=0,
+            resumed_invariants_ok=True,
+            resumed_ok_events=5,
+        )
+        assert report.passed
+        report.plan = {"kill": True}
+        assert not report.passed  # a planned kill that never landed
+
+    def test_overload_spike_clean_drain_answers_everyone(self, tmp_path):
+        """An offered-load spike mid-soak with no kill: the worker runs
+        to completion, drains, and writes its final receipt -- proving
+        no request future hung under the overload (a hung future would
+        wedge the drain and trip the no-kill timeout)."""
+        report = run_fault_scenario(
+            n0=64,
+            duration_s=1.2,
+            plan=FaultPlan(
+                kill=False,
+                overload_at_fraction=0.4,
+                overload_clients=96,
+            ),
+            checkpoint_every=2,
+            checkpoint_keep=4,
+            max_batch=16,
+            clients=16,
+            resume_s=0.3,
+            seed=31,
+            policy="shed-oldest",
+            root=tmp_path / "faults",
+        )
+        assert not report.killed
+        assert report.passed, report
+        assert report.overload is not None
+        snapshot = report.overload["snapshot"]
+        assert snapshot["events"] > 0
+        # The spike fleet saturated a queue the steady fleet never
+        # fills; the shed policy answered the excess at the door.
+        assert snapshot["backpressure"] + snapshot["shed"] > 0
+        assert report.journal_mismatches == []

@@ -166,3 +166,52 @@ class TestBenchHelpers:
         )
         assert row["per_request_events_per_s"] > 0
         assert row["service_speedup_x"] > 0
+
+    def test_soak_row_carries_policy_and_goodput(self):
+        row = perf.bench_service_soak(
+            48,
+            duration_s=0.2,
+            max_batch=8,
+            clients=16,
+            seed=3,
+            policy="adaptive-window",
+            deadline_ms=500.0,
+        )
+        assert row["policy"] == "adaptive-window"
+        assert row["deadline_ms"] == 500.0
+        assert row["goodput_per_s"] > 0
+        for key in ("shed", "deadline_timeouts", "retries"):
+            assert row[key] >= 0
+
+    def test_v5_report_upgrades_in_place(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "schema": "dex-perf/5",
+            "service": {"pr5": {"n64": {"events_per_s": 900.0}}},
+        }))
+        report = perf.load_report(path)
+        assert report["schema"] == perf.SCHEMA == "dex-perf/6"
+        assert report["service"]["pr5"]["n64"]["events_per_s"] == 900.0
+
+
+class TestPolicyFrontier:
+    def test_frontier_rows_cover_policy_rate_grid(self):
+        results = perf.bench_policy_frontier(
+            32,
+            rates=[400.0],
+            policies=["fixed", "shed-oldest"],
+            duration_s=0.25,
+            max_batch=8,
+            queue_limit=32,
+            seed=3,
+        )
+        assert set(results) == {"n32/fixed/r400", "n32/shed-oldest/r400"}
+        for key, row in results.items():
+            # The no-hung-clients contract, measured: every offered
+            # request came back as exactly one completion.
+            assert row["completed"] == row["offered"]
+            assert row["offered"] > 0
+            assert 0.0 <= row["shed_rate"] <= 1.0
+            assert row["goodput_per_s"] >= 0
+            assert row["policy_state"]["policy"] == key.split("/")[1]
+        assert results["n32/shed-oldest/r400"]["queue_limit"] == 32

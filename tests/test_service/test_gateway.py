@@ -14,7 +14,13 @@ from repro.core import invariants
 from repro.core.config import DexConfig
 from repro.core.dex import DexNetwork
 from repro.errors import GatewayClosed, GatewayOverloaded
-from repro.service import Ack, MembershipGateway, ServiceMetrics
+from repro.service import (
+    Ack,
+    MembershipGateway,
+    ServiceMetrics,
+    ShedOldestPolicy,
+    saturating_load,
+)
 
 
 def service_net(n0: int = 32, seed: int = 71, **overrides) -> DexNetwork:
@@ -270,6 +276,96 @@ class TestBackpressure:
 
         acks = run(scenario())
         assert all(isinstance(a, Ack) and a.ok for a in acks)
+
+
+class TestOverloadDrain:
+    """The PR 7 contract under *sustained* overload: every request
+    future resolves -- under ``overload="reject"``, ``overload="raise"``,
+    and a ``drain()`` invoked while the queue is full."""
+
+    def test_sustained_overload_reject_answers_everyone(self):
+        async def scenario():
+            net = service_net(n0=48)
+            async with MembershipGateway(
+                net,
+                max_batch=4,
+                batch_window_ms=0.5,
+                queue_limit=8,
+            ) as gw:
+                stats = await saturating_load(
+                    gw, duration_s=0.3, clients=32, seed=3
+                )
+            return net, gw.metrics, stats
+
+        net, metrics, stats = run(scenario())
+        assert stats.completed == stats.offered  # nobody left hanging
+        assert stats.ok > 0 and stats.backpressure > 0
+        assert metrics.backpressure_rejections == stats.backpressure
+        checked(net)
+
+    def test_sustained_overload_raise_answers_everyone(self):
+        """Under ``overload="raise"`` a saturated door raises instead of
+        returning a rejected ack -- but every caller still gets exactly
+        one outcome, exception or ack."""
+
+        async def scenario():
+            net = service_net(n0=48)
+            outcomes = {"ok": 0, "raised": 0}
+            gw = MembershipGateway(
+                net,
+                max_batch=4,
+                batch_window_ms=200.0,
+                queue_limit=4,
+                overload="raise",
+            )
+
+            async def client():
+                try:
+                    ack = await gw.join()
+                except GatewayOverloaded:
+                    outcomes["raised"] += 1
+                else:
+                    assert ack.ok
+                    outcomes["ok"] += 1
+
+            async with gw:
+                await asyncio.gather(*(client() for _ in range(12)))
+            return net, outcomes
+
+        net, outcomes = run(scenario())
+        # All 12 submits land before the batcher wakes: 4 queue, 8 raise.
+        assert outcomes == {"ok": 4, "raised": 8}
+        checked(net)
+
+    def test_drain_with_full_queue_answers_queued_and_shed(self):
+        """drain() while the queue holds both survivors and a shedding
+        policy's victims: every queued future heals, every shed future
+        gets its rejected ack -- no hung clients."""
+
+        async def scenario():
+            net = service_net()
+            size_before = net.size
+            gw = MembershipGateway(
+                net,
+                max_batch=4,
+                batch_window_ms=10_000.0,
+                queue_limit=8,
+                policy=ShedOldestPolicy(high_water=6),
+            )
+            await gw.start()
+            futures = [asyncio.ensure_future(gw.join()) for _ in range(8)]
+            await asyncio.sleep(0)  # submits land: 2 oldest shed, 6 queued
+            await gw.drain()  # the giant window must not stall the drain
+            acks = await asyncio.gather(*futures)
+            return net, size_before, acks
+
+        net, size_before, acks = run(scenario())
+        assert len(acks) == 8
+        shed = [a for a in acks if a.reason == MembershipGateway.SHED_REASON]
+        healed = [a for a in acks if a.ok]
+        assert len(shed) == 2 and len(healed) == 6
+        assert net.size == size_before + 6
+        checked(net)
 
 
 class TestEngineFailure:
