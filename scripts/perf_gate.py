@@ -10,8 +10,13 @@ predate newer benchmarks), metrics missing from the smoke run fail.
 Usage::
 
     python scripts/perf_gate.py \
-        --baseline BENCH_perf.json --baseline-label pr3 \
+        --baseline BENCH_perf.json --baseline-label pr8 \
         --smoke /tmp/bench_gate.json --smoke-label gate --size 256
+
+    # gate the gateway soak throughput instead:
+    python scripts/perf_gate.py --soak \
+        --baseline BENCH_perf.json --baseline-label pr8 \
+        --smoke /tmp/bench_service.json --smoke-label ci-service --size 256
 """
 
 from __future__ import annotations
@@ -25,49 +30,74 @@ import sys
 # Gated metrics and their noise tolerances, in one place: the smoke run
 # may be at most ``tolerance`` times slower than the recorded baseline.
 # 2.5x absorbs CI-runner contention and cold caches while still
-# catching an order-of-magnitude hot-path regression.
+# catching an order-of-magnitude hot-path regression.  Each entry is
+# ``metric: (tolerance, direction)`` -- for ``lower`` metrics (times) a
+# regression is measuring *more* than ``base * tolerance``; for
+# ``higher`` metrics (throughputs) it is measuring *less* than
+# ``base / tolerance``.
 # ----------------------------------------------------------------------
-TOLERANCES: dict[str, float] = {
-    "churn_per_step_ms": 2.5,
-    "batch_churn_per_node_ms": 2.5,
-    "wave_hop_us": 2.5,
+TOLERANCES: dict[str, tuple[float, str]] = {
+    "churn_per_step_ms": (2.5, "lower"),
+    "batch_churn_per_node_ms": (2.5, "lower"),
+    "wave_hop_us": (2.5, "lower"),
+}
+
+# Gated with ``--soak``: end-to-end gateway throughput from the service
+# section of the report (a saturating closed-loop soak).
+SOAK_TOLERANCES: dict[str, tuple[float, str]] = {
+    "events_per_s": (2.5, "higher"),
+    "ack_p99_ms": (4.0, "lower"),
 }
 
 
-def _row(report: dict, label: str, size: int, path: str) -> dict:
-    runs = report.get("runs", {})
+def _row(report: dict, label: str, size: int, path: str,
+         section: str = "runs") -> dict:
+    runs = report.get(section, {})
     if label not in runs:
-        sys.exit(f"perf gate: no run labelled {label!r} in {path}")
+        sys.exit(
+            f"perf gate: no {section} entry labelled {label!r} in {path}"
+        )
     row = runs[label].get(f"n{size}")
     if not row:
-        sys.exit(f"perf gate: run {label!r} in {path} has no n{size} row")
+        sys.exit(f"perf gate: {section} {label!r} in {path} has no "
+                 f"n{size} row")
     return row
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=pathlib.Path, required=True)
-    parser.add_argument("--baseline-label", default="pr3")
+    parser.add_argument("--baseline-label", default="pr8")
     parser.add_argument("--smoke", type=pathlib.Path, required=True)
     parser.add_argument("--smoke-label", default="gate")
     parser.add_argument("--size", type=int, default=256)
+    parser.add_argument(
+        "--soak",
+        action="store_true",
+        help="gate the service-soak metrics (events/s, ack p99) from the "
+        "'service' section instead of the hot-path microbenchmarks",
+    )
     args = parser.parse_args(argv)
 
+    section = "service" if args.soak else "runs"
+    gated = SOAK_TOLERANCES if args.soak else TOLERANCES
     baseline = _row(
         json.loads(args.baseline.read_text()),
         args.baseline_label,
         args.size,
         str(args.baseline),
+        section,
     )
     smoke = _row(
         json.loads(args.smoke.read_text()),
         args.smoke_label,
         args.size,
         str(args.smoke),
+        section,
     )
 
     failures: list[str] = []
-    for metric, tolerance in TOLERANCES.items():
+    for metric, (tolerance, direction) in gated.items():
         base = baseline.get(metric)
         if base is None or base <= 0:
             print(f"  {metric}: no baseline recorded, skipped")
@@ -76,11 +106,20 @@ def main(argv: list[str] | None = None) -> int:
         if measured is None:
             failures.append(f"{metric}: missing from the smoke run")
             continue
-        ratio = measured / base
+        if measured <= 0:
+            # a dead smoke run must produce the clean REGRESSED report,
+            # not a ZeroDivisionError on the base/measured ratio below
+            failures.append(
+                f"{metric}: smoke run measured {measured!r} (expected > 0)"
+            )
+            continue
+        # normalise so that ratio > tolerance is always the regression
+        ratio = measured / base if direction == "lower" else base / measured
         verdict = "ok" if ratio <= tolerance else "REGRESSED"
         print(
             f"  {metric}: measured {measured:.4f} vs baseline {base:.4f} "
-            f"(x{ratio:.2f}, budget x{tolerance}) {verdict}"
+            f"({direction} is better, x{ratio:.2f} of budget "
+            f"x{tolerance}) {verdict}"
         )
         if ratio > tolerance:
             failures.append(
@@ -92,7 +131,10 @@ def main(argv: list[str] | None = None) -> int:
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"perf gate ok (n{args.size}, baseline {args.baseline_label!r})")
+    print(
+        f"perf gate ok (n{args.size}, {section}, "
+        f"baseline {args.baseline_label!r})"
+    )
     return 0
 
 

@@ -71,16 +71,23 @@ class DexNetwork:
         n0: int,
         config: DexConfig | None = None,
         seed: int | None = None,
+        *,
+        id_base: int = 0,
     ) -> "DexNetwork":
         """Build the constant-size initial network ``G_0``: the smallest
         prime ``p0 in (4 n0, 8 n0)`` (Bertrand's postulate) and contiguous
-        arcs of the p-cycle assigned to nodes ``0..n0-1`` -- a balanced
-        virtual mapping with loads in [4, 8]."""
+        arcs of the p-cycle assigned to nodes ``id_base..id_base+n0-1``
+        -- a balanced virtual mapping with loads in [4, 8].  ``id_base``
+        offsets the bootstrap ids (and therefore every ``fresh_id`` that
+        follows) so a sharded deployment can give each shard its own
+        contiguous, non-overlapping id region."""
         config = config or DexConfig()
         if n0 < config.min_network_size:
             raise AdversaryError(
                 f"initial size {n0} below minimum {config.min_network_size}"
             )
+        if id_base < 0:
+            raise AdversaryError(f"id_base must be >= 0, got {id_base}")
         rng = random.Random(seed if seed is not None else config.seed)
         p0 = initial_prime(n0)
         pcycle = PCycle(p0)
@@ -88,11 +95,11 @@ class DexNetwork:
         layer = LayerMapping(pcycle, config.low_threshold)
         overlay = Overlay(graph, layer)
         for u in range(n0):
-            graph.add_node(u)
+            graph.add_node(id_base + u)
         bounds = [u * p0 // n0 for u in range(n0)] + [p0]
         for u in range(n0):
             for z in range(bounds[u], bounds[u + 1]):
-                overlay.activate(Layer.OLD, z, u)
+                overlay.activate(Layer.OLD, z, id_base + u)
         graph.topology_changes = 0  # bootstrap is free (Section 4 start)
         return cls(overlay, config, rng)
 

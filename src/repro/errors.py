@@ -79,6 +79,15 @@ class PolicyError(ServiceError):
     high-water mark below one, watermark fractions out of order)."""
 
 
+class ShardError(ServiceError):
+    """A sharded-cluster operation failed at the protocol level: an id
+    outside every shard's region, a malformed control message, or a
+    router driven against a shard set it was not built over.  Per-request
+    failures (dead shard, refused handoff, expired reservation) are
+    *answered* as rejected acks, never raised -- this error signals
+    misuse of the sharding layer itself."""
+
+
 class SnapshotError(ReproError):
     """A checkpoint could not be written or a restore request could not
     be satisfied (no checkpoint available, a staggered type-2 recovery

@@ -588,6 +588,143 @@ def _resume_soak(
 # ----------------------------------------------------------------------
 # CLI (the CI crash-recovery smoke drives this)
 # ----------------------------------------------------------------------
+def run_shard_fault_scenario(
+    *,
+    n0: int = 256,
+    shards: int = 2,
+    duration_s: float = 4.0,
+    kill_at_fraction: float = 0.4,
+    kill_shard: int | None = None,
+    checkpoint_every: int = 4,
+    max_batch: int = 32,
+    clients: int = 64,
+    join_fraction: float = 0.55,
+    seed: int = 11,
+    root: str | Path | None = None,
+) -> dict:
+    """Kill one shard of a live cluster mid-load and prove the fault
+    stays contained:
+
+    * the surviving shards keep answering (events continue after the
+      kill),
+    * requests routed at the dead region are *answered* with rejections
+      -- zero hung futures, ``completed == offered``,
+    * the dead shard restarts from its own checkpoint directory and
+      rejoins the routing rotation,
+    * the final cluster audit (per-shard I1-I8 + cross-shard ownership)
+      passes.
+
+    Returns a flat report dict with a single ``passed`` bit for CI."""
+    import asyncio
+
+    from repro.service.loadgen import saturating_load
+    from repro.service.router import start_cluster
+
+    started = time.perf_counter()
+    owns_root = root is None
+    if owns_root:
+        workdir = tempfile.TemporaryDirectory(prefix="dex-shard-faults-")
+        root = Path(workdir.name)
+    else:
+        workdir = None
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+    victim = kill_shard if kill_shard is not None else shards - 1
+    report: dict = {
+        "shards": shards,
+        "killed_shard": victim,
+        "passed": False,
+        "error": None,
+    }
+
+    async def drive() -> None:
+        router = await start_cluster(
+            n0,
+            shards,
+            seed=seed,
+            max_batch=max_batch,
+            window_ms=1.0,
+            checkpoint_root=root,
+            checkpoint_every=checkpoint_every,
+        )
+        try:
+            before = await saturating_load(
+                router,
+                duration_s=duration_s * kill_at_fraction,
+                clients=clients,
+                join_fraction=join_fraction,
+                seed=seed + 1,
+            )
+            report["events_before_kill"] = before.completed
+            report["complete_before_kill"] = before.completed == before.offered
+            # Wait for the victim's first durable checkpoint: a restore
+            # needs something on disk, exactly like the single-gateway
+            # kill path.
+            victim_dir = root / f"shard-{victim}"
+            for _ in range(200):
+                if list_checkpoints(victim_dir):
+                    break
+                await asyncio.sleep(0.02)
+            report["victim_checkpoints"] = len(list_checkpoints(victim_dir))
+            router.handles[victim].kill()
+            during = await saturating_load(
+                router,
+                duration_s=duration_s * (1.0 - kill_at_fraction) / 2,
+                clients=clients,
+                join_fraction=join_fraction,
+                seed=seed + 2,
+            )
+            report["events_during_outage"] = during.completed
+            report["complete_during_outage"] = during.completed == during.offered
+            report["survivors_answered"] = during.ok > 0
+            report["dead_shard_answered"] = during.rejected > 0
+            report["shard_marked_down"] = not router.shard_is_live(victim)
+            ready = await router.restart_shard(victim)
+            report["restored"] = bool(ready.get("restored"))
+            report["restored_size"] = ready.get("size")
+            after = await saturating_load(
+                router,
+                duration_s=duration_s * (1.0 - kill_at_fraction) / 2,
+                clients=clients,
+                join_fraction=join_fraction,
+                seed=seed + 3,
+            )
+            report["events_after_restore"] = after.completed
+            report["complete_after_restore"] = after.completed == after.offered
+            report["rejoined_rotation"] = router.shard_is_live(victim)
+            audit = await router.cluster_audit()
+            report["audit_ok"] = audit["ok"]
+            report["audit_errors"] = audit["errors"][:8]
+            report["total_nodes"] = audit["total_nodes"]
+            report["handoffs"] = router.handoff_stats()
+        finally:
+            await router.drain()
+
+    try:
+        asyncio.run(drive())
+        report["passed"] = all(
+            report.get(key)
+            for key in (
+                "complete_before_kill",
+                "complete_during_outage",
+                "complete_after_restore",
+                "survivors_answered",
+                "dead_shard_answered",
+                "shard_marked_down",
+                "restored",
+                "rejoined_rotation",
+                "audit_ok",
+            )
+        )
+    except Exception as exc:  # noqa: BLE001 -- the report is the verdict
+        report["error"] = f"{type(exc).__name__}: {exc}"
+    finally:
+        report["wall_s"] = round(time.perf_counter() - started, 3)
+        if workdir is not None:
+            workdir.cleanup()
+    return report
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.harness.faults",
@@ -623,7 +760,60 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="fail if the whole cycle exceeds this many seconds")
     parser.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
+    parser.add_argument("--shard-kill", action="store_true",
+                        help="run the sharded-cluster scenario instead: kill "
+                        "one shard of a live cluster mid-load, prove the "
+                        "others keep answering, restore it from checkpoint")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="cluster width for --shard-kill")
+    parser.add_argument("--kill-shard", type=int, default=None,
+                        help="which shard --shard-kill kills "
+                        "(default: the last)")
     args = parser.parse_args(argv)
+
+    if args.shard_kill:
+        report = run_shard_fault_scenario(
+            n0=args.n0,
+            shards=args.shards,
+            duration_s=args.duration,
+            kill_at_fraction=args.kill_at,
+            kill_shard=args.kill_shard,
+            checkpoint_every=args.checkpoint_every,
+            max_batch=args.max_batch,
+            clients=args.clients,
+            seed=args.seed,
+        )
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(
+                f"killed shard {report['killed_shard']}/{report['shards']}: "
+                f"{report.get('events_before_kill', 0)} events before, "
+                f"{report.get('events_during_outage', 0)} during outage "
+                f"(survivors_answered={report.get('survivors_answered')}, "
+                f"dead_shard_answered={report.get('dead_shard_answered')})"
+            )
+            print(
+                f"restored={report.get('restored')} "
+                f"size={report.get('restored_size')} "
+                f"events after {report.get('events_after_restore', 0)}, "
+                f"audit ok={report.get('audit_ok')}, "
+                f"wall {report['wall_s']}s"
+            )
+            if report["error"]:
+                print(f"error: {report['error']}", file=sys.stderr)
+        if not report["passed"]:
+            print("SHARD FAULT SCENARIO FAILED", file=sys.stderr)
+            return 1
+        if args.wall_budget is not None and report["wall_s"] > args.wall_budget:
+            print(
+                f"wall clock {report['wall_s']}s exceeded budget "
+                f"{args.wall_budget}s",
+                file=sys.stderr,
+            )
+            return 1
+        print("shard fault scenario passed")
+        return 0
 
     plan = FaultPlan(
         kill_at_fraction=args.kill_at,

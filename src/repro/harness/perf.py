@@ -7,12 +7,12 @@ several network sizes, and merges the results into a machine-readable
 report so successive PRs can compare against a recorded baseline
 instead of folklore.
 
-Report format (schema ``dex-perf/6``; ``dex-perf/1`` through
-``dex-perf/5`` reports are upgraded in place, their recorded runs
+Report format (schema ``dex-perf/7``; ``dex-perf/1`` through
+``dex-perf/6`` reports are upgraded in place, their recorded runs
 kept)::
 
     {
-      "schema": "dex-perf/6",
+      "schema": "dex-perf/7",
       "churn_steps": 200,              # steps per churn loop
       "sizes": [256, 1024, 4096],
       "runs": {
@@ -100,7 +100,25 @@ kept)::
             "policy_state": {"policy": "shed-oldest", "high_water": 512,
                              "shed_total": 9983},
             "final_n": 4311
-          }
+          },
+          # --- shard sweep (PR 8): serial vs pipelined gateway vs the
+          # sharded cluster at each shard count; the scaling receipt ---
+          "n16384/serial":    {"pipeline": false, "events_per_s": 9120.0, ...},
+          "n16384/pipelined": {"pipeline": true, "events_per_s": 9870.0,
+                               "pipeline_speedup_x": 1.08, ...},
+          "n16384/shards4": {
+            "shards": 4, "duration_s": 4.0, "clients": 256,
+            "offered": 54000, "completed": 54000,   # == under saturation
+            "events": 54000, "events_per_s": 6400.0,
+            "goodput_per_s": 6180.0,
+            "ack_p50_ms": 8.1, "ack_p99_ms": 29.0, "ack_max_ms": 55.0,
+            "handoffs": {"attempted": 0, "committed": 0, "rejected": 0,
+                         "expired": 0, "in_flight": 0, "shard_failures": 0},
+            "audit_ok": true,            # cluster-wide I1-I8 + ownership
+            "total_nodes": 16840,
+            "shard_speedup_x": 0.65      # vs the pipelined single gateway
+          }                              #   (sub-1 on one core: workers
+                                         #    need real cores to win)
         }
       }
     }
@@ -130,6 +148,10 @@ CLI::
     PYTHONPATH=src python -m repro.harness.perf --frontier \\
         --frontier-sizes 4096 --frontier-rates 2000 6000 12000 \\
         --out BENCH_perf.json
+
+    # shard scaling: serial vs pipelined gateway vs N-shard cluster:
+    PYTHONPATH=src python -m repro.harness.perf --shard-sweep \\
+        --shard-sizes 16384 --shard-counts 2 4 --out BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -152,7 +174,7 @@ from repro.core.dex import DexNetwork
 from repro.errors import AdversaryError
 from repro.net.walks import random_walk, run_wave
 
-SCHEMA = "dex-perf/6"
+SCHEMA = "dex-perf/7"
 _COMPATIBLE_SCHEMAS = (
     "dex-perf/1",
     "dex-perf/2",
@@ -160,6 +182,7 @@ _COMPATIBLE_SCHEMAS = (
     "dex-perf/4",
     "dex-perf/5",
     "dex-perf/6",
+    "dex-perf/7",
 )
 DEFAULT_SIZES = (256, 1024, 4096)
 DEFAULT_STEPS = 200
@@ -444,6 +467,8 @@ def bench_service_soak(
     checkpoint_dir: "str | None" = None,
     checkpoint_every: int = 32,
     checkpoint_keep: int = 3,
+    pipeline: bool = False,
+    warmup_s: float = 0.0,
 ) -> dict:
     """Soak the membership gateway over a fresh n-node network with a
     closed-loop saturating client fleet for ``duration_s`` seconds and
@@ -456,12 +481,20 @@ def bench_service_soak(
     ``checkpoint_dir`` turns on periodic snapshots (every
     ``checkpoint_every`` flushes) plus a final one at drain, so the soak
     doubles as a crash-recovery fixture; the checkpoint columns then
-    land in the row."""
+    land in the row.  ``pipeline=True`` overlaps flush k+1's
+    validation/screening with flush k's heal wave (PR 8)."""
     import asyncio
+    import gc
 
     from repro.service import MembershipGateway, saturating_load
 
     net = _build(n, seed)
+    # Same treatment the shard workers give their bootstrap heap: move
+    # the long-lived network objects to the permanent generation so
+    # cyclic-GC passes during the soak don't scan them.  Keeps the
+    # single-gateway numbers comparable with the sharded cluster's.
+    gc.collect()
+    gc.freeze()
 
     async def drive():
         gateway = MembershipGateway(
@@ -470,6 +503,7 @@ def bench_service_soak(
             batch_window_ms=0.0 if per_request else batch_window_ms,
             queue_limit=queue_limit,
             policy=policy,
+            pipeline=pipeline,
             deadline_ms=deadline_ms,
             seed=seed,
             checkpoint_dir=checkpoint_dir,
@@ -478,6 +512,19 @@ def bench_service_soak(
         )
         await gateway.start()
         try:
+            if warmup_s > 0:
+                # Cold-start phase: first flushes pay the one-off CSR
+                # rebuild and cache warming.  Run it outside the timed
+                # window, then re-anchor the metrics clock.
+                await saturating_load(
+                    gateway,
+                    duration_s=warmup_s,
+                    clients=clients,
+                    join_fraction=join_fraction,
+                    seed=seed + 7,
+                    retry=retry,
+                )
+                gateway.metrics.reset()
             stats = await saturating_load(
                 gateway,
                 duration_s=duration_s,
@@ -501,10 +548,12 @@ def bench_service_soak(
     )
     return checkpoint_columns | {
         "duration_s": duration_s,
+        "warmup_s": warmup_s,
         "clients": clients,
         "max_batch": 1 if per_request else max_batch,
         "batch_window_ms": 0.0 if per_request else batch_window_ms,
         "policy": policy,
+        "pipeline": pipeline,
         "deadline_ms": deadline_ms,
         "offered": stats.offered,
         "events": snap["events"],
@@ -542,6 +591,8 @@ def bench_service(
     checkpoint_dir: "str | None" = None,
     checkpoint_every: int = 32,
     checkpoint_keep: int = 3,
+    pipeline: bool = False,
+    warmup_s: float = 0.0,
 ) -> dict:
     """The soak row for one size: the micro-batched gateway, optionally
     the per-request twin on an identically seeded fresh network, and
@@ -564,6 +615,8 @@ def bench_service(
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
         checkpoint_keep=checkpoint_keep,
+        pipeline=pipeline,
+        warmup_s=warmup_s,
     )
     if compare_per_request:
         baseline = bench_service_soak(
@@ -582,6 +635,175 @@ def bench_service(
             else 0.0
         )
     return row
+
+
+DEFAULT_SHARD_COUNTS = (2, 4)
+
+
+def bench_shard_cluster(
+    n: int,
+    shards: int,
+    *,
+    duration_s: float = DEFAULT_SOAK_DURATION,
+    max_batch: int = DEFAULT_SOAK_BATCH,
+    batch_window_ms: float = DEFAULT_SOAK_WINDOW_MS,
+    clients: int = DEFAULT_SOAK_CLIENTS,
+    join_fraction: float = 0.5,
+    seed: int = 11,
+    warmup_s: float = 0.0,
+) -> dict:
+    """Soak an N-shard cluster (real worker processes, one id region
+    each) behind the router with the same saturating closed-loop fleet
+    the single-gateway soak uses, then audit it: per-shard I1-I8 plus
+    the cross-shard id-ownership check, and ``offered == completed``
+    (every request answered, none hung).  ``warmup_s`` runs an unmetered
+    load phase first (then resets every shard's metrics), so the
+    recorded row is steady state rather than each worker's one-off
+    first-flush cache rebuild."""
+    import asyncio
+
+    from repro.service.loadgen import saturating_load
+    from repro.service.router import start_cluster
+
+    async def drive():
+        router = await start_cluster(
+            n,
+            shards,
+            seed=seed,
+            max_batch=max_batch,
+            window_ms=batch_window_ms,
+        )
+        try:
+            if warmup_s > 0:
+                await saturating_load(
+                    router,
+                    duration_s=warmup_s,
+                    clients=clients,
+                    join_fraction=join_fraction,
+                    seed=seed + 9,
+                )
+                await router.reset_metrics()
+            stats = await saturating_load(
+                router,
+                duration_s=duration_s,
+                clients=clients,
+                join_fraction=join_fraction,
+                seed=seed + 1,
+            )
+            # Snapshot the serving window *before* the audit: at large n
+            # the cluster-wide invariant check takes minutes of wall
+            # clock that would otherwise dilute events/s.
+            snap = router.metrics.snapshot()
+            shard_stats = await router.stats()
+            audit = await router.cluster_audit()
+        finally:
+            summary = await router.drain()
+        return stats, audit, snap, shard_stats, summary
+
+    stats, audit, snap, shard_stats, summary = asyncio.run(drive())
+    return {
+        "shards": shards,
+        "duration_s": duration_s,
+        "warmup_s": warmup_s,
+        "clients": clients,
+        "max_batch": max_batch,
+        "batch_window_ms": batch_window_ms,
+        "offered": stats.offered,
+        "completed": stats.completed,
+        "events": snap["events"],
+        "events_per_s": snap["events_per_s"],
+        "goodput_per_s": snap["goodput_per_s"],
+        "ack_p50_ms": snap["ack_p50_ms"],
+        "ack_p90_ms": snap["ack_p90_ms"],
+        "ack_p99_ms": snap["ack_p99_ms"],
+        "ack_max_ms": snap["ack_max_ms"],
+        "rejected": snap["rejected"],
+        "deadline_timeouts": snap["deadline_timeouts"],
+        "handoffs": summary["handoffs"],
+        "audit_ok": audit["ok"],
+        "audit_errors": audit["errors"][:8],
+        "total_nodes": audit["total_nodes"],
+        "per_shard_events_per_s": [
+            row.get("events_per_s") for row in shard_stats["per_shard"]
+        ],
+    }
+
+
+def bench_shard_sweep(
+    n: int,
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    *,
+    duration_s: float = DEFAULT_SOAK_DURATION,
+    max_batch: int = DEFAULT_SOAK_BATCH,
+    batch_window_ms: float = DEFAULT_SOAK_WINDOW_MS,
+    clients: int = DEFAULT_SOAK_CLIENTS,
+    seed: int = 11,
+    warmup_s: float = 0.0,
+    progress: bool = False,
+) -> dict:
+    """The PR 8 scaling receipt: at one total size ``n``, soak the
+    serial gateway, the pipelined gateway, and the sharded cluster at
+    each shard count.  Rows land under ``n{n}/serial``,
+    ``n{n}/pipelined`` and ``n{n}/shards{S}``; every cluster row gets
+    ``shard_speedup_x`` (cluster / *pipelined* single gateway -- the
+    sharding win is measured against the stronger single-process
+    configuration, not the easy target), and the pipelined row gets
+    ``pipeline_speedup_x`` (pipelined / serial)."""
+    rows: dict[str, dict] = {}
+
+    def note(key: str, row: dict) -> None:
+        rows[key] = row
+        if progress:
+            print(
+                f"  {key}: {row['events_per_s']} ev/s "
+                f"(p99 {row['ack_p99_ms']} ms)",
+                file=sys.stderr,
+            )
+
+    serial = bench_service_soak(
+        n,
+        duration_s=duration_s,
+        max_batch=max_batch,
+        batch_window_ms=batch_window_ms,
+        clients=clients,
+        seed=seed,
+        warmup_s=warmup_s,
+    )
+    note(f"n{n}/serial", serial)
+    pipelined = bench_service_soak(
+        n,
+        duration_s=duration_s,
+        max_batch=max_batch,
+        batch_window_ms=batch_window_ms,
+        clients=clients,
+        seed=seed,
+        warmup_s=warmup_s,
+        pipeline=True,
+    )
+    pipelined["pipeline_speedup_x"] = (
+        round(pipelined["events_per_s"] / serial["events_per_s"], 3)
+        if serial["events_per_s"]
+        else 0.0
+    )
+    note(f"n{n}/pipelined", pipelined)
+    for shards in shard_counts:
+        row = bench_shard_cluster(
+            n,
+            shards,
+            duration_s=duration_s,
+            max_batch=max_batch,
+            batch_window_ms=batch_window_ms,
+            clients=clients,
+            seed=seed,
+            warmup_s=warmup_s,
+        )
+        row["shard_speedup_x"] = (
+            round(row["events_per_s"] / pipelined["events_per_s"], 3)
+            if pipelined["events_per_s"]
+            else 0.0
+        )
+        note(f"n{n}/shards{shards}", row)
+    return rows
 
 
 DEFAULT_FRONTIER_RATES = (2000.0, 6000.0, 12000.0)
@@ -956,11 +1178,14 @@ def write_service(
     path: pathlib.Path, label: str, results: dict, extra_meta: dict | None = None
 ) -> dict:
     """Merge one labelled gateway-soak run (``{"n4096": row, ...}``)
-    into the report at ``path`` under the ``service`` key."""
+    into the report at ``path`` under the ``service`` key.  Rows merge
+    *into* an existing label entry (same row keys overwrite), so one
+    label can accumulate soak, frontier and shard-sweep rows across
+    invocations instead of the last run clobbering the others."""
     report = load_report(path)
-    entry = dict(results)
+    entry = report.setdefault("service", {}).setdefault(label, {})
+    entry.update(results)
     entry["meta"] = {**_meta(), **(extra_meta or {})}
-    report.setdefault("service", {})[label] = entry
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
 
@@ -1008,10 +1233,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="closed-loop client coroutines")
     parser.add_argument("--soak-max-batch", type=int, default=DEFAULT_SOAK_BATCH)
     parser.add_argument("--soak-window-ms", type=float, default=DEFAULT_SOAK_WINDOW_MS)
+    parser.add_argument("--soak-pipeline", action="store_true",
+                        help="run the soak gateway in pipelined mode")
     parser.add_argument("--soak-no-baseline", action="store_true",
                         help="skip the per-request (max_batch=1) comparison run")
     parser.add_argument("--soak-policy", default="fixed",
                         help="admission policy for the soak gateway")
+    parser.add_argument("--soak-warmup", type=float, default=0.0,
+                        help="seconds of unmetered load before the measured "
+                             "soak/shard-sweep window (metrics reset after)")
     parser.add_argument("--frontier", action="store_true",
                         help="run the offered-load x policy frontier sweep "
                         "instead of the suite")
@@ -1028,6 +1258,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--frontier-queue-limit", type=int, default=4096)
     parser.add_argument("--deadline-ms", type=float, default=None,
                         help="per-request deadline for frontier/soak gateways")
+    parser.add_argument("--shard-sweep", action="store_true",
+                        help="soak serial vs pipelined vs N-shard cluster "
+                             "at each size (rows under the service key)")
+    parser.add_argument("--shard-sizes", type=int, nargs="+", default=[4096],
+                        help="total bootstrap nodes per shard-sweep point")
+    parser.add_argument("--shard-counts", type=int, nargs="+",
+                        default=list(DEFAULT_SHARD_COUNTS),
+                        help="shard counts to sweep")
     parser.add_argument("--snapshot", action="store_true",
                         help="run the snapshot restore-vs-replay benchmark "
                         "instead of the suite")
@@ -1098,6 +1336,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"wrote {args.out}")
         return 0
 
+    if args.shard_sweep:
+        print(
+            f"shard sweep: sizes={args.shard_sizes} "
+            f"shards={args.shard_counts} duration={args.soak_duration}s "
+            f"clients={args.soak_clients} label={args.label!r}"
+        )
+        results: dict[str, dict] = {}
+        for n in args.shard_sizes:
+            results.update(
+                bench_shard_sweep(
+                    n,
+                    args.shard_counts,
+                    duration_s=args.soak_duration,
+                    max_batch=args.soak_max_batch,
+                    batch_window_ms=args.soak_window_ms,
+                    clients=args.soak_clients,
+                    seed=args.seed,
+                    warmup_s=args.soak_warmup,
+                    progress=True,
+                )
+            )
+        write_service(
+            args.out, args.label, results,
+            extra_meta={"benchmark": "shard_sweep"},
+        )
+        print(f"wrote {args.out}")
+        return 0
+
     if args.soak:
         print(
             f"service soak: sizes={args.soak_sizes} duration={args.soak_duration}s "
@@ -1117,6 +1383,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 compare_per_request=not args.soak_no_baseline,
                 policy=args.soak_policy,
                 deadline_ms=args.deadline_ms,
+                pipeline=args.soak_pipeline,
+                warmup_s=args.soak_warmup,
             )
             results[f"n{n}"] = row
             print(f"  n={n}: {row}", file=sys.stderr)

@@ -744,10 +744,24 @@ class DynamicMultigraph:
         (merge) and from scratch by the rebuild path."""
         n = len(order)
         if n:
-            lut = np.empty(int(order_arr[-1]) + 1, dtype=np.int64)
-            lut[order_arr] = np.arange(n, dtype=np.int64)
-            rows = lut[rid]
-            indices = lut[cid]
+            base = int(order_arr[0])
+            span = int(order_arr[-1]) - base + 1
+            if span <= max(1024, 4 * n):
+                # Dense offset LUT: O(1) per entry.  Offsetting by the
+                # smallest live id keeps the table sized by the id *span*,
+                # not the absolute ids -- a sharded partition based at
+                # i * 2^40 has the same span as an unsharded network.
+                lut = np.empty(span, dtype=np.int64)
+                lut[order_arr - base] = np.arange(n, dtype=np.int64)
+                rows = lut[rid - base]
+                indices = lut[cid - base]
+            else:
+                # Sparse ids (e.g. client-pinned ids far into a shard's
+                # region): binary search instead of a span-sized table.
+                # Exact because every endpoint id is live, hence present
+                # in ``order_arr``.
+                rows = np.searchsorted(order_arr, rid)
+                indices = np.searchsorted(order_arr, cid)
         else:
             rows = indices = np.empty(0, dtype=np.int64)
         indptr = np.zeros(n + 1, dtype=np.int64)

@@ -291,7 +291,11 @@ def _wave_scalar(
     rounds = 0
     neighbor_cdf = graph.neighbor_cdf
     random_unit = gen.random if gen is not None else rng.random
-    used: set[int] = set()
+    # Claimed directed edges as (from, to) tuples: ids are unbounded
+    # Python ints (a sharded partition bases its region at i * 2^40),
+    # so any fixed-width bit packing would truncate and alias distinct
+    # edges.
+    used: set[tuple[NodeId, NodeId]] = set()
     used_add = used.add
     # Wave-local CDF memo: the topology is frozen for the wave's whole
     # lifetime (resolution happens after the wave returns), so the
@@ -333,7 +337,7 @@ def _wave_scalar(
                 if nxt is None:
                     continue  # every neighbor excluded: token is stuck
             if nxt != at:
-                key = (at << 32) | (nxt & 0xFFFFFFFF)
+                key = (at, nxt)
                 if key in used:
                     active[write] = idx  # blocked: retry next round
                     write += 1
@@ -350,10 +354,7 @@ def _wave_scalar(
                 write += 1
         del active[write:]
         if transcript is not None:
-            transcript.append((
-                tuple(positions),
-                tuple(sorted((key >> 32, key & 0xFFFFFFFF) for key in used)),
-            ))
+            transcript.append((tuple(positions), tuple(sorted(used))))
         if rounds > 1000 * max(1, length):  # pragma: no cover - safety
             raise TopologyError("parallel walks failed to complete")
     return positions, founds, total_hops, rounds

@@ -18,7 +18,19 @@ from repro.service.loadgen import (
     poisson_load,
     saturating_load,
 )
-from repro.service.metrics import FlushRecord, ServiceMetrics, exact_quantile
+from repro.service.metrics import (
+    FlushRecord,
+    ServiceMetrics,
+    aggregate_snapshots,
+    exact_quantile,
+)
+from repro.service.router import (
+    InlineShardHandle,
+    ProcessShardHandle,
+    ShardRouter,
+    start_cluster,
+)
+from repro.service.shard import SHARD_STRIDE, ShardMap, ShardServer
 from repro.service.policy import (
     POLICIES,
     AdaptiveWindowPolicy,
@@ -40,7 +52,15 @@ __all__ = [
     "saturating_load",
     "FlushRecord",
     "ServiceMetrics",
+    "aggregate_snapshots",
     "exact_quantile",
+    "SHARD_STRIDE",
+    "ShardMap",
+    "ShardServer",
+    "InlineShardHandle",
+    "ProcessShardHandle",
+    "ShardRouter",
+    "start_cluster",
     "POLICIES",
     "AdmissionPolicy",
     "AdaptiveWindowPolicy",

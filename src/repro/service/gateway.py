@@ -37,10 +37,39 @@ the serving layer's whole job is coalescing:
   learn the engine's per-request rejection reason while the legal
   majority of their batch still heals in one wave.
 
-The heal call itself runs synchronously on the event loop -- the engine
-is CPU-bound Python over one shared graph, so handing it to a thread
-would serialize on the same state anyway; the batcher yields between
-flushes so clients keep enqueueing while a wave heals.
+The heal call itself runs synchronously on the event loop by default --
+the engine is CPU-bound Python over one shared graph, so handing it to
+a thread would serialize on the same state anyway; the batcher yields
+between flushes so clients keep enqueueing while a wave heals.
+
+**Pipelined mode** (``pipeline=True``, PR 8) breaks that serial loop
+into overlapping stages: the heal of flush k runs on a single-worker
+thread executor while the event loop keeps ingesting, *collects* flush
+k+1 (the window wait overlaps the wave instead of following it) and
+runs its **membership-determined validation** against the predicted
+post-flush-k view.  The prediction is exact, not speculative:
+
+* an in-flight *insert* flush only ever adds the ids published at
+  dispatch time (``_view_added``), so "id exists" / "attach point
+  missing" answers for flush k+1 are already decided;
+* an in-flight *delete* flush only ever removes its victims -- those
+  ids form a **doubt set** treated as selection barriers (a request
+  naming or attaching to a doubtful id simply waits one flush), so no
+  request is ever answered from an uncertain fact.
+
+Requests whose rejection is membership-determined (a pinned id that
+already exists, a pinned hint that does not) are answered at stage
+time, one heal earlier than the serial gateway could.  Everything
+topology-dependent -- attach fan-out, the eps*n cap, survivor
+connectivity -- stays with the engine's own re-partition when the
+flush dispatches at the next quiescent point, so a staged flush can
+never corrupt a wave: the worst a stale prediction can do is turn
+into the same per-request rejection the serial gateway would have
+issued.  Checkpoints keep their between-flushes placement (taken only
+while no heal is in flight), deadlines are re-swept at dispatch so a
+request that expired while parked behind a wave is never healed late,
+and an engine exception still fails every flushed, staged and queued
+future before tearing the batcher down.
 """
 
 from __future__ import annotations
@@ -49,6 +78,7 @@ import asyncio
 import random
 import time
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
@@ -94,6 +124,28 @@ class _Request:
     deadline_at: float | None = None
 
 
+@dataclass(eq=False)
+class _StagedFlush:
+    """Flush k+1 of the pipeline: gathered and membership-screened
+    while flush k's wave is still healing, dispatched at the next
+    quiescent point."""
+
+    kind: str
+    requests: list[_Request]
+
+
+@dataclass(eq=False)
+class _InflightFlush:
+    """Flush k while its heal runs on the pipeline executor: the
+    requests it will answer, the concrete node ids it is about, and the
+    executor future carrying ``(BatchOutcome, heal_s)``."""
+
+    kind: str
+    requests: list[_Request]
+    nodes: list[NodeId]
+    future: asyncio.Future
+
+
 class MembershipGateway:
     """Async facade over one :class:`~repro.core.dex.DexNetwork`.
 
@@ -137,6 +189,7 @@ class MembershipGateway:
         queue_limit: int = 4096,
         overload: str = "reject",
         policy: "str | AdmissionPolicy" = "fixed",
+        pipeline: bool = False,
         deadline_ms: float | None = None,
         seed: int | None = None,
         metrics: ServiceMetrics | None = None,
@@ -207,6 +260,18 @@ class MembershipGateway:
         self._closing = False
         self._clock = time.perf_counter
         self._last_flush_end = self._clock()
+        #: pipelined mode: heal on a single-worker thread, overlap the
+        #: next flush's collection + membership screening with the wave
+        self.pipeline = pipeline
+        self._executor: ThreadPoolExecutor | None = None
+        self._inflight: _InflightFlush | None = None
+        #: ids the in-flight insert flush is adding (certain deltas of
+        #: the predicted post-heal membership view)
+        self._view_added: set[NodeId] = set()
+        #: victims of the in-flight delete flush: membership *unknown*
+        #: until the wave resolves -- treated as selection barriers, so
+        #: no staged decision ever rests on a doubtful id
+        self._doubt: set[NodeId] = set()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -214,7 +279,12 @@ class MembershipGateway:
     async def start(self) -> "MembershipGateway":
         if self._batcher is None:
             self._last_flush_end = self._clock()
-            self._batcher = asyncio.ensure_future(self._run())
+            if self.pipeline and self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="dex-heal"
+                )
+            runner = self._run_pipelined() if self.pipeline else self._run()
+            self._batcher = asyncio.ensure_future(runner)
         return self
 
     async def close(self) -> None:
@@ -222,9 +292,14 @@ class MembershipGateway:
         request still gets its outcome), and join the batcher."""
         self._closing = True
         self._wake.set()
-        if self._batcher is not None:
-            await self._batcher
+        try:
+            if self._batcher is not None:
+                await self._batcher
+        finally:
             self._batcher = None
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
 
     async def drain(self) -> dict:
         """Graceful shutdown: stop accepting new requests, answer
@@ -367,15 +442,26 @@ class MembershipGateway:
         it are skipped too, so per-node operation order is preserved
         even though kinds interleave.  Single source of truth for both
         the window decision (:meth:`_gatherable`) and the dequeue
-        (:meth:`_gather`)."""
+        (:meth:`_gather`).  In pipelined mode the in-flight delete
+        flush's doubt set also defers any request *naming or attaching
+        to* a doubtful id -- its membership is unknown until the wave
+        resolves, so it must not reach a staged decision."""
         kind = self._queue[0].kind
+        doubt = self._doubt
         barriers: set[NodeId] = set()
         batch: list[_Request] = []
         for request in self._queue:
             if (
                 len(batch) < self.max_batch
                 and request.kind == kind
-                and (request.node is None or request.node not in barriers)
+                and (
+                    request.node is None
+                    or (request.node not in barriers and request.node not in doubt)
+                )
+                and (
+                    request.attach_hint is None
+                    or request.attach_hint not in doubt
+                )
             ):
                 batch.append(request)
             elif request.node is not None:
@@ -491,6 +577,239 @@ class MembershipGateway:
             await asyncio.sleep(0)
 
     # ------------------------------------------------------------------
+    # the pipelined batcher (pipeline=True)
+    # ------------------------------------------------------------------
+    async def _run_pipelined(self) -> None:
+        """Collection, membership screening and healing as overlapping
+        stages: while flush k's wave runs on the executor, the loop
+        collects and screens flush k+1; the moment k resolves, k+1
+        dispatches.  All serial contracts hold: shed/deadline sweeps
+        before every gather (re-swept at dispatch), checkpoints only at
+        quiescent points, drain answers everything, engine exceptions
+        fail every in-flight, staged and queued future."""
+        staged: _StagedFlush | None = None
+        while True:
+            if staged is not None and self._inflight is None:
+                self._dispatch(staged)
+                staged = None
+                continue
+            if self._inflight is not None:
+                if staged is None:
+                    self._shed_excess()
+                    self._sweep_deadlines()
+                    if self._queue:
+                        await self._collect_overlap(self._inflight.future)
+                        self._sweep_deadlines()
+                        staged = self._stage()
+                await self._complete(staged)
+                continue
+            self._shed_excess()
+            self._sweep_deadlines()
+            if not self._queue:
+                if self._closing:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            await self._collect()
+            self._sweep_deadlines()
+            staged = self._stage()
+            # Yield so door-answered clients resolve and new arrivals
+            # land before the dispatch decision (mirrors the serial
+            # loop's between-flush yield).
+            await asyncio.sleep(0)
+
+    async def _collect_overlap(self, heal_future: asyncio.Future) -> None:
+        """The collection wait while a wave is in flight.  Unlike
+        :meth:`_collect` it never runs the O(queue) selection scan per
+        enqueue wake -- the flush cannot dispatch before the wave
+        resolves anyway, so scanning eagerly would only steal cycles
+        from the heal thread.  It waits on the cheap ``len(queue)``
+        proxy (a superset of the gatherable count) until the wave
+        resolves, the window expires or the queue plausibly fills a
+        batch, and the single authoritative selection happens in
+        :meth:`_stage` afterwards.  Deadline wakes behave exactly as in
+        :meth:`_collect`."""
+        window_s = self.policy.window_s()
+        if window_s <= 0 or self._closing:
+            return
+        expires = self._clock() + window_s
+        while (
+            not self._closing
+            and self._queue
+            and len(self._queue) < self.max_batch
+            and not heal_future.done()
+        ):
+            now = self._clock()
+            if now >= expires:
+                return
+            timeout = expires - now
+            soonest = self._next_deadline()
+            if soonest is not None and soonest < expires:
+                if soonest <= now:
+                    self._sweep_deadlines()
+                    continue
+                timeout = soonest - now
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+            except asyncio.TimeoutError:
+                self._sweep_deadlines()
+
+    def _view_has_node(self, node: NodeId) -> bool:
+        """Membership in the predicted post-heal view: the settled graph
+        plus the in-flight insert flush's certain additions.  Doubtful
+        ids (in-flight delete victims) never get here -- selection bars
+        them -- so every answer is deterministic even mid-wave: an
+        insert flush only ever *adds* ``_view_added``, and a delete
+        flush only ever removes ``_doubt``."""
+        return node in self._view_added or self.net.graph.has_node(node)
+
+    def _stage(self) -> _StagedFlush | None:
+        """Gather the next flush and run its membership-determined
+        screening -- the pipeline's overlap stage.  Returns ``None``
+        when nothing survives (every gathered request was answered at
+        the door here)."""
+        if not self._queue:
+            return None
+        batch = self._gather()
+        if not batch:
+            return None
+        kind = batch[0].kind
+        survivors = self._screen(kind, batch)
+        if not survivors:
+            return None
+        return _StagedFlush(kind, survivors)
+
+    def _screen(self, kind: str, batch: list[_Request]) -> list[_Request]:
+        """Answer the requests whose *rejection* is already decided by
+        membership facts alone -- a pinned id that exists in the view
+        (it will still exist after the in-flight flush), a pinned attach
+        hint or leave victim that does not (nothing in flight can create
+        it).  Reason strings mirror the engine partition's wording
+        verbatim.  Duplicates and everything topology-dependent
+        (fan-out, eps*n, connectivity, stranding) stay with the engine's
+        own re-partition at dispatch -- a duplicate's verdict depends on
+        whether its predecessor is accepted, which only the engine
+        knows."""
+        view_has = self._view_has_node
+        survivors: list[_Request] = []
+        size = len(batch)
+        for request in batch:
+            reason = None
+            if kind == "join":
+                if request.node is not None and view_has(request.node):
+                    reason = f"node id {request.node} already exists"
+                elif request.attach_hint is not None and not view_has(
+                    request.attach_hint
+                ):
+                    reason = f"attach point {request.attach_hint} does not exist"
+            elif not view_has(request.node):
+                reason = f"node {request.node} does not exist"
+            if reason is None:
+                survivors.append(request)
+                continue
+            latency = self._clock() - request.submitted_at
+            self.metrics.record_ack(latency, ok=False)
+            ack = Ack(
+                ok=False,
+                kind=kind,
+                node=request.node,
+                reason=reason,
+                latency_s=latency,
+                batch_size=size,
+            )
+            if not request.future.done():
+                request.future.set_result(ack)
+            if self.on_ack is not None:
+                self.on_ack(ack)
+        return survivors
+
+    def _dispatch(self, staged: _StagedFlush) -> bool:
+        """Start the staged flush's heal on the executor.  Runs only at
+        quiescent points (no heal in flight), so payload assembly --
+        fresh-id assignment and attach-hint sampling -- reads the
+        settled graph, and the view deltas for the next staging epoch
+        are published before the wave starts.  Deadlines are re-swept
+        here: the staged batch may have waited out a whole heal plus a
+        checkpoint, and an expired request must never be healed late."""
+        now = self._clock()
+        requests: list[_Request] = []
+        for request in staged.requests:
+            if request.deadline_at is not None and request.deadline_at <= now:
+                self.metrics.record_timeout()
+                self._answer_dropped(request, self.DEADLINE_REASON)
+            else:
+                requests.append(request)
+        if not requests:
+            return False
+        loop = asyncio.get_running_loop()
+        if staged.kind == "join":
+            payload = self._join_payload(requests)
+            nodes = [new_id for new_id, _attach in payload]
+            self._view_added = set(nodes)
+            heal_call = self.net.insert_batch_partial
+        else:
+            payload = [request.node for request in requests]
+            nodes = list(payload)
+            self._doubt = set(payload)
+            heal_call = self.net.delete_batch_partial
+
+        def heal():
+            t0 = self._clock()
+            outcome = heal_call(payload)
+            return outcome, self._clock() - t0
+
+        future = loop.run_in_executor(self._executor, heal)
+        # Wake the collection wait the instant the wave resolves: the
+        # next flush must dispatch immediately, not after a window.
+        future.add_done_callback(lambda _f: self._wake.set())
+        self._inflight = _InflightFlush(staged.kind, requests, nodes, future)
+        return True
+
+    async def _complete(self, staged: _StagedFlush | None) -> float:
+        """Join the in-flight heal and settle its flush: acks, policy
+        feedback, the between-flush checkpoint.  On an engine failure,
+        fail the flushed requests, the staged batch *and* the queue --
+        exactly the serial guarantee -- then re-raise."""
+        inflight = self._inflight
+        assert inflight is not None
+        try:
+            outcome, heal_s = await inflight.future
+        except BaseException as exc:
+            pending = list(inflight.requests)
+            if staged is not None:
+                pending.extend(staged.requests)
+            self._inflight = None
+            self._view_added = set()
+            self._doubt = set()
+            self._fail_pending(pending, exc)
+            raise
+        self._inflight = None
+        self._view_added = set()
+        self._doubt = set()
+        self._resolve_flush(
+            inflight.kind, inflight.requests, inflight.nodes, outcome, heal_s
+        )
+        now = self._clock()
+        interval_s = now - self._last_flush_end
+        self._last_flush_end = now
+        self.policy.observe_flush(
+            depth=len(self._queue),
+            batch_size=len(inflight.requests),
+            heal_s=heal_s,
+            interval_s=interval_s,
+        )
+        # Quiescent point: the wave above has resolved and the next one
+        # has not dispatched -- the only place the pipelined batcher may
+        # checkpoint.
+        if self.checkpoint_dir is not None:
+            self._flushes_since_checkpoint += 1
+            if self._flushes_since_checkpoint >= self.checkpoint_every:
+                self._checkpoint_guarded()
+        return heal_s
+
+    # ------------------------------------------------------------------
     # checkpointing
     # ------------------------------------------------------------------
     def checkpoint_now(self) -> Path:
@@ -527,13 +846,16 @@ class MembershipGateway:
             self.checkpoint_errors += 1
             return None
 
-    async def _collect(self) -> None:
+    async def _collect(self, stop_early: asyncio.Future | None = None) -> None:
         """Adaptive wait: let the gatherable flush grow until it
         reaches ``max_batch`` or the policy's window expires.  A closing
         gateway drains immediately.  A queued deadline that lands inside
         the window wakes the wait early so the expiring request is
         answered on time -- a deadline wake is *not* a window expiry;
-        the loop keeps waiting out the remainder."""
+        the loop keeps waiting out the remainder.  ``stop_early`` (the
+        in-flight heal future, pipelined mode) cuts the window short the
+        moment the wave resolves: the executor must never idle out the
+        remainder of a batching window."""
         window_s = self.policy.window_s()
         if window_s <= 0 or self._closing:
             return
@@ -542,6 +864,7 @@ class MembershipGateway:
             not self._closing
             and self._queue
             and self._gatherable() < self.max_batch
+            and not (stop_early is not None and stop_early.done())
         ):
             now = self._clock()
             if now >= expires:
@@ -582,15 +905,34 @@ class MembershipGateway:
             # dies with this raise, so a queued future would otherwise
             # never resolve and its client would hang forever) -- and to
             # the gateway owner instead of masking it as an outcome.
-            self._closing = True
-            for request in requests:
-                if not request.future.done():
-                    request.future.set_exception(exc)
-            while self._queue:
-                queued = self._queue.popleft()
-                if not queued.future.done():
-                    queued.future.set_exception(exc)
+            self._fail_pending(requests, exc)
             raise
+        self._resolve_flush(kind, requests, nodes, outcome, heal_s)
+        return heal_s
+
+    def _fail_pending(self, requests: list[_Request], exc: BaseException) -> None:
+        """Engine-failure path: fail the given requests and every queued
+        future, then leave the gateway closing -- no client ever hangs
+        on a batcher that died."""
+        self._closing = True
+        for request in requests:
+            if not request.future.done():
+                request.future.set_exception(exc)
+        while self._queue:
+            queued = self._queue.popleft()
+            if not queued.future.done():
+                queued.future.set_exception(exc)
+
+    def _resolve_flush(
+        self,
+        kind: str,
+        requests: list[_Request],
+        nodes: list[NodeId],
+        outcome,
+        heal_s: float,
+    ) -> None:
+        """Turn one :class:`BatchOutcome` into one individual ack per
+        flushed request (shared by the serial and pipelined paths)."""
         reasons = {r.index: r.reason for r in outcome.rejected}
         now = self._clock()
         batch_size = len(requests)
@@ -612,7 +954,6 @@ class MembershipGateway:
         self.metrics.record_flush(
             kind, batch_size, len(outcome.accepted), len(outcome.rejected), heal_s
         )
-        return heal_s
 
     def _join_payload(
         self, requests: list[_Request]

@@ -49,6 +49,52 @@ def _ms(seconds: float | None) -> float | None:
     return None if seconds is None else round(seconds * 1e3, 6)
 
 
+#: snapshot columns that add across shards
+_SUM_KEYS = (
+    "events",
+    "accepted",
+    "rejected",
+    "backpressure",
+    "shed",
+    "deadline_timeouts",
+    "retries",
+    "batches",
+    "events_per_s",
+    "goodput_per_s",
+    "heal_s",
+)
+#: columns where the cluster-wide figure is the worst shard's
+_MAX_KEYS = (
+    "ack_p50_ms",
+    "ack_p90_ms",
+    "ack_p99_ms",
+    "ack_max_ms",
+    "ack_mean_ms",
+    "max_batch_seen",
+    "queue_depth_max",
+    "elapsed_s",
+)
+
+
+def aggregate_snapshots(rows: Sequence[dict]) -> dict:
+    """Cross-shard rollup of per-shard :meth:`ServiceMetrics.snapshot`
+    rows: counters and rates *sum* (the shards run concurrently, so
+    cluster throughput is the sum of shard throughputs), latency
+    quantiles take the *max* (a per-shard pXX is exact for its shard;
+    the max is the tight upper bound the rollup can honestly claim
+    without resampling every shard's raw window)."""
+    if not rows:
+        raise ValueError("cannot aggregate an empty snapshot list")
+    out: dict = {"shards": len(rows)}
+    for key in _SUM_KEYS:
+        values = [row[key] for row in rows if row.get(key) is not None]
+        out[key] = round(sum(values), 6) if values else None
+    for key in _MAX_KEYS:
+        values = [row[key] for row in rows if row.get(key) is not None]
+        out[key] = max(values) if values else None
+    return out
+
+
 @dataclass
 class FlushRecord:
     """Shape of one gateway flush (one batch-engine wave)."""
@@ -225,6 +271,30 @@ class ServiceMetrics:
         self.started_at = now
         self._window_started_at = now
         self._window_acks = []
+
+    def reset(self) -> None:
+        """Zero every cumulative counter and re-anchor the clocks: the
+        summaries that follow cover only what happens after this call.
+        Benchmarks use it to exclude a warmup phase (cold CSR caches,
+        first-flush rebuilds) from the steady-state row."""
+        self.ack_latencies_s.clear()
+        self.flushes.clear()
+        self.accepted_events = 0
+        self.rejected_events = 0
+        self.backpressure_rejections = 0
+        self.shed_events = 0
+        self.deadline_timeouts = 0
+        self.retries = 0
+        self.heal_s = 0.0
+        self.batches = 0
+        self._batch_size_sum = 0
+        self._batch_size_max = 0
+        self._depth_count = 0
+        self._depth_sum = 0
+        self._depth_max = 0
+        self._ack_sum_s = 0.0
+        self._ack_max_s = 0.0
+        self.reset_windows()
 
     def window(self) -> dict[str, float | int | None]:
         """Summary of the acks since the previous :meth:`window` call

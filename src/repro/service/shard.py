@@ -1,0 +1,710 @@
+"""One shard of the sharded membership service: a contiguous id region
+with its own :class:`~repro.core.dex.DexNetwork` partition.
+
+DEX's coordinator/p-cycle structure heals *locally* (Corollary 2), which
+is what makes the overlay partitionable at all: a shard owns the
+contiguous id region ``[index * SHARD_STRIDE, (index+1) * SHARD_STRIDE)``
+-- its own stretch of the p-cycle, bootstrapped via
+``DexNetwork.bootstrap(id_base=...)`` so every id the shard ever mints
+(``fresh_id`` is monotone from the bootstrap ids) stays inside the
+region.  Ownership is therefore a pure function of the id
+(:meth:`ShardMap.owner`), the property the router's hashing relies on.
+
+A :class:`ShardServer` is deliberately *synchronous*: one thread, one
+network, a plain flush loop -- the event-loop machinery lives in the
+router process, and a lean worker keeps the per-event overhead of the
+sharded path close to the engine cost.  It is driven two ways:
+
+* in-process (tests, :class:`~repro.service.router.InlineShardHandle`):
+  call :meth:`submit` / :meth:`flush` / the control verbs directly, with
+  an injectable clock for deterministic TTL tests;
+* as a worker process (:func:`shard_worker_main`): the same server
+  behind a duplex pipe, speaking the small tuple protocol of
+  :data:`MSG_REQUESTS` / :data:`MSG_CONTROL`, modeled on the
+  one-process-per-point fan-out of ``repro.harness.perf --sweep`` and
+  checkpointing into its own ``persist``-format directory for crash
+  safety.
+
+**Two-phase cross-shard handoff.**  A join that pins an id owned by
+shard A while hinting at a node owned by shard B resolves as
+reserve-then-commit:
+
+1. ``reserve`` on A parks the id in a TTL'd reservation table -- a
+   concurrent join of the same id is rejected cleanly, and if the
+   router (or either shard) dies mid-handoff the reservation simply
+   expires: the id is *never stranded*.
+2. ``pin`` on B proves the hint is live and protects it from deletion
+   for the TTL (a delete flush answers a pinned victim with a clean
+   per-request rejection), so the liveness fact the commit relies on
+   cannot be invalidated mid-handoff.
+3. ``commit`` on A turns the reservation into an ordinary pinned join
+   through the normal flush path (attached at a *local* sample -- DEX
+   drops the adversarial attachment edge after healing anyway,
+   Algorithm 4.2 line 3, so the hint is a liveness precondition, not
+   an edge).  Either side's refusal unwinds the other: a nak from B
+   releases A's reservation, a commit rejection drops it.
+
+Reservation and pin sweeps run at every flush, so expiry needs no extra
+timer.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ShardError, SnapshotError
+from repro.service.metrics import ServiceMetrics
+from repro.types import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.dex import DexNetwork
+
+#: width of each shard's id region.  Large enough that a shard can mint
+#: fresh ids monotonically for the lifetime of any deployment without
+#: leaving its region; small enough that region arithmetic stays exact
+#: in a float-free int world.
+SHARD_STRIDE = 1 << 40
+
+#: message kinds of the worker pipe protocol (parent -> child)
+MSG_REQUESTS = "req"
+MSG_CONTROL = "ctl"
+#: child -> parent
+MSG_ACKS = "acks"
+MSG_CTL_REPLY = "ctl-reply"
+MSG_READY = "ready"
+MSG_DRAINED = "drained"
+MSG_FATAL = "fatal"
+
+#: reason strings of shard-level rejections (tested verbatim)
+RESERVED_REASON = "reserved by an in-flight handoff"
+PINNED_REASON = "pinned by an in-flight handoff"
+DEADLINE_REASON = "deadline exceeded before heal"
+
+
+class ShardMap:
+    """Pure id-region arithmetic: which shard owns which ids."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ShardError(f"need at least one shard, got {shards}")
+        self.shards = shards
+
+    def owner(self, node: NodeId) -> int:
+        """The index of the shard owning ``node``; raises
+        :class:`~repro.errors.ShardError` for ids outside every
+        region."""
+        if node < 0 or node >= self.shards * SHARD_STRIDE:
+            raise ShardError(
+                f"id {node} is outside every shard region "
+                f"(shards={self.shards}, stride=2^40)"
+            )
+        return node // SHARD_STRIDE
+
+    def id_base(self, index: int) -> NodeId:
+        return self._checked(index) * SHARD_STRIDE
+
+    def region(self, index: int) -> tuple[NodeId, NodeId]:
+        """Half-open id interval ``[lo, hi)`` owned by shard
+        ``index``."""
+        base = self.id_base(index)
+        return base, base + SHARD_STRIDE
+
+    def _checked(self, index: int) -> int:
+        if not 0 <= index < self.shards:
+            raise ShardError(
+                f"shard index {index} out of range for {self.shards} shards"
+            )
+        return index
+
+
+@dataclass(eq=False)
+class _ShardRequest:
+    rid: int
+    kind: str  # "join" | "leave"
+    node: NodeId | None
+    attach_hint: NodeId | None
+    received_at: float
+    deadline_at: float | None
+    #: set on commit joins: resolving this request (either way) consumes
+    #: the reservation it rode in on
+    commit: bool = False
+
+
+class ShardServer:
+    """One shard: a region-owning network partition, a synchronous
+    micro-batching flush loop, a TTL'd reservation/pin table, and
+    per-shard checkpoints.  Everything the worker process does is a
+    method here, so tests drive shards in-process with a fake clock."""
+
+    def __init__(
+        self,
+        index: int,
+        net: "DexNetwork",
+        *,
+        shard_map: ShardMap,
+        max_batch: int = 64,
+        window_ms: float = 2.0,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 32,
+        checkpoint_keep: int = 3,
+        seed: int | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        import random
+
+        self.index = index
+        self.net = net
+        self.shard_map = shard_map
+        self.region = shard_map.region(index)
+        self.max_batch = max_batch
+        self.window_s = window_ms / 1e3
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_keep = checkpoint_keep
+        self.checkpoints_written = 0
+        self.checkpoint_errors = 0
+        self._flushes_since_checkpoint = 0
+        self._clock = clock
+        self.metrics = metrics or ServiceMetrics(clock=clock)
+        self._rng = random.Random(
+            seed if seed is not None else getattr(net.config, "seed", 0)
+        )
+        self._queue: deque[_ShardRequest] = deque()
+        #: pinned id -> (reserving rid, expiry instant)
+        self.reservations: dict[NodeId, tuple[int, float]] = {}
+        #: protected attach hints -> {pinning rid -> expiry instant}.
+        #: Keyed per handoff so two concurrent handoffs sharing one
+        #: attach hint each hold their own pin: one side's unpin (or
+        #: expiry) never drops the other's deletion protection.
+        self.pins: dict[NodeId, dict[int, float]] = {}
+        self.reservations_expired = 0
+        self.handoffs_committed = 0
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def submit(
+        self,
+        rid: int,
+        kind: str,
+        node: NodeId | None,
+        attach_hint: NodeId | None,
+        deadline_s: float | None = None,
+        commit: bool = False,
+    ) -> None:
+        """Queue one request.  ``deadline_s`` is *remaining* seconds at
+        send time -- wall clocks are not comparable across processes, so
+        the worker re-anchors the deadline on its own clock at
+        receipt."""
+        now = self._clock()
+        deadline_at = now + deadline_s if deadline_s is not None else None
+        self._queue.append(
+            _ShardRequest(rid, kind, node, attach_hint, now, deadline_at, commit)
+        )
+        self.metrics.record_enqueue(len(self._queue))
+
+    # ------------------------------------------------------------------
+    # the flush loop
+    # ------------------------------------------------------------------
+    def poll_timeout(self, now: float | None = None) -> float | None:
+        """Seconds until the next flush is due (0 when due now), or
+        ``None`` when idle -- the worker's pipe-poll timeout."""
+        if not self._queue:
+            return None
+        if len(self._queue) >= self.max_batch:
+            return 0.0
+        now = self._clock() if now is None else now
+        due_at = self._queue[0].received_at + self.window_s
+        deadline = self._next_deadline()
+        if deadline is not None and deadline < due_at:
+            due_at = deadline
+        return max(0.0, due_at - now)
+
+    def flush_due(self, now: float | None = None) -> bool:
+        timeout = self.poll_timeout(now)
+        return timeout is not None and timeout <= 0.0
+
+    def _next_deadline(self) -> float | None:
+        deadlines = [
+            r.deadline_at for r in self._queue if r.deadline_at is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def _selection(self) -> list[_ShardRequest]:
+        """Kind-segregated gather with the gateway's same-node-id
+        barrier rule (see ``MembershipGateway._selection``)."""
+        kind = self._queue[0].kind
+        barriers: set[NodeId] = set()
+        batch: list[_ShardRequest] = []
+        for request in self._queue:
+            if (
+                len(batch) < self.max_batch
+                and request.kind == kind
+                and (request.node is None or request.node not in barriers)
+            ):
+                batch.append(request)
+            elif request.node is not None:
+                barriers.add(request.node)
+        return batch
+
+    def sweep(self, now: float | None = None) -> list[dict]:
+        """Expire reservations, pins and queued deadlines.  Runs at
+        every flush (and on demand); returns the deadline acks."""
+        now = self._clock() if now is None else now
+        expired = [
+            node
+            for node, (_rid, expires) in self.reservations.items()
+            if expires <= now
+        ]
+        for node in expired:
+            del self.reservations[node]
+        self.reservations_expired += len(expired)
+        for node, holders in list(self.pins.items()):
+            for rid in [r for r, expires in holders.items() if expires <= now]:
+                del holders[rid]
+            if not holders:
+                del self.pins[node]
+        acks: list[dict] = []
+        if any(
+            r.deadline_at is not None and r.deadline_at <= now
+            for r in self._queue
+        ):
+            survivors: deque[_ShardRequest] = deque()
+            for request in self._queue:
+                if request.deadline_at is not None and request.deadline_at <= now:
+                    self.metrics.record_timeout()
+                    acks.append(self._ack(request, ok=False, reason=DEADLINE_REASON))
+                else:
+                    survivors.append(request)
+            self._queue = survivors
+        return acks
+
+    def flush(self) -> list[dict]:
+        """One micro-batch through the partial-batch engine; returns the
+        ack dicts (rid-correlated) for everything answered, sweeps
+        included."""
+        acks = self.sweep()
+        if not self._queue:
+            return acks
+        batch = self._selection()
+        selected = set(batch)
+        self._queue = deque(r for r in self._queue if r not in selected)
+        if not batch:
+            return acks
+        kind = batch[0].kind
+        requests, screened = self._screen(kind, batch)
+        acks.extend(screened)
+        if not requests:
+            return acks
+        t0 = self._clock()
+        if kind == "join":
+            payload = self._join_payload(requests)
+            outcome = self.net.insert_batch_partial(payload)
+            nodes = [new_id for new_id, _attach in payload]
+        else:
+            nodes = [request.node for request in requests]
+            outcome = self.net.delete_batch_partial(nodes)
+        heal_s = self._clock() - t0
+        reasons = {r.index: r.reason for r in outcome.rejected}
+        batch_size = len(requests)
+        for index, request in enumerate(requests):
+            reason = reasons.get(index)
+            if request.commit and request.node is not None:
+                # The handoff ends with this answer either way: consume
+                # the reservation so the id is immediately free again on
+                # a rejection (never stranded).
+                self.reservations.pop(request.node, None)
+                if reason is None:
+                    self.handoffs_committed += 1
+            acks.append(
+                self._ack(
+                    request,
+                    ok=reason is None,
+                    reason=reason,
+                    node=nodes[index],
+                    batch_size=batch_size,
+                )
+            )
+        self.metrics.record_flush(
+            "join" if kind == "join" else "leave",
+            batch_size,
+            len(outcome.accepted),
+            len(outcome.rejected),
+            heal_s,
+        )
+        self._flushes_since_checkpoint += 1
+        if (
+            self.checkpoint_dir is not None
+            and self._flushes_since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+        return acks
+
+    def _screen(
+        self, kind: str, batch: list[_ShardRequest]
+    ) -> tuple[list[_ShardRequest], list[dict]]:
+        """Shard-level admission ahead of the engine: a join naming a
+        *reserved* id is refused unless it is the reserving handoff's
+        own commit; a leave naming a *pinned* hint is refused while the
+        pin lives.  Both answers are clean per-request rejections."""
+        survivors: list[_ShardRequest] = []
+        acks: list[dict] = []
+        size = len(batch)
+        for request in batch:
+            reason = None
+            if kind == "join" and request.node is not None:
+                held = self.reservations.get(request.node)
+                if held is not None and not (
+                    request.commit and held[0] == request.rid
+                ):
+                    reason = f"node id {request.node} {RESERVED_REASON}"
+                elif request.commit and held is None:
+                    reason = (
+                        f"reservation for node id {request.node} expired "
+                        "before commit"
+                    )
+            elif kind == "leave" and request.node in self.pins:
+                reason = f"node {request.node} {PINNED_REASON}"
+            if reason is None:
+                survivors.append(request)
+            else:
+                acks.append(
+                    self._ack(request, ok=False, reason=reason, batch_size=size)
+                )
+        return survivors, acks
+
+    def _join_payload(
+        self, requests: list[_ShardRequest]
+    ) -> list[tuple[NodeId, NodeId]]:
+        """Pinned ids kept, fresh in-region ids otherwise (skipping
+        reserved ids -- a reservation holds the id for its handoff);
+        missing hints filled with uniform local samples."""
+        explicit = {r.node for r in requests if r.node is not None}
+        has_node = self.net.graph.has_node
+        pairs: list[tuple[NodeId, NodeId]] = []
+        nid: NodeId | None = None
+        for request in requests:
+            if request.node is not None:
+                new_id = request.node
+            else:
+                nid = self.net.fresh_id() if nid is None else nid + 1
+                while nid in explicit or nid in self.reservations or has_node(nid):
+                    nid += 1
+                new_id = nid
+            attach = (
+                request.attach_hint
+                if request.attach_hint is not None
+                else self.net.sample_node(self._rng)
+            )
+            pairs.append((new_id, attach))
+        return pairs
+
+    def _ack(
+        self,
+        request: _ShardRequest,
+        *,
+        ok: bool,
+        reason: str | None,
+        node: NodeId | None = None,
+        batch_size: int = 0,
+    ) -> dict:
+        latency = self._clock() - request.received_at
+        self.metrics.record_ack(latency, ok=ok)
+        return {
+            "rid": request.rid,
+            "ok": ok,
+            "kind": request.kind,
+            "node": node if node is not None else request.node,
+            "reason": reason,
+            "latency_s": latency,
+            "batch_size": batch_size,
+        }
+
+    def drain(self) -> list[dict]:
+        """Flush until the queue is empty (every queued request
+        answered), then write a final covering checkpoint."""
+        acks: list[dict] = []
+        while self._queue:
+            acks.extend(self.flush())
+        if self.checkpoint_dir is not None:
+            self.checkpoint()
+        return acks
+
+    # ------------------------------------------------------------------
+    # handoff control verbs
+    # ------------------------------------------------------------------
+    def reserve(self, rid: int, node: NodeId, ttl_s: float) -> dict:
+        """Phase 1 (owner side): park ``node`` for handoff ``rid``.  The
+        reservation self-expires after ``ttl_s`` -- a crash anywhere in
+        the handoff can only ever *delay* the id, never strand it."""
+        self.sweep()
+        lo, hi = self.region
+        if not lo <= node < hi:
+            return self._nak(rid, f"shard {self.index} does not own id {node}")
+        if self.net.graph.has_node(node):
+            return self._nak(rid, f"node id {node} already exists")
+        held = self.reservations.get(node)
+        if held is not None and held[0] != rid:
+            return self._nak(rid, f"node id {node} {RESERVED_REASON}")
+        self.reservations[node] = (rid, self._clock() + ttl_s)
+        return {"rid": rid, "ok": True, "reason": None}
+
+    def release(self, rid: int, node: NodeId) -> dict:
+        """Abort path of phase 1: drop the reservation if this handoff
+        still holds it."""
+        held = self.reservations.get(node)
+        if held is not None and held[0] == rid:
+            del self.reservations[node]
+        return {"rid": rid, "ok": True, "reason": None}
+
+    def pin(self, rid: int, node: NodeId, ttl_s: float) -> dict:
+        """Phase 2 (hint side): prove the attach hint is live and
+        protect it from deletion for the TTL.  The pin belongs to this
+        handoff alone: concurrent handoffs pinning the same hint each
+        hold (and release) their own entry."""
+        self.sweep()
+        if not self.net.graph.has_node(node):
+            return self._nak(rid, f"attach point {node} does not exist")
+        self.pins.setdefault(node, {})[rid] = self._clock() + ttl_s
+        return {"rid": rid, "ok": True, "reason": None}
+
+    def unpin(self, rid: int, node: NodeId) -> dict:
+        holders = self.pins.get(node)
+        if holders is not None:
+            holders.pop(rid, None)
+            if not holders:
+                del self.pins[node]
+        return {"rid": rid, "ok": True, "reason": None}
+
+    @staticmethod
+    def _nak(rid: int, reason: str) -> dict:
+        return {"rid": rid, "ok": False, "reason": reason}
+
+    # ------------------------------------------------------------------
+    # observability / persistence
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        row = self.metrics.snapshot()
+        row["shard"] = self.index
+        row["size"] = self.net.size
+        row["queue_depth"] = len(self._queue)
+        row["reservations"] = len(self.reservations)
+        row["reservations_expired"] = self.reservations_expired
+        row["handoffs_committed"] = self.handoffs_committed
+        row["checkpoints_written"] = self.checkpoints_written
+        row["checkpoint_errors"] = self.checkpoint_errors
+        return row
+
+    def audit(self, include_nodes: bool = False) -> dict:
+        """The shard's slice of the cluster audit: the full I1-I8 +
+        cache + coordinator oracle over the local partition, plus the
+        region-ownership check (every live id inside the owned region --
+        the fact that makes cross-shard ownership disjoint by
+        construction)."""
+        from repro.core import invariants
+
+        errors: list[str] = []
+        try:
+            invariants.check_all(self.net.overlay, self.net.config)
+            invariants.check_cached_aggregates(self.net.overlay)
+            if not self.net.coordinator.verify():
+                errors.append("coordinator counters diverged")
+        except Exception as exc:  # noqa: BLE001 -- audit reports, never raises
+            errors.append(f"{type(exc).__name__}: {exc}")
+        lo, hi = self.region
+        strays = [u for u in self.net.nodes() if not lo <= u < hi]
+        if strays:
+            errors.append(f"ids outside owned region: {strays[:8]}")
+        row = {
+            "shard": self.index,
+            "size": self.net.size,
+            "region": [lo, hi],
+            "invariants_ok": not errors,
+            "errors": errors,
+            "reservations": sorted(self.reservations),
+            "queue_depth": len(self._queue),
+        }
+        if include_nodes:
+            row["nodes"] = sorted(self.net.nodes())
+        return row
+
+    def checkpoint(self) -> Path | None:
+        """Per-shard crash safety: the same guarded snapshot contract as
+        the gateway's (a full disk degrades durability, never
+        availability)."""
+        self._flushes_since_checkpoint = 0
+        if self.checkpoint_dir is None:
+            return None
+        from repro.persist.snapshot import prune_checkpoints, save_snapshot
+
+        try:
+            path = save_snapshot(self.net, self.checkpoint_dir)
+            prune_checkpoints(self.checkpoint_dir, self.checkpoint_keep)
+        except (SnapshotError, OSError):
+            self.checkpoint_errors += 1
+            return None
+        self.checkpoints_written += 1
+        return path
+
+
+def build_shard(cfg: dict) -> ShardServer:
+    """Construct one shard from a worker config: restore from its
+    checkpoint directory when ``cfg["restore"]`` (the post-crash path),
+    bootstrap its id region otherwise."""
+    from repro.core.config import DexConfig
+    from repro.core.dex import DexNetwork
+
+    shard_map = ShardMap(cfg["shards"])
+    index = cfg["index"]
+    checkpoint_dir = cfg.get("checkpoint_dir")
+    if cfg.get("restore"):
+        from repro.persist.snapshot import restore_latest
+
+        net, _path, _skipped = restore_latest(checkpoint_dir)
+    else:
+        config = DexConfig(
+            seed=cfg["seed"],
+            type2_mode="simplified",
+            validate_every_step=False,
+            **cfg.get("config_overrides", {}),
+        )
+        net = DexNetwork.bootstrap(
+            cfg["n_local"],
+            config,
+            seed=cfg["seed"],
+            id_base=shard_map.id_base(index),
+        )
+    return ShardServer(
+        index,
+        net,
+        shard_map=shard_map,
+        max_batch=cfg.get("max_batch", 64),
+        window_ms=cfg.get("window_ms", 2.0),
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=cfg.get("checkpoint_every", 32),
+        checkpoint_keep=cfg.get("checkpoint_keep", 3),
+        seed=cfg["seed"],
+    )
+
+
+def _handle_control(server: ShardServer, op: str, args: dict) -> dict:
+    if op == "reserve":
+        return server.reserve(args["rid"], args["node"], args["ttl_s"])
+    if op == "release":
+        return server.release(args["rid"], args["node"])
+    if op == "pin":
+        return server.pin(args["rid"], args["node"], args["ttl_s"])
+    if op == "unpin":
+        return server.unpin(args["rid"], args["node"])
+    if op == "stats":
+        return {"rid": args["rid"], "ok": True, "stats": server.stats()}
+    if op == "reset-metrics":
+        server.metrics.reset()
+        return {"rid": args["rid"], "ok": True}
+    if op == "audit":
+        return {
+            "rid": args["rid"],
+            "ok": True,
+            "audit": server.audit(include_nodes=args.get("include_nodes", False)),
+        }
+    if op == "checkpoint":
+        path = server.checkpoint()
+        return {
+            "rid": args["rid"],
+            "ok": path is not None,
+            "path": str(path) if path else None,
+        }
+    raise ShardError(f"unknown shard control op {op!r}")
+
+
+def shard_worker_main(conn, cfg: dict) -> None:
+    """Worker-process entry (spawn context): serve one shard over a
+    duplex pipe until a ``drain`` control arrives or the pipe closes.
+    A dead router closes the pipe -> the worker exits; an engine
+    failure is reported as a ``fatal`` message (the router answers the
+    shard's in-flight requests with shard-unavailable rejections)."""
+    import gc
+    import traceback
+
+    try:
+        server = build_shard(cfg)
+        # The bootstrap network is millions of long-lived objects (one
+        # Counter per node); moving them to the permanent generation
+        # keeps every later cyclic-GC pass off them.  Worth ~30% of
+        # steady-state throughput at shard sizes >= 2^16, and safe only
+        # because a worker process is dedicated to its shard for life.
+        gc.collect()
+        gc.freeze()
+        conn.send(
+            (
+                MSG_READY,
+                {
+                    "shard": server.index,
+                    "size": server.net.size,
+                    "region": list(server.region),
+                    "nodes": sorted(server.net.nodes()),
+                    "restored": bool(cfg.get("restore")),
+                },
+            )
+        )
+        draining = False
+        served_first = False
+        while True:
+            timeout = server.poll_timeout()
+            if conn.poll(timeout if timeout is not None else None):
+                kind, payload = conn.recv()
+                if kind == MSG_REQUESTS:
+                    if not served_first:
+                        # First traffic: re-anchor the shard's elapsed
+                        # clock so per-shard events/s excludes the idle
+                        # wait for the rest of the cluster to bootstrap.
+                        served_first = True
+                        server.metrics.reset_windows()
+                    for req in payload:
+                        server.submit(*req)
+                elif kind == MSG_CONTROL:
+                    op, args = payload
+                    if op == "drain":
+                        draining = True
+                    else:
+                        conn.send((MSG_CTL_REPLY, _handle_control(server, op, args)))
+                # Drain everything already buffered before flushing.
+                while conn.poll(0):
+                    kind, payload = conn.recv()
+                    if kind == MSG_REQUESTS:
+                        for req in payload:
+                            server.submit(*req)
+                    elif kind == MSG_CONTROL:
+                        op, args = payload
+                        if op == "drain":
+                            draining = True
+                        else:
+                            conn.send(
+                                (MSG_CTL_REPLY, _handle_control(server, op, args))
+                            )
+            if draining:
+                acks = server.drain()
+                if acks:
+                    conn.send((MSG_ACKS, acks))
+                conn.send((MSG_DRAINED, server.stats()))
+                return
+            if server.flush_due():
+                acks = server.flush()
+                if acks:
+                    conn.send((MSG_ACKS, acks))
+    except EOFError:
+        return
+    except Exception:  # noqa: BLE001 -- last words beat a silent exit
+        try:
+            conn.send((MSG_FATAL, traceback.format_exc()))
+        except (OSError, BrokenPipeError):
+            pass

@@ -65,6 +65,15 @@ class TestServe:
         assert "restored step" in second
         assert "checkpoints:" in second  # the restored run keeps checkpointing
 
+    def test_cluster_mode_rejects_unsupported_overload_flags(self, capsys):
+        # --policy / --queue-limit are single-gateway knobs: cluster mode
+        # must refuse them loudly, never silently run the fixed defaults.
+        base = ["serve", "--shards", "2", "--duration", "0.1"]
+        assert main(base + ["--policy", "shed-oldest"]) == 2
+        assert "not supported in cluster mode" in capsys.readouterr().err
+        assert main(base + ["--queue-limit", "64"]) == 2
+        assert "--queue-limit" in capsys.readouterr().err
+
     def test_restore_from_empty_directory_fails_loudly(self, tmp_path):
         from repro.errors import SnapshotError
 

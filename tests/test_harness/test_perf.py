@@ -82,6 +82,15 @@ class TestReportPlumbing:
         assert "created" in report["service"]["service"]["meta"]
         # existing sections untouched
         assert report["runs"]["lbl"]["n64"]["churn_per_step_ms"] == 0.5
+        # a second invocation under the same label accumulates rows
+        # instead of clobbering the earlier ones (soak + shard-sweep
+        # runs share one label)
+        perf.write_service(
+            path, "service", {"n64/shards2": {"events_per_s": 1700.0}}
+        )
+        report = json.loads(path.read_text())
+        assert report["service"]["service"]["n64"]["events_per_s"] == 1000.0
+        assert report["service"]["service"]["n64/shards2"]["events_per_s"] == 1700.0
 
     def test_speedups_include_batch_metrics(self):
         runs = {
@@ -190,7 +199,7 @@ class TestBenchHelpers:
             "service": {"pr5": {"n64": {"events_per_s": 900.0}}},
         }))
         report = perf.load_report(path)
-        assert report["schema"] == perf.SCHEMA == "dex-perf/6"
+        assert report["schema"] == perf.SCHEMA == "dex-perf/7"
         assert report["service"]["pr5"]["n64"]["events_per_s"] == 900.0
 
 
