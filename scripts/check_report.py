@@ -159,6 +159,30 @@ def check_shard(args: argparse.Namespace) -> str:
     )
 
 
+def check_staticcheck(args: argparse.Namespace) -> str:
+    from repro.analysis.staticcheck import SCHEMA as STATICCHECK_SCHEMA
+
+    report = _load(args.report, schema=False)
+    assert report["schema"] == STATICCHECK_SCHEMA, (
+        f"schema {report['schema']!r} != checker {STATICCHECK_SCHEMA!r}"
+    )
+    # a clean report over a near-empty tree is no receipt: assert the
+    # scan actually covered the package
+    assert report["files_checked"] >= args.min_files, (
+        f"only {report['files_checked']} files checked "
+        f"(floor {args.min_files}): wrong path scanned?"
+    )
+    assert report["ok"], report["counts"]
+    # every live suppression must carry its written reason
+    assert all(s.get("reason") for s in report["suppressed"]), (
+        report["suppressed"]
+    )
+    return (
+        f"staticcheck ok: {report['files_checked']} files, "
+        f"{len(report['suppressed'])} suppression(s)"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="check_report",
@@ -212,6 +236,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--size", type=int, default=256)
     p.add_argument("--shards", type=int, default=2)
     p.set_defaults(check=check_shard)
+
+    p = sub.add_parser("staticcheck", help="staticcheck findings report")
+    p.add_argument("report")
+    p.add_argument("--min-files", type=int, default=70,
+                   help="floor on files_checked (guards against an "
+                        "accidentally empty scan)")
+    p.set_defaults(check=check_staticcheck)
 
     args = parser.parse_args(argv)
     try:

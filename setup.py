@@ -13,6 +13,11 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+    extras_require={
+        # the CI static-analysis/lint toolchain (not needed at runtime)
+        "dev": ["mypy>=1.8", "ruff>=0.4", "pytest>=7.0", "hypothesis>=6.0"],
+    },
 )

@@ -1,0 +1,84 @@
+"""CLI: ``python -m repro.analysis.staticcheck [paths...]``.
+
+Exit status: 0 = clean (every finding suppressed with a reason),
+1 = findings, 2 = bad invocation.  ``--json`` writes the
+machine-readable report (schema ``dex-staticcheck/1``) that CI uploads
+and ``scripts/check_report.py staticcheck`` asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.staticcheck.engine import check_paths, write_json
+from repro.analysis.staticcheck.rules import ALL_RULES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.staticcheck",
+        description="project-specific static analysis (determinism, "
+        "async-safety, layering)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or package roots to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        help="write the JSON report to OUT ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--rules",
+        nargs="+",
+        metavar="ID",
+        help="run only rules whose id (or family prefix) matches",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{', '.join(rule.ids)}\n    {rule.description}")
+        return 0
+
+    rules = ALL_RULES
+    if args.rules:
+        wanted = set(args.rules)
+        rules = [
+            rule
+            for rule in ALL_RULES
+            if any(
+                rid in wanted or rid.split("/", 1)[0] in wanted
+                for rid in rule.ids
+            )
+        ]
+        if not rules:
+            parser.error(f"no rule matches {sorted(wanted)}")
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"no such path: {missing}")
+
+    report = check_paths(args.paths, rules)
+    if args.json == "-":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        if args.json:
+            write_json(report, args.json)
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,326 @@
+"""The staticcheck engine: module loading, suppression directives,
+rule dispatch and the JSON report.
+
+The engine knows nothing about individual rules -- it walks the tree,
+parses each module once, hands :class:`ModuleInfo` to every rule, and
+reconciles the raw findings against the suppression directives found in
+the source.  Rules live in :mod:`repro.analysis.staticcheck.rules`.
+
+**Suppressions.**  A finding is silenced by a directive comment that
+*must* carry a written reason after ``--``::
+
+    value = time.time()  # staticcheck: ignore[determinism/wall-clock] -- user-facing timestamp
+
+    # staticcheck: ignore[async/blocking-call] -- startup path, loop not running yet
+    data = open(path).read()
+
+    # staticcheck: ignore-file[layering/import-dag] -- migration shim, removed in the next PR
+
+``ignore[...]`` matches findings on its own line or the line directly
+below (the standalone-comment form); ``ignore-file[...]`` matches the
+whole file.  The bracket list takes full rule ids or a family prefix
+(``determinism`` matches every ``determinism/*`` rule).  Directives are
+themselves checked: a missing reason, an unknown rule name, or a
+directive that suppresses nothing each produce a finding, so stale
+suppressions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.staticcheck.rules import Rule
+
+#: report schema tag, asserted by ``scripts/check_report.py staticcheck``
+SCHEMA = "dex-staticcheck/1"
+
+#: rule ids emitted by the engine itself (directive hygiene + parsing)
+ENGINE_RULE_IDS = (
+    "suppression/missing-reason",
+    "suppression/unknown-rule",
+    "suppression/unused",
+    "parse/syntax-error",
+)
+
+_DIRECTIVE = re.compile(
+    r"#\s*staticcheck:\s*(?P<kind>ignore(?:-file)?)"
+    r"\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    rel: str  # path relative to the scanned root, posix separators
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.rel}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed directive comment."""
+
+    kind: str  # "ignore" | "ignore-file"
+    rules: tuple[str, ...]
+    reason: str | None
+    rel: str
+    line: int
+
+    def matches(self, finding: Finding) -> bool:
+        if self.rel != finding.rel:
+            return False
+        if self.kind == "ignore" and finding.line not in (self.line, self.line + 1):
+            return False
+        family = finding.rule.split("/", 1)[0]
+        return any(entry in (finding.rule, family) for entry in self.rules)
+
+
+@dataclass
+class ModuleInfo:
+    """Everything a rule gets to see about one module."""
+
+    path: Path  # absolute path on disk
+    rel: str  # posix path relative to the scanned root
+    package: str  # first path component ("core", "cli", "__init__", ...)
+    tree: ast.Module
+    lines: list[str]
+    #: ``(line, text)`` of every comment token -- directives are parsed
+    #: from here, so a directive *quoted in a docstring* (like the ones
+    #: documenting this very feature) is inert
+    comments: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def is_package_root(self) -> bool:
+        """True for the scanned root's own ``__init__.py`` (the façade)."""
+        return self.rel == "__init__.py"
+
+
+@dataclass
+class Report:
+    """The reconciled result of one run."""
+
+    roots: list[str]
+    rules: list[str]
+    files_checked: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.rule] = out.get(finding.rule, 0) + 1
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "ok": self.ok,
+            "roots": self.roots,
+            "rules": self.rules,
+            "files_checked": self.files_checked,
+            "counts": self.counts(),
+            "findings": [vars(f) for f in self.findings],
+            "suppressed": self.suppressed,
+        }
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        verdict = (
+            f"staticcheck: {len(self.findings)} finding(s) in "
+            f"{self.files_checked} file(s)"
+            if self.findings
+            else f"staticcheck: ok ({self.files_checked} file(s), "
+            f"{len(self.suppressed)} suppression(s))"
+        )
+        return "\n".join(lines + [verdict])
+
+
+def _package_of(rel: str) -> str:
+    head = rel.split("/", 1)[0]
+    return head[:-3] if head.endswith(".py") else head
+
+
+def load_module(path: Path, rel: str) -> ModuleInfo | None:
+    """Parse one file; ``None`` means a syntax error (reported by the
+    caller as a ``parse/syntax-error`` finding, not an exception -- a
+    checker that crashes on the code it polices gates nothing)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    comments = [
+        (tok.start[0], tok.string)
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline)
+        if tok.type == tokenize.COMMENT
+    ]
+    return ModuleInfo(
+        path=path,
+        rel=rel,
+        package=_package_of(rel),
+        tree=tree,
+        lines=source.splitlines(),
+        comments=comments,
+    )
+
+
+def parse_suppressions(module: ModuleInfo) -> list[Suppression]:
+    out: list[Suppression] = []
+    for lineno, text in module.comments:
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            entry.strip() for entry in match.group("rules").split(",") if entry.strip()
+        )
+        out.append(
+            Suppression(
+                kind=match.group("kind"),
+                rules=rules,
+                reason=match.group("reason"),
+                rel=module.rel,
+                line=lineno,
+            )
+        )
+    return out
+
+
+def iter_python_files(root: Path) -> Iterable[tuple[Path, str]]:
+    """``(path, rel)`` for every ``.py`` under ``root`` (or ``root``
+    itself when it is a file), skipping caches, sorted for stable
+    reports."""
+    if root.is_file():
+        yield root, root.name
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path, path.relative_to(root).as_posix()
+
+
+def _reconcile(
+    raw: list[Finding],
+    suppressions: list[Suppression],
+    known_ids: set[str],
+) -> tuple[list[Finding], list[dict]]:
+    """Apply directives to raw findings; emit directive-hygiene findings
+    for bad or useless directives."""
+    active: list[Finding] = []
+    suppressed: list[dict] = []
+    used: set[int] = set()
+    valid = [s for s in suppressions if s.reason is not None]
+    for finding in raw:
+        hit = next((s for s in valid if s.matches(finding)), None)
+        if hit is None:
+            active.append(finding)
+        else:
+            used.add(id(hit))
+            suppressed.append({**vars(finding), "reason": hit.reason})
+    families = {rule_id.split("/", 1)[0] for rule_id in known_ids}
+    for suppression in suppressions:
+        if suppression.reason is None:
+            active.append(
+                Finding(
+                    "suppression/missing-reason",
+                    suppression.rel,
+                    suppression.line,
+                    0,
+                    "suppression must carry a reason: "
+                    "`# staticcheck: ignore[rule] -- why`",
+                )
+            )
+            continue
+        for entry in suppression.rules:
+            if entry not in known_ids and entry not in families:
+                active.append(
+                    Finding(
+                        "suppression/unknown-rule",
+                        suppression.rel,
+                        suppression.line,
+                        0,
+                        f"unknown rule {entry!r} in suppression",
+                    )
+                )
+        if id(suppression) not in used:
+            active.append(
+                Finding(
+                    "suppression/unused",
+                    suppression.rel,
+                    suppression.line,
+                    0,
+                    "suppression matches no finding; delete it",
+                )
+            )
+    return active, suppressed
+
+
+def check_paths(
+    paths: Sequence[str | Path],
+    rules: "Sequence[Rule] | None" = None,
+) -> Report:
+    """Run ``rules`` (default: the full registry) over every module
+    under ``paths``.  Each *directory* passed is treated as a package
+    root: the first path component below it is the module's layer name
+    (so scanning ``src/repro`` makes ``core/dex.py`` layer ``core``,
+    and a test fixture tree works the same way)."""
+    from repro.analysis.staticcheck.rules import ALL_RULES
+
+    selected = list(ALL_RULES if rules is None else rules)
+    known_ids = set(ENGINE_RULE_IDS)
+    for rule in selected:
+        known_ids.update(rule.ids)
+    report = Report(
+        roots=[str(p) for p in paths],
+        rules=sorted(known_ids),
+    )
+    raw: list[Finding] = []
+    suppressions: list[Suppression] = []
+    for root in paths:
+        root = Path(root)
+        for path, rel in iter_python_files(root):
+            report.files_checked += 1
+            try:
+                module = load_module(path, rel)
+            except SyntaxError as exc:
+                raw.append(
+                    Finding(
+                        "parse/syntax-error",
+                        rel,
+                        exc.lineno or 1,
+                        exc.offset or 0,
+                        f"could not parse: {exc.msg}",
+                    )
+                )
+                continue
+            suppressions.extend(parse_suppressions(module))
+            for rule in selected:
+                raw.extend(rule.check(module))
+    active, suppressed = _reconcile(raw, suppressions, known_ids)
+    report.findings = sorted(active, key=lambda f: (f.rel, f.line, f.rule))
+    report.suppressed = sorted(
+        suppressed, key=lambda d: (d["rel"], d["line"], d["rule"])
+    )
+    return report
+
+
+def write_json(report: Report, out_path: str | Path) -> None:
+    Path(out_path).write_text(
+        json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

@@ -1,0 +1,262 @@
+"""Async-safety rules: the serving tier's "answered, never dropped"
+contract, checked on every path.
+
+Two failure shapes the runtime harnesses can only sample:
+
+* a *blocking call* inside ``async def`` stalls the whole event loop --
+  every queued client, every deadline sweep, every reader task -- for
+  as long as the call runs;
+* a future created and then *orphaned* by an exception between its
+  creation and the point where something takes responsibility for it
+  (a registry the sweeper scans, a resolved result, an exception
+  handler) hangs its client forever.  PR 5/8 promise exactly zero such
+  futures, under faults included.
+
+The future check is deliberately structural, not a dataflow engine: a
+created future must be **resolved** (``set_result`` / ``set_exception``
+/ ``cancel``), **registered** (stored through an attribute/subscript
+target or passed to a call -- e.g. ``self._pending[rid] = _Pending(f)``),
+or **returned**, and any ``await`` between creation and that first
+evidence must sit in a ``try`` whose handler or ``finally`` resolves
+the future.  That is precisely the shape of every legitimate site in
+``service/gateway.py`` and ``service/router.py``; anything else is
+either a bug or one honest ``# staticcheck: ignore[...] -- reason``
+away from documenting why not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.staticcheck.engine import Finding, ModuleInfo
+from repro.analysis.staticcheck.rules.base import (
+    Rule,
+    import_aliases,
+    resolve_call,
+    walk_skipping_nested_defs,
+)
+
+#: canonical names that block the calling thread.  ``open`` (the
+#: builtin) is handled separately.  Monitored pipes/sockets behind
+#: executors are fine -- the rule only sees *direct* calls in the
+#: async frame.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "os.waitpid",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+    }
+)
+
+#: attribute names whose call resolves a future
+_RESOLVERS = ("set_result", "set_exception", "cancel")
+
+
+class BlockingCallRule(Rule):
+    ids = ("async/blocking-call",)
+    description = (
+        "no blocking calls (time.sleep, open, subprocess, os.system) "
+        "inside async def -- they stall every client on the loop"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            for node in walk_skipping_nested_defs(fn.body):
+                if not isinstance(node, ast.Call):
+                    continue
+                if isinstance(node.func, ast.Name) and node.func.id == "open":
+                    yield Finding(
+                        self.ids[0],
+                        module.rel,
+                        node.lineno,
+                        node.col_offset,
+                        f"sync `open()` inside `async def {fn.name}` "
+                        "blocks the event loop; use an executor",
+                    )
+                    continue
+                dotted = resolve_call(node.func, aliases)
+                if dotted in BLOCKING_CALLS:
+                    yield Finding(
+                        self.ids[0],
+                        module.rel,
+                        node.lineno,
+                        node.col_offset,
+                        f"blocking `{dotted}()` inside `async def "
+                        f"{fn.name}`; await the async equivalent or "
+                        "run it on an executor",
+                    )
+
+
+def _future_creations(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, aliases: dict[str, str]
+) -> list[tuple[str, ast.AST]]:
+    """``(name, assign-node)`` for every ``x = <loop>.create_future()``
+    / ``x = asyncio.Future()`` in the function's own frame."""
+    out: list[tuple[str, ast.AST]] = []
+    for node in walk_skipping_nested_defs(fn.body):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            continue
+        if not isinstance(target, ast.Name) or not isinstance(value, ast.Call):
+            continue
+        func = value.func
+        if isinstance(func, ast.Attribute) and func.attr == "create_future":
+            out.append((target.id, node))
+        else:
+            dotted = resolve_call(func, aliases)
+            if dotted in ("asyncio.Future", "concurrent.futures.Future"):
+                out.append((target.id, node))
+    return out
+
+
+def _mentions(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name for sub in ast.walk(node)
+    )
+
+
+def _resolves(node: ast.AST, name: str) -> bool:
+    """Does ``node``'s subtree call ``<name>.set_result/set_exception/
+    cancel``?"""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _RESOLVERS
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id == name
+        ):
+            return True
+    return False
+
+
+def _evidence_lines(fn: ast.AST, name: str, created: ast.AST) -> list[int]:
+    """Lines where responsibility for the future named ``name`` is
+    taken: resolved, passed to a call, stored through an attribute or
+    subscript target, or returned."""
+    lines: list[int] = []
+    for node in ast.walk(fn):
+        if node is created:
+            continue
+        if isinstance(node, ast.Call):
+            args: list[ast.AST] = list(node.args)
+            args.extend(kw.value for kw in node.keywords)
+            if isinstance(node.func, ast.Attribute) and node.func.attr in _RESOLVERS:
+                args.append(node.func.value)
+            if any(_mentions(arg, name) for arg in args):
+                lines.append(node.lineno)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            stored = any(
+                isinstance(t, (ast.Attribute, ast.Subscript)) for t in targets
+            )
+            value = node.value
+            if stored and value is not None and _mentions(value, name):
+                lines.append(node.lineno)
+        elif isinstance(node, ast.Return):
+            if node.value is not None and _mentions(node.value, name):
+                lines.append(node.lineno)
+        elif isinstance(node, (ast.Await, ast.YieldFrom)):
+            # awaiting the future is taking responsibility for it
+            if _mentions(node.value, name):
+                lines.append(node.lineno)
+    return sorted(lines)
+
+
+def _protected_ranges(
+    fn: ast.AST, name: str
+) -> list[tuple[int, int]]:
+    """Line ranges covered by a ``try`` whose handlers or ``finally``
+    resolve the future -- an ``await`` inside such a range cannot
+    orphan it."""
+    ranges: list[tuple[int, int]] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Try):
+            continue
+        guarded = any(_resolves(h, name) for h in node.handlers) or _resolves(
+            ast.Module(body=node.finalbody, type_ignores=[]), name
+        )
+        if guarded:
+            stmts = node.body + node.orelse
+            if stmts:
+                first = stmts[0].lineno
+                last = max(s.end_lineno or s.lineno for s in stmts)
+                ranges.append((first, last))
+    return ranges
+
+
+class FutureResolutionRule(Rule):
+    ids = ("async/future-orphan", "async/future-exception-path")
+    description = (
+        "every created future must be resolved, registered or returned, "
+        "and awaits before that point must be guarded by a try that "
+        "resolves it -- no client future may hang on an exception path"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            creations = _future_creations(fn, aliases)
+            if not creations:
+                continue
+            protected: dict[str, list[tuple[int, int]]] = {}
+            for name, created in creations:
+                evidence = _evidence_lines(fn, name, created)
+                if not evidence:
+                    yield Finding(
+                        self.ids[0],
+                        module.rel,
+                        created.lineno,
+                        created.col_offset,
+                        f"future `{name}` is created but never resolved, "
+                        "registered or returned -- its awaiter hangs "
+                        "forever",
+                    )
+                    continue
+                first = next(
+                    (ln for ln in evidence if ln > created.lineno), evidence[-1]
+                )
+                if name not in protected:
+                    protected[name] = _protected_ranges(fn, name)
+                for node in walk_skipping_nested_defs(fn.body):
+                    if not isinstance(node, ast.Await):
+                        continue
+                    if not (created.lineno < node.lineno < first):
+                        continue
+                    if _mentions(node.value, name):
+                        continue
+                    if any(
+                        lo <= node.lineno <= hi for lo, hi in protected[name]
+                    ):
+                        continue
+                    yield Finding(
+                        self.ids[1],
+                        module.rel,
+                        node.lineno,
+                        node.col_offset,
+                        f"`await` between creating future `{name}` "
+                        f"(line {created.lineno}) and resolving/"
+                        f"registering it (line {first}): an exception "
+                        "here orphans the future; guard with "
+                        "try/finally or register it first",
+                    )

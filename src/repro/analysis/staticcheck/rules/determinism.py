@@ -1,0 +1,186 @@
+"""Determinism rules: the engine layers may not consult global random
+state, unseeded generators, or the wall clock.
+
+Why this is a *gate* and not a style preference: the reproduction's
+correctness oracles compare transcripts -- scalar vs vector wave
+engines bit-identical for a fixed seed (PR 3), snapshot restore
+bit-identical to the live network (PR 6), campaign-vs-sequential
+differentials (PR 4/5).  One ``random.random()`` or ``time.time()``
+inside a heal path and those oracles still pass while proving nothing.
+
+Scope: the engine layers (:data:`ENGINE_LAYERS`).  The serving and
+harness layers (``harness/``, ``service/``, ``persist/``, ``cli.py``)
+are allowlisted -- they measure latency (monotonic clocks, enforced by
+review + the async rules) and stamp user-facing timestamps, which are
+*supposed* to be wall-clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.staticcheck.engine import Finding, ModuleInfo
+from repro.analysis.staticcheck.rules.base import Rule, import_aliases, resolve_call
+
+#: layers whose code feeds deterministic transcripts.  ``harness``,
+#: ``service``, ``persist`` and ``cli`` are deliberately absent: their
+#: wall-clock use is user-facing (latency reports, snapshot manifest
+#: timestamps) and their randomness is seeded per-instance.
+ENGINE_LAYERS = frozenset(
+    {
+        "core",
+        "net",
+        "virtual",
+        "baselines",
+        "dht",
+        "adversary",
+        "analysis",
+        "types",
+        "errors",
+    }
+)
+
+#: ``random.<fn>()`` module-level functions = hidden global state
+MODULE_RANDOM = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "seed",
+        "getstate",
+        "setstate",
+    }
+)
+
+#: constructors that fall back to OS entropy when called with no seed
+UNSEEDED_CTORS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+    }
+)
+
+#: wall-clock reads (monotonic clocks -- ``time.monotonic``,
+#: ``time.perf_counter``, ``loop.time()`` -- are all fine)
+WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.asctime",
+        "time.strftime",
+        "time.mktime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class _DeterminismRule(Rule):
+    """Shared scoping: skip modules outside the engine layers."""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.package not in ENGINE_LAYERS:
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                dotted = resolve_call(node.func, aliases)
+                if dotted is not None:
+                    yield from self.check_call(module, node, dotted)
+
+    def check_call(
+        self, module: ModuleInfo, node: ast.Call, dotted: str
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ModuleRandomRule(_DeterminismRule):
+    ids = ("determinism/module-random",)
+    description = (
+        "engine layers may not call random-module-level functions "
+        "(hidden global state; thread a seeded random.Random instead)"
+    )
+
+    def check_call(
+        self, module: ModuleInfo, node: ast.Call, dotted: str
+    ) -> Iterator[Finding]:
+        head, _, fn = dotted.rpartition(".")
+        if head == "random" and fn in MODULE_RANDOM:
+            yield Finding(
+                self.ids[0],
+                module.rel,
+                node.lineno,
+                node.col_offset,
+                f"`{dotted}()` uses the shared module-level generator; "
+                "thread a seeded `random.Random` through instead",
+            )
+
+
+class UnseededRngRule(_DeterminismRule):
+    ids = ("determinism/unseeded-rng",)
+    description = (
+        "engine layers may not construct generators without an explicit "
+        "seed (OS entropy breaks transcript and snapshot bit-identity)"
+    )
+
+    def check_call(
+        self, module: ModuleInfo, node: ast.Call, dotted: str
+    ) -> Iterator[Finding]:
+        if dotted in UNSEEDED_CTORS and not node.args and not node.keywords:
+            yield Finding(
+                self.ids[0],
+                module.rel,
+                node.lineno,
+                node.col_offset,
+                f"`{dotted}()` with no seed draws OS entropy; pass an "
+                "explicit seed (or a spawned child generator)",
+            )
+
+
+class WallClockRule(_DeterminismRule):
+    ids = ("determinism/wall-clock",)
+    description = (
+        "engine layers may not read the wall clock (NTP steps make it "
+        "non-monotonic; deadline/latency math uses time.monotonic or "
+        "time.perf_counter, timestamps belong to the serving layers)"
+    )
+
+    def check_call(
+        self, module: ModuleInfo, node: ast.Call, dotted: str
+    ) -> Iterator[Finding]:
+        if dotted in WALL_CLOCK:
+            yield Finding(
+                self.ids[0],
+                module.rel,
+                node.lineno,
+                node.col_offset,
+                f"`{dotted}()` reads the wall clock; use time.monotonic"
+                " / time.perf_counter (or move the timestamp to a "
+                "serving layer)",
+            )

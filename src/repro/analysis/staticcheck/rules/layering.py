@@ -1,0 +1,142 @@
+"""Layering rule: the declared import DAG, enforced on every module.
+
+The reproduction's packages form a strict tower (foundation at rank 0,
+``cli`` at the top)::
+
+    types, errors            0   pure data / exception vocabulary
+    virtual, analysis,       1   p-cycle math, measurements, adversary
+      adversary                  strategies (engine-facing, no deps up)
+    net                      2   graph + walks + waves
+    dht                      3   hashing over net
+    core                     4   the healing engine
+    baselines, persist       5   alternative overlays; snapshots
+    service                  6   gateway / shards / router
+    harness                  7   runners, scenarios, perf, faults
+    cli                      8   the executable surface
+
+A module may import strictly *down* the tower (and its own package).
+``repro/__init__.py`` is the published façade and may re-export
+anything except ``cli``; nothing imports ``cli`` -- it is an
+entrypoint, not a library.  Imports under ``if TYPE_CHECKING:`` are
+annotation-only and exempt (they are how ``dht`` names ``DexNetwork``
+without a runtime cycle).
+
+A package missing from the map is a finding, not a pass: adding a
+package to the tree forces a decision about where it sits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.staticcheck.engine import Finding, ModuleInfo
+from repro.analysis.staticcheck.rules.base import Rule, type_checking_linenos
+
+#: the declared tower: package name -> rank (lower = more foundational)
+LAYERS: dict[str, int] = {
+    "types": 0,
+    "errors": 0,
+    "virtual": 1,
+    "analysis": 1,
+    "adversary": 1,
+    "net": 2,
+    "dht": 3,
+    "core": 4,
+    "baselines": 5,
+    "persist": 5,
+    "service": 6,
+    "harness": 7,
+    "cli": 8,
+}
+
+#: the root package whose internal imports the rule polices
+ROOT_PACKAGE = "repro"
+
+
+def _imported_packages(tree: ast.Module) -> Iterator[tuple[str, int, int]]:
+    """``(first-level package, line, col)`` for every import of
+    ``repro.*`` (the caller filters TYPE_CHECKING lines)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] == ROOT_PACKAGE and len(parts) > 1:
+                    yield parts[1], node.lineno, node.col_offset
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            parts = node.module.split(".")
+            if parts[0] != ROOT_PACKAGE:
+                continue
+            if len(parts) > 1:
+                yield parts[1], node.lineno, node.col_offset
+            else:
+                # ``from repro import core`` names packages directly
+                for alias in node.names:
+                    yield alias.name, node.lineno, node.col_offset
+
+
+class LayeringRule(Rule):
+    ids = ("layering/import-dag", "layering/unknown-layer")
+    description = (
+        "imports follow the declared layer tower (core -> net -> "
+        "service -> harness); nothing imports cli; new packages must "
+        "be added to the layer map"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        exempt = type_checking_linenos(module.tree)
+        imports = [
+            item
+            for item in _imported_packages(module.tree)
+            if item[1] not in exempt
+        ]
+        if module.is_package_root:
+            # the façade re-exports freely -- but never the entrypoint
+            for package, line, col in imports:
+                if package == "cli":
+                    yield Finding(
+                        self.ids[0],
+                        module.rel,
+                        line,
+                        col,
+                        "the package façade may not re-export `cli` "
+                        "(it is an entrypoint, not a library)",
+                    )
+            return
+        own = module.package
+        own_rank = LAYERS.get(own)
+        if own_rank is None:
+            yield Finding(
+                self.ids[1],
+                module.rel,
+                1,
+                0,
+                f"package {own!r} is not in the declared layer map; "
+                "add it to staticcheck/rules/layering.py with a rank",
+            )
+            return
+        for package, line, col in imports:
+            if package == own:
+                continue
+            rank = LAYERS.get(package)
+            if rank is None:
+                yield Finding(
+                    self.ids[1],
+                    module.rel,
+                    line,
+                    col,
+                    f"imported package {package!r} is not in the "
+                    "declared layer map",
+                )
+            elif rank >= own_rank:
+                yield Finding(
+                    self.ids[0],
+                    module.rel,
+                    line,
+                    col,
+                    f"layer {own!r} (rank {own_rank}) may not import "
+                    f"{package!r} (rank {rank}): the tower goes "
+                    "types/errors -> virtual/analysis/adversary -> net "
+                    "-> dht -> core -> baselines/persist -> service -> "
+                    "harness -> cli",
+                )

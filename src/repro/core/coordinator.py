@@ -39,7 +39,7 @@ class Coordinator:
     counters against a from-scratch recount.
     """
 
-    def __init__(self, overlay: Overlay, config: DexConfig):
+    def __init__(self, overlay: Overlay, config: DexConfig) -> None:
         self.overlay = overlay
         self.config = config
         self.n = 0

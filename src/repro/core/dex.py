@@ -38,6 +38,7 @@ from repro.virtual.pcycle import PCycle
 from repro.virtual.primes import deflation_prime, initial_prime
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.multi import BatchOutcome
     from repro.dht.dht import DexDHT
 
 
@@ -228,7 +229,7 @@ class DexNetwork:
 
     def insert_batch_partial(
         self, attachments: "Sequence[tuple[NodeId, NodeId]]"
-    ):
+    ) -> "BatchOutcome":
         """Partial-batch insertion: heal the legal subset in one wave
         and report per-entry rejections; see
         :func:`repro.core.multi.insert_batch_partial`."""
@@ -236,7 +237,7 @@ class DexNetwork:
 
         return insert_batch_partial(self, attachments)
 
-    def delete_batch_partial(self, nodes: "Sequence[NodeId]"):
+    def delete_batch_partial(self, nodes: "Sequence[NodeId]") -> "BatchOutcome":
         """Partial-batch deletion: heal the legal victims in one wave
         and report per-victim rejections; see
         :func:`repro.core.multi.delete_batch_partial`."""

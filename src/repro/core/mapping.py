@@ -40,7 +40,7 @@ class LayerMapping:
         "on_counts_delta",
     )
 
-    def __init__(self, pcycle: PCycle, low_threshold: int):
+    def __init__(self, pcycle: PCycle, low_threshold: int) -> None:
         self.pcycle = pcycle
         self.low_threshold = low_threshold
         self.host: dict[Vertex, NodeId] = {}

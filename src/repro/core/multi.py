@@ -70,6 +70,7 @@ from repro.types import Layer, NodeId, RecoveryType, StepKind, Vertex
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.dex import DexNetwork
+    from repro.net.topology import DynamicMultigraph
 
 MAX_ATTACH_PER_NODE = 4
 
@@ -417,7 +418,9 @@ def partition_delete_batch(
     return legal, rejected, adopter
 
 
-def _restore_for_connectivity(graph, legal: Sequence[NodeId]) -> list[NodeId]:
+def _restore_for_connectivity(
+    graph: "DynamicMultigraph", legal: Sequence[NodeId]
+) -> list[NodeId]:
     """The victims to re-admit (reject) so the remainder reconnects.
 
     Union-find over the survivor graph, then restore sweeps latest-first

@@ -47,7 +47,7 @@ class OverlayListener(Protocol):
 class Overlay:
     """Real graph + virtual layers + intermediate edges."""
 
-    def __init__(self, graph: DynamicMultigraph, primary: LayerMapping):
+    def __init__(self, graph: DynamicMultigraph, primary: LayerMapping) -> None:
         self.graph = graph
         self.old = primary
         self.new: LayerMapping | None = None

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import RecoveryError
 from repro.net.metrics import CostLedger
@@ -92,7 +92,10 @@ def _charge_inverse_edges(
 
 
 def _chord_packets(
-    pcycle_new: PCycle, parent_of, old_p: int, new_p: int
+    pcycle_new: PCycle,
+    parent_of: Callable[[Vertex, int, int], Vertex],
+    old_p: int,
+    new_p: int,
 ) -> list[tuple[Vertex, Vertex]]:
     """One routing packet per chord edge of the new cycle, addressed
     between the old vertices whose clouds host the endpoints."""

@@ -30,7 +30,7 @@ contending/taken protocol of Procedure ``deflate``.
 from __future__ import annotations
 
 from collections import Counter
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.type1 import walk_for
 from repro.errors import RecoveryError
@@ -56,7 +56,7 @@ _DIST_SAMPLE_PER_STEP = 3
 class StaggeredOp:
     """One in-flight staggered inflation or deflation."""
 
-    def __init__(self, dex: "DexNetwork", kind: str, ledger: CostLedger):
+    def __init__(self, dex: "DexNetwork", kind: str, ledger: CostLedger) -> None:
         if kind not in ("inflate", "deflate"):
             raise ValueError(f"unknown staggered kind {kind!r}")
         self.dex = dex
@@ -406,7 +406,14 @@ class StaggeredOp:
         if overlay.total_load(v) > config.stagger_max_load:
             self.force_complete(ledger)
 
-    def _place_with_retries(self, ledger, start, primary, fallback, apply) -> bool:
+    def _place_with_retries(
+        self,
+        ledger: CostLedger,
+        start: NodeId,
+        primary: Callable[[NodeId], bool],
+        fallback: Callable[[NodeId], bool],
+        apply: Callable[[NodeId], None],
+    ) -> bool:
         config = self.dex.config
         for predicate in (primary, fallback):
             for _ in range(max(2, config.max_type1_retries // 4)):

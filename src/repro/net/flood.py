@@ -34,7 +34,12 @@ from repro.types import NodeId
 class _FloodProc:
     """Engine process implementing flood/echo with per-node values."""
 
-    def __init__(self, graph: DynamicMultigraph, origin: NodeId, value_of: Callable[[NodeId], int]):
+    def __init__(
+        self,
+        graph: DynamicMultigraph,
+        origin: NodeId,
+        value_of: Callable[[NodeId], int],
+    ) -> None:
         self.graph = graph
         self.origin = origin
         self.value_of = value_of

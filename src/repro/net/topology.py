@@ -857,7 +857,13 @@ class DynamicMultigraph:
                     data.append(float(m))
         n = len(expect_order)
         B = sp.csr_matrix(
-            (np.asarray(data), (np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64))),
+            (
+                np.asarray(data),
+                (
+                    np.asarray(rows, dtype=np.int64),
+                    np.asarray(cols, dtype=np.int64),
+                ),
+            ),
             shape=(n, n),
         )
         diff = (A - B).tocoo()

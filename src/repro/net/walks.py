@@ -276,7 +276,7 @@ def _wave_scalar(
     length: int,
     members: "Container[NodeId]",
     active: list[int],
-    gen,
+    gen: "np.random.Generator | None",
     rng: random.Random,
     excl: list[NodeId | None],
     transcript: list | None,
@@ -366,7 +366,7 @@ def _wave_vector(
     length: int,
     members: "Container[NodeId]",
     active_list: list[int],
-    gen,
+    gen: "np.random.Generator",
     rng: random.Random,
     excl: list[NodeId | None],
     transcript: list | None,

@@ -250,7 +250,9 @@ def _read_arrays(path: Path, manifest: dict) -> dict[str, np.ndarray]:
     return arrays
 
 
-def _check_pair_symmetry(path: Path, src, dst, mult) -> None:
+def _check_pair_symmetry(
+    path: Path, src: "np.ndarray", dst: "np.ndarray", mult: "np.ndarray"
+) -> None:
     """Every positive off-diagonal triplet must have an equal mirror
     ((u, v, m) and (v, u, m)) -- an asymmetric adjacency cannot have
     come from a DynamicMultigraph.  A given ordered pair appears at most

@@ -90,6 +90,7 @@ from repro.types import NodeId
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.dex import DexNetwork
+    from repro.core.multi import BatchOutcome
 
 
 @dataclass(frozen=True)
@@ -322,7 +323,7 @@ class MembershipGateway:
 
     @classmethod
     def from_checkpoint(
-        cls, checkpoint_root: str | Path, **kwargs
+        cls, checkpoint_root: str | Path, **kwargs: object
     ) -> "MembershipGateway":
         """Build a gateway over the newest loadable checkpoint under
         ``checkpoint_root``.  The restored gateway checkpoints back into
@@ -343,7 +344,7 @@ class MembershipGateway:
     async def __aenter__(self) -> "MembershipGateway":
         return await self.start()
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.close()
 
     # ------------------------------------------------------------------
@@ -755,7 +756,7 @@ class MembershipGateway:
             self._doubt = set(payload)
             heal_call = self.net.delete_batch_partial
 
-        def heal():
+        def heal() -> "tuple[BatchOutcome, float]":
             t0 = self._clock()
             outcome = heal_call(payload)
             return outcome, self._clock() - t0
@@ -928,7 +929,7 @@ class MembershipGateway:
         kind: str,
         requests: list[_Request],
         nodes: list[NodeId],
-        outcome,
+        outcome: "BatchOutcome",
         heal_s: float,
     ) -> None:
         """Turn one :class:`BatchOutcome` into one individual ack per

@@ -43,7 +43,9 @@ from __future__ import annotations
 import asyncio
 import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
+
+from repro.types import NodeId
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.service.gateway import Ack, MembershipGateway
@@ -151,7 +153,7 @@ class Population:
     """The generator's optimistic view of live node ids: uniform victim
     sampling in O(1) via swap-remove over a list + index map."""
 
-    def __init__(self, ids, rng: random.Random) -> None:
+    def __init__(self, ids: Iterable[NodeId], rng: random.Random) -> None:
         self._ids = list(ids)
         self._index = {node: i for i, node in enumerate(self._ids)}
         self._rng = rng
@@ -159,17 +161,17 @@ class Population:
     def __len__(self) -> int:
         return len(self._ids)
 
-    def sample(self):
+    def sample(self) -> NodeId | None:
         if not self._ids:
             return None
         return self._ids[self._rng.randrange(len(self._ids))]
 
-    def add(self, node) -> None:
+    def add(self, node: NodeId | None) -> None:
         if node is not None and node not in self._index:
             self._index[node] = len(self._ids)
             self._ids.append(node)
 
-    def discard(self, node) -> None:
+    def discard(self, node: NodeId) -> None:
         i = self._index.pop(node, None)
         if i is None:
             return
@@ -182,7 +184,7 @@ class Population:
 async def _client(
     gateway: "MembershipGateway",
     kind: str,
-    victim,
+    victim: NodeId | None,
     population: Population,
     stats: LoadStats,
     retry: RetryPolicy | None = None,

@@ -41,7 +41,7 @@ import queue
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import GatewayClosed, ShardError
 from repro.service.gateway import Ack
@@ -91,7 +91,7 @@ class InlineShardHandle:
             )
         )
 
-    def send(self, msg) -> None:
+    def send(self, msg: tuple[str, Any]) -> None:
         if not self._alive:
             raise BrokenPipeError(f"shard {self.index} killed")
         kind, payload = msg
@@ -125,7 +125,7 @@ class InlineShardHandle:
         if acks:
             self._replies.put((MSG_ACKS, acks))
 
-    def recv(self):
+    def recv(self) -> tuple[str, Any]:
         item = self._replies.get()
         if item is _EOF:
             raise EOFError(f"shard {self.index} closed")
@@ -151,7 +151,7 @@ class ProcessShardHandle:
     duplex pipe.  ``recv`` blocks (the router runs it on the executor);
     a dead worker closes the pipe, which ``recv`` reports as EOF."""
 
-    def __init__(self, index: int, cfg: dict, *, ctx=None) -> None:
+    def __init__(self, index: int, cfg: dict, *, ctx: Any = None) -> None:
         import multiprocessing as mp
 
         from repro.service.shard import shard_worker_main
@@ -167,10 +167,10 @@ class ProcessShardHandle:
         self.process.start()
         child.close()
 
-    def send(self, msg) -> None:
+    def send(self, msg: tuple[str, Any]) -> None:
         self._conn.send(msg)
 
-    def recv(self):
+    def recv(self) -> tuple[str, Any]:
         return self._conn.recv()
 
     def poll(self, timeout: float = 0.0) -> bool:
@@ -203,6 +203,26 @@ class _Pending:
     deadline_at: float | None
 
 
+@dataclass(eq=False)
+class _PendingCtl:
+    """An outstanding control verb.  ``deadline_at`` is never ``None``:
+    a control future a *wedged* (alive but silent) shard never answers
+    would otherwise hang its caller forever -- and a handoff awaiting
+    ``reserve``/``pin`` would hang the client with it, past any client
+    deadline.  The sweeper answers expired entries with ``None``, the
+    same "no answer" outcome as a dead shard."""
+
+    future: asyncio.Future
+    shard: int
+    deadline_at: float
+
+
+#: control verbs that are phases of a client-facing handoff: bounded by
+#: the handoff TTL (a reply arriving later is protocol-stale anyway --
+#: the server-side reservation/pin it refers to has expired)
+_HANDOFF_VERBS = frozenset({"reserve", "pin", "release", "unpin"})
+
+
 class ShardRouter:
     """Client-facing front of a sharded membership cluster.  Built over
     a list of :class:`ShardHandle`-shaped objects; :func:`start_cluster`
@@ -210,13 +230,14 @@ class ShardRouter:
 
     def __init__(
         self,
-        handles,
+        handles: Sequence[Any],
         *,
         shard_map: ShardMap | None = None,
         cfgs: list[dict] | None = None,
         deadline_ms: float | None = None,
         handoff_ttl_s: float = 2.0,
         sweep_interval_s: float = 0.05,
+        ctl_timeout_s: float = 30.0,
         clock: Callable[[], float] = time.perf_counter,
         metrics: ServiceMetrics | None = None,
     ) -> None:
@@ -236,11 +257,14 @@ class ShardRouter:
         self.deadline_ms = deadline_ms
         self.handoff_ttl_s = handoff_ttl_s
         self.sweep_interval_s = sweep_interval_s
+        #: answer bound for operator controls (stats/audit/...) toward a
+        #: wedged shard; handoff phases use the tighter ``handoff_ttl_s``
+        self.ctl_timeout_s = ctl_timeout_s
         self._clock = clock
         self.metrics = metrics or ServiceMetrics(clock=clock)
         self._rids = itertools.count(1)
         self._pending: dict[int, _Pending] = {}
-        self._pending_ctl: dict[int, tuple[asyncio.Future, int]] = {}
+        self._pending_ctl: dict[int, _PendingCtl] = {}
         self._outbox: dict[int, list] = {i: [] for i in self.handles}
         self._outbox_scheduled: set[int] = set()
         self._down: dict[int, str] = {}
@@ -302,7 +326,7 @@ class ShardRouter:
         else:
             await self._reader_executor(index, handle)
 
-    async def _reader_fd(self, index: int, handle) -> None:
+    async def _reader_fd(self, index: int, handle: Any) -> None:
         """Event-loop-native reader for pipe-backed handles: the fd is
         registered with ``add_reader`` and every available message is
         drained per wakeup.  No thread-pool hop per message -- at
@@ -331,7 +355,7 @@ class ShardRouter:
             except (OSError, ValueError):  # pragma: no cover - closed fd
                 pass
 
-    async def _reader_executor(self, index: int, handle) -> None:
+    async def _reader_executor(self, index: int, handle: Any) -> None:
         """Blocking-recv reader for handles without a file descriptor
         (the in-process test handles)."""
         while True:
@@ -345,15 +369,15 @@ class ShardRouter:
             if not self._dispatch(index, kind, payload):
                 return
 
-    def _dispatch(self, index: int, kind: str, payload) -> bool:
+    def _dispatch(self, index: int, kind: str, payload: Any) -> bool:
         """Process one worker message; False ends the reader task."""
         if kind == MSG_ACKS:
             for ack in payload:
                 self._resolve_ack(ack)
         elif kind == MSG_CTL_REPLY:
             entry = self._pending_ctl.pop(payload["rid"], None)
-            if entry is not None and not entry[0].done():
-                entry[0].set_result(payload)
+            if entry is not None and not entry.future.done():
+                entry.future.set_result(payload)
         elif kind == MSG_DRAINED:
             self._drained[index] = payload
             if self._drain_event is not None:
@@ -384,11 +408,11 @@ class ShardRouter:
                     Ack(False, pending.kind, pending.node, reason, latency, 0)
                 )
         for rid in [
-            r for r, (_f, shard) in self._pending_ctl.items() if shard == index
+            r for r, c in self._pending_ctl.items() if c.shard == index
         ]:
-            future, _shard = self._pending_ctl.pop(rid)
-            if not future.done():
-                future.set_result(None)
+            entry = self._pending_ctl.pop(rid)
+            if not entry.future.done():
+                entry.future.set_result(None)
 
     def _live_shards(self) -> list[int]:
         return [i for i in self.handles if i not in self._down]
@@ -396,7 +420,7 @@ class ShardRouter:
     def shard_is_live(self, index: int) -> bool:
         return index in self.handles and index not in self._down
 
-    async def restart_shard(self, index: int, handle=None) -> dict:
+    async def restart_shard(self, index: int, handle: Any = None) -> dict:
         """Bring a dead shard back -- from its checkpoint directory when
         process-backed (``restore=True`` worker config), or from a
         caller-built handle in inline tests -- and fold it back into the
@@ -474,6 +498,10 @@ class ShardRouter:
                         0,
                     )
                 )
+        for rid in list(self._pending_ctl):
+            entry = self._pending_ctl.pop(rid)
+            if not entry.future.done():
+                entry.future.set_result(None)
         return {
             "router": self.metrics.snapshot(),
             "per_shard": [self._drained[i] for i in sorted(self._drained)],
@@ -632,7 +660,11 @@ class ShardRouter:
     async def _sweep_deadlines(self) -> None:
         """Backstop: a request whose deadline passed is answered here
         even if its shard never speaks again (the acceptance bar is
-        *zero hung futures*, under faults included)."""
+        *zero hung futures*, under faults included).  Control futures
+        are swept too: a shard that is alive but silent (wedged worker,
+        stalled pipe) would otherwise hang a handoff at its ``reserve``
+        or ``pin`` await forever -- the exact mid-handoff hole the
+        async-safety static rule polices."""
         while True:
             await asyncio.sleep(self.sweep_interval_s)
             now = self._clock()
@@ -657,6 +689,15 @@ class ShardRouter:
                         0,
                     )
                 )
+            expired_ctl = [
+                rid
+                for rid, c in self._pending_ctl.items()
+                if c.deadline_at <= now
+            ]
+            for rid in expired_ctl:
+                entry = self._pending_ctl.pop(rid)
+                if not entry.future.done():
+                    entry.future.set_result(None)
 
     # ------------------------------------------------------------------
     # two-phase handoff
@@ -682,9 +723,19 @@ class ShardRouter:
         )
         rid = next(self._rids)
         reserve = await self._control(
-            owner, "reserve", rid=rid, node=node, ttl_s=self.handoff_ttl_s
+            owner,
+            "reserve",
+            rid=rid,
+            node=node,
+            ttl_s=self.handoff_ttl_s,
+            deadline_at=self._phase_deadline(deadline_at),
         )
         if reserve is None:
+            if self._handoff_expired(deadline_at):
+                # the reserve may have landed server-side after all;
+                # fire-and-forget the unwind (the TTL backstops it)
+                self._control(owner, "release", rid=rid, node=node)
+                return self._expire_handoff(node, started_at)
             self.handoffs_rejected += 1
             return self._door_ack("join", node, f"shard {owner} unavailable")
         if not reserve["ok"]:
@@ -694,10 +745,17 @@ class ShardRouter:
             await self._control(owner, "release", rid=rid, node=node)
             return self._expire_handoff(node, started_at)
         pin = await self._control(
-            hint_owner, "pin", rid=rid, node=hint, ttl_s=self.handoff_ttl_s
+            hint_owner,
+            "pin",
+            rid=rid,
+            node=hint,
+            ttl_s=self.handoff_ttl_s,
+            deadline_at=self._phase_deadline(deadline_at),
         )
         if pin is None or not pin["ok"]:
             await self._control(owner, "release", rid=rid, node=node)
+            if pin is None and self._handoff_expired(deadline_at):
+                return self._expire_handoff(node, started_at)
             self.handoffs_rejected += 1
             reason = (
                 pin["reason"]
@@ -729,6 +787,13 @@ class ShardRouter:
     def _handoff_expired(self, deadline_at: float | None) -> bool:
         return deadline_at is not None and self._clock() >= deadline_at
 
+    def _phase_deadline(self, deadline_at: float | None) -> float:
+        """The answer bound of one handoff phase: the handoff TTL,
+        tightened to the client's remaining budget when that is
+        sooner."""
+        ttl_at = self._clock() + self.handoff_ttl_s
+        return ttl_at if deadline_at is None else min(ttl_at, deadline_at)
+
     def _expire_handoff(self, node: NodeId, started_at: float) -> Ack:
         self.handoffs_expired += 1
         self.metrics.record_timeout()
@@ -736,26 +801,45 @@ class ShardRouter:
         self.metrics.record_ack(latency, ok=False)
         return Ack(False, "join", node, DEADLINE_REASON, latency, 0)
 
-    def _control(self, shard: int, op: str, **args) -> asyncio.Future:
+    def _control(
+        self,
+        shard: int,
+        op: str,
+        *,
+        deadline_at: float | None = None,
+        **args: Any,
+    ) -> asyncio.Future:
         """Send one control verb; resolves with the reply dict, or
-        ``None`` when the shard is (or goes) down -- control callers
-        always get an answer."""
+        ``None`` when the shard is (or goes) down *or never answers* --
+        control callers always get an answer.  The default deadline is
+        the handoff TTL for handoff phases (a later reply refers to
+        server-side state that has already expired) and
+        ``ctl_timeout_s`` for operator verbs; pass ``deadline_at`` to
+        tighten it (e.g. to a client's remaining budget)."""
         future = self._loop.create_future()
         if not self.shard_is_live(shard):
             future.set_result(None)
             return future
+        if deadline_at is None:
+            budget = (
+                self.handoff_ttl_s
+                if op in _HANDOFF_VERBS
+                else self.ctl_timeout_s
+            )
+            deadline_at = self._clock() + budget
         rid = args.get("rid")
         if rid is None:
             rid = next(self._rids)
             args["rid"] = rid
-        self._pending_ctl[rid] = (future, shard)
+        self._pending_ctl[rid] = _PendingCtl(future, shard, deadline_at)
         self._flush_outbox(shard)  # keep request/control ordering
         try:
             self.handles[shard].send((MSG_CONTROL, (op, args)))
         except (BrokenPipeError, OSError):
             self._pending_ctl.pop(rid, None)
             self._mark_down(shard, "pipe closed")
-            future.set_result(None)
+            if not future.done():
+                future.set_result(None)
         return future
 
     # ------------------------------------------------------------------
@@ -864,7 +948,7 @@ class _ClusterView:
     def __init__(self) -> None:
         self._ids: set[NodeId] = set()
 
-    def absorb(self, ids) -> None:
+    def absorb(self, ids: Iterable[NodeId]) -> None:
         self._ids.update(ids)
 
     def add(self, node: NodeId) -> None:

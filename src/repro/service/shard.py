@@ -54,7 +54,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import ShardError, SnapshotError
 from repro.service.metrics import ServiceMetrics
@@ -626,7 +626,7 @@ def _handle_control(server: ShardServer, op: str, args: dict) -> dict:
     raise ShardError(f"unknown shard control op {op!r}")
 
 
-def shard_worker_main(conn, cfg: dict) -> None:
+def shard_worker_main(conn: Any, cfg: dict) -> None:
     """Worker-process entry (spawn context): serve one shard over a
     duplex pipe until a ``drain`` control arrives or the pipe closes.
     A dead router closes the pipe -> the worker exits; an engine

@@ -16,6 +16,7 @@ from repro.errors import GatewayClosed
 from repro.service.router import InlineShardHandle, ShardRouter
 from repro.service.shard import (
     DEADLINE_REASON,
+    MSG_CONTROL,
     RESERVED_REASON,
     SHARD_STRIDE,
     ShardMap,
@@ -312,5 +313,126 @@ class TestAuditAndStats:
             assert len(summary["per_shard"]) == 2
             with pytest.raises(GatewayClosed):
                 await router.join()
+
+        run(scenario())
+
+
+class WedgedShardHandle(InlineShardHandle):
+    """Alive but *silent*: handoff control verbs vanish into the void
+    (the pipe stays open, no EOF, no reply ever comes) -- the failure
+    mode of a wedged worker, as opposed to a crashed one."""
+
+    WEDGED = frozenset({"reserve", "pin"})
+
+    def send(self, msg) -> None:
+        kind, payload = msg
+        if kind == MSG_CONTROL and payload[0] in self.WEDGED:
+            return  # swallowed: no reply, no EOF
+        super().send(msg)
+
+
+def make_wedged_cluster(**router_kw):
+    clock = FakeClock()
+    shard_map = ShardMap(2)
+    servers = [make_server(i, shard_map, clock=clock) for i in range(2)]
+    handles = [WedgedShardHandle(servers[0]), InlineShardHandle(servers[1])]
+    router = ShardRouter(
+        handles,
+        shard_map=shard_map,
+        clock=clock,
+        handoff_ttl_s=0.5,
+        sweep_interval_s=0.01,
+        **router_kw,
+    )
+    return router, servers, clock
+
+
+class TestWedgedShard:
+    """Regression: a shard that stops *answering* without dying used to
+    hang a handoff forever at its ``reserve``/``pin`` await -- the
+    deadline sweeper only covered request futures, never control
+    futures, despite the module docstring's "no future ever hangs"
+    claim (the hole the async-safety static rule now polices)."""
+
+    def test_wedged_reserve_cannot_hang_the_handoff(self):
+        async def scenario():
+            router, servers, clock = make_wedged_cluster()
+            await router.start()
+            try:
+                node = servers[0].net.fresh_id()
+                hint = min(servers[1].net.nodes())
+                task = asyncio.ensure_future(
+                    router.join(node_id=node, attach_hint=hint)
+                )
+                await asyncio.sleep(0.05)
+                assert not task.done()  # parked on the swallowed reserve
+                clock.advance(1.0)  # past the handoff TTL
+                ack = await asyncio.wait_for(task, timeout=5.0)
+                assert not ack.ok and "unavailable" in ack.reason
+                assert router.handoff_stats()["in_flight"] == 0
+                assert not router._pending_ctl  # swept, not leaked
+            finally:
+                await router.drain()
+
+        run(scenario())
+
+    def test_wedged_reserve_honors_the_client_deadline(self):
+        async def scenario():
+            router, servers, clock = make_wedged_cluster()
+            await router.start()
+            try:
+                node = servers[0].net.fresh_id()
+                hint = min(servers[1].net.nodes())
+                task = asyncio.ensure_future(
+                    router.join(node_id=node, attach_hint=hint, deadline_ms=100)
+                )
+                await asyncio.sleep(0.05)
+                assert not task.done()
+                clock.advance(0.2)  # client budget (0.1s) gone, TTL not yet
+                ack = await asyncio.wait_for(task, timeout=5.0)
+                assert not ack.ok and ack.reason == DEADLINE_REASON
+                assert router.handoff_stats()["expired"] == 1
+                assert router.handoff_stats()["in_flight"] == 0
+            finally:
+                await router.drain()
+
+        run(scenario())
+
+    def test_wedged_pin_unwinds_the_reservation(self):
+        async def scenario():
+            clock = FakeClock()
+            shard_map = ShardMap(2)
+            servers = [
+                make_server(i, shard_map, clock=clock) for i in range(2)
+            ]
+            handles = [
+                InlineShardHandle(servers[0]),
+                WedgedShardHandle(servers[1]),
+            ]
+            router = ShardRouter(
+                handles,
+                shard_map=shard_map,
+                clock=clock,
+                handoff_ttl_s=0.5,
+                sweep_interval_s=0.01,
+            )
+            await router.start()
+            try:
+                node = servers[0].net.fresh_id()
+                hint = min(servers[1].net.nodes())
+                task = asyncio.ensure_future(
+                    router.join(node_id=node, attach_hint=hint)
+                )
+                await asyncio.sleep(0.05)
+                assert not task.done()  # reserve answered, pin swallowed
+                clock.advance(1.0)
+                ack = await asyncio.wait_for(task, timeout=5.0)
+                assert not ack.ok
+                # the phase-1 reservation was released, not stranded
+                assert not servers[0].reservations
+                assert not servers[0].net.graph.has_node(node)
+                assert router.handoff_stats()["in_flight"] == 0
+            finally:
+                await router.drain()
 
         run(scenario())
