@@ -159,6 +159,33 @@ def check_shard(args: argparse.Namespace) -> str:
     )
 
 
+def check_trace(args: argparse.Namespace) -> str:
+    from repro.obs.render import load_trace
+
+    # load_trace asserts the dex-trace/1 header itself (ValueError on a
+    # wrong file) and tolerates a truncated tail, reporting it as
+    # ``skipped`` -- for a *cleanly* written CI artifact we require zero
+    header, spans, skipped = load_trace(args.report)
+    assert skipped == 0, f"{skipped} unparseable line(s) in a clean export"
+    assert len(spans) >= args.min_spans, (
+        f"only {len(spans)} spans recorded (floor {args.min_spans}): "
+        "tracing was off or the workload collapsed"
+    )
+    names = {s["name"] for s in spans}
+    for s in spans:
+        assert s.get("dur_s", 0.0) >= 0.0, s
+        # flush *phases* are children by construction; an orphan means
+        # parent propagation broke somewhere in the gateway/shard path
+        if ".flush." in s["name"]:
+            assert s.get("parent"), f"flush-phase span without parent: {s}"
+    flush_roots = {n for n in names if n.endswith(".flush")}
+    assert flush_roots, f"no flush root spans among {sorted(names)}"
+    return (
+        f"trace ok: {len(spans)} spans, {len(names)} distinct names, "
+        f"created {header.get('created')}"
+    )
+
+
 def check_staticcheck(args: argparse.Namespace) -> str:
     from repro.analysis.staticcheck import SCHEMA as STATICCHECK_SCHEMA
 
@@ -237,6 +264,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--shards", type=int, default=2)
     p.set_defaults(check=check_shard)
 
+    p = sub.add_parser("trace", help="dex-trace JSONL artifact")
+    p.add_argument("report")
+    p.add_argument("--min-spans", type=int, default=40,
+                   help="floor on recorded spans (guards against a "
+                        "silently disabled recorder)")
+    p.set_defaults(check=check_trace)
+
     p = sub.add_parser("staticcheck", help="staticcheck findings report")
     p.add_argument("report")
     p.add_argument("--min-files", type=int, default=70,
@@ -247,7 +281,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         message = args.check(args)
-    except AssertionError as exc:
+    except (AssertionError, ValueError) as exc:
         print(f"check_report {args.kind} FAILED: {exc}", file=sys.stderr)
         return 1
     except KeyError as exc:

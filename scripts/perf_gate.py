@@ -17,6 +17,10 @@ Usage::
     python scripts/perf_gate.py --soak \
         --baseline BENCH_perf.json --baseline-label pr8 \
         --smoke /tmp/bench_service.json --smoke-label ci-service --size 256
+
+    # gate the tracing overhead (absolute ceilings, no baseline needed):
+    python scripts/perf_gate.py --trace-overhead \
+        --smoke /tmp/bench_trace.json --smoke-label ci-obs --size 256
 """
 
 from __future__ import annotations
@@ -49,6 +53,19 @@ SOAK_TOLERANCES: dict[str, tuple[float, str]] = {
     "ack_p99_ms": (4.0, "lower"),
 }
 
+# Gated with ``--trace-overhead``: absolute ceilings (percent), not
+# baseline ratios -- the obs contract is "enabled tracing costs at most
+# ~5% on the hot paths, disabled at most ~1%", independent of machine.
+# The disabled numbers are synthetic (guard cost x span sites) and sit
+# orders of magnitude under the ceiling; the enabled numbers are
+# best-of-repeats interleaved off/on measurements.
+TRACE_LIMITS: dict[str, float] = {
+    "trace_enabled_churn_overhead_pct": 5.0,
+    "trace_disabled_churn_overhead_pct": 1.0,
+    "trace_enabled_soak_overhead_pct": 5.0,
+    "trace_disabled_soak_overhead_pct": 1.0,
+}
+
 
 def _row(report: dict, label: str, size: int, path: str,
          section: str = "runs") -> dict:
@@ -64,9 +81,41 @@ def _row(report: dict, label: str, size: int, path: str,
     return row
 
 
+def _trace_gate(args: argparse.Namespace) -> int:
+    """Absolute-ceiling mode: the smoke report's tracing row must sit
+    under every :data:`TRACE_LIMITS` percentage.  No baseline report is
+    involved -- the ceiling is the contract, not a ratio."""
+    smoke = _row(
+        json.loads(args.smoke.read_text()),
+        args.smoke_label,
+        args.size,
+        str(args.smoke),
+        "tracing",
+    )
+    failures: list[str] = []
+    for metric, limit in TRACE_LIMITS.items():
+        measured = smoke.get(metric)
+        if measured is None:
+            failures.append(f"{metric}: missing from the smoke run")
+            continue
+        verdict = "ok" if measured <= limit else "OVER CEILING"
+        print(f"  {metric}: {measured:.4f}% (ceiling {limit}%) {verdict}")
+        if measured > limit:
+            failures.append(
+                f"{metric}: {measured:.4f}% exceeds the {limit}% ceiling"
+            )
+    if failures:
+        print("perf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"perf gate ok (n{args.size}, tracing overhead ceilings)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", type=pathlib.Path, required=True)
+    parser.add_argument("--baseline", type=pathlib.Path, default=None)
     parser.add_argument("--baseline-label", default="pr8")
     parser.add_argument("--smoke", type=pathlib.Path, required=True)
     parser.add_argument("--smoke-label", default="gate")
@@ -77,7 +126,18 @@ def main(argv: list[str] | None = None) -> int:
         help="gate the service-soak metrics (events/s, ack p99) from the "
         "'service' section instead of the hot-path microbenchmarks",
     )
+    parser.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help="gate the tracing-overhead percentages from the 'tracing' "
+        "section against absolute ceilings (no --baseline needed)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace_overhead:
+        return _trace_gate(args)
+    if args.baseline is None:
+        parser.error("--baseline is required (except with --trace-overhead)")
 
     section = "service" if args.soak else "runs"
     gated = SOAK_TOLERANCES if args.soak else TOLERANCES

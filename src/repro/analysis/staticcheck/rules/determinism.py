@@ -13,6 +13,17 @@ harness layers (``harness/``, ``service/``, ``persist/``, ``cli.py``)
 are allowlisted -- they measure latency (monotonic clocks, enforced by
 review + the async rules) and stamp user-facing timestamps, which are
 *supposed* to be wall-clock.
+
+The ``obs`` tracing layer (PR 10) sits *inside* the checked scope even
+though it is not an engine: span timing must stay on
+``perf_counter``/``monotonic`` (a wall-clock span would invert under
+NTP steps, and the differential tracing-on/off oracle depends on obs
+never perturbing engine state).  Its single sanctioned wall-clock read
+-- the user-facing ``created`` stamp of the JSONL export header -- is
+allowlisted per *site* in :data:`WALL_CLOCK_ALLOWED_SITES`, mirroring
+the perf-report / snapshot-manifest precedent (those live in layers
+outside the scope; obs earns the same carve-out one function at a
+time, not wholesale).
 """
 
 from __future__ import annotations
@@ -38,6 +49,9 @@ ENGINE_LAYERS = frozenset(
         "analysis",
         "types",
         "errors",
+        # the tracing spine: checked so span timing stays monotonic (its
+        # one wall-clock site is allowlisted in WALL_CLOCK_ALLOWED_SITES)
+        "obs",
     }
 )
 
@@ -99,6 +113,30 @@ WALL_CLOCK = frozenset(
         "datetime.date.today",
     }
 )
+
+#: module rel-path -> function names whose bodies may read the wall
+#: clock.  The only entry is the obs exporter's user-facing ``created``
+#: header stamp; span timing itself stays monotonic and is NOT exempt.
+WALL_CLOCK_ALLOWED_SITES: dict[str, frozenset[str]] = {
+    "obs/trace.py": frozenset({"_created_stamp"}),
+}
+
+
+def _allowed_wall_clock_linenos(module: ModuleInfo) -> frozenset[int]:
+    """Line numbers inside the allowlisted functions of ``module``
+    (empty for modules with no allowlisted site)."""
+    names = WALL_CLOCK_ALLOWED_SITES.get(module.rel)
+    if not names:
+        return frozenset()
+    lines: set[int] = set()
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in names
+        ):
+            end = node.end_lineno or node.lineno
+            lines.update(range(node.lineno, end + 1))
+    return frozenset(lines)
 
 
 class _DeterminismRule(Rule):
@@ -170,6 +208,12 @@ class WallClockRule(_DeterminismRule):
         "non-monotonic; deadline/latency math uses time.monotonic or "
         "time.perf_counter, timestamps belong to the serving layers)"
     )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        allowed = _allowed_wall_clock_linenos(module)
+        for finding in super().check(module):
+            if finding.line not in allowed:
+                yield finding
 
     def check_call(
         self, module: ModuleInfo, node: ast.Call, dotted: str

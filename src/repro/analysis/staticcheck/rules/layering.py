@@ -3,7 +3,8 @@
 The reproduction's packages form a strict tower (foundation at rank 0,
 ``cli`` at the top)::
 
-    types, errors            0   pure data / exception vocabulary
+    types, errors, obs       0   pure data / exception vocabulary /
+                                 tracing + telemetry spine
     virtual, analysis,       1   p-cycle math, measurements, adversary
       adversary                  strategies (engine-facing, no deps up)
     net                      2   graph + walks + waves
@@ -37,6 +38,7 @@ from repro.analysis.staticcheck.rules.base import Rule, type_checking_linenos
 LAYERS: dict[str, int] = {
     "types": 0,
     "errors": 0,
+    "obs": 0,
     "virtual": 1,
     "analysis": 1,
     "adversary": 1,
@@ -136,7 +138,7 @@ class LayeringRule(Rule):
                     col,
                     f"layer {own!r} (rank {own_rank}) may not import "
                     f"{package!r} (rank {rank}): the tower goes "
-                    "types/errors -> virtual/analysis/adversary -> net "
-                    "-> dht -> core -> baselines/persist -> service -> "
-                    "harness -> cli",
+                    "types/errors/obs -> virtual/analysis/adversary -> "
+                    "net -> dht -> core -> baselines/persist -> service "
+                    "-> harness -> cli",
                 )

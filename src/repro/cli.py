@@ -15,6 +15,11 @@ Two subcommands drive the membership-service gateway (PR 5)::
     # the soak benchmark (micro-batched vs per-request gateway),
     # merged under the `service` key of BENCH_perf.json
     python -m repro.cli soak --sizes 4096 --duration 2 --out BENCH_perf.json
+
+A third renders trace JSONL files written by the obs subsystem
+(``soak --trace``, ``recording_to``, shard worker ``trace_path``)::
+
+    python -m repro.cli trace /tmp/trace.jsonl --rollup
 """
 
 from __future__ import annotations
@@ -147,6 +152,9 @@ def _serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--restore", action="store_true",
                         help="restore from the newest checkpoint in "
                         "--checkpoint-dir instead of bootstrapping")
+    parser.add_argument("--metrics-out", type=pathlib.Path, default=None,
+                        help="write the final Prometheus text exposition "
+                        "of the gateway's metrics registry to this file")
     return parser
 
 
@@ -256,6 +264,11 @@ def cmd_serve(argv: list[str]) -> int:
                 watcher.cancel()
             for signum in handled:
                 loop.remove_signal_handler(signum)
+        if args.metrics_out is not None:
+            args.metrics_out.write_text(
+                gateway.publish_registry().render_prometheus(),
+                encoding="utf-8",
+            )
         return stats, gateway.metrics.snapshot(), summary
 
     print(
@@ -371,6 +384,11 @@ def _serve_sharded(args) -> int:
         finally:
             if watcher is not None:
                 watcher.cancel()
+        if args.metrics_out is not None:
+            args.metrics_out.write_text(
+                router.publish_registry().render_prometheus(),
+                encoding="utf-8",
+            )
         summary = await router.drain()
         return stats, router.metrics.snapshot(), audit, summary
 
@@ -438,14 +456,30 @@ def _soak_parser() -> argparse.ArgumentParser:
                         help="newest checkpoints retained")
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="merge results into this BENCH_perf.json (omit to skip)")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        help="record request-to-wave spans during the soak "
+                        "and export them as trace JSONL to this file")
     return parser
 
 
 def cmd_soak(argv: list[str]) -> int:
+    import contextlib
+
     from repro.harness import perf
+    from repro.obs import recording_to
 
     args = _soak_parser().parse_args(argv)
     results: dict[str, dict] = {}
+    recording = (
+        recording_to(args.trace)
+        if args.trace is not None
+        else contextlib.nullcontext()
+    )
+    with recording:
+        return _run_soak(args, results, perf)
+
+
+def _run_soak(args, results: dict[str, dict], perf) -> int:
     for n in args.sizes:
         checkpoint_dir = (
             str(args.checkpoint_dir / f"n{n}")
@@ -487,7 +521,15 @@ def cmd_soak(argv: list[str]) -> int:
     if args.out is not None:
         perf.write_service(args.out, args.label, results)
         print(f"wrote {args.out}")
+    if args.trace is not None:
+        print(f"tracing {args.trace}")
     return 0
+
+
+def cmd_trace(argv: list[str]) -> int:
+    from repro.obs.render import main as render_main
+
+    return render_main(argv)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -496,6 +538,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_serve(argv[1:])
     if argv and argv[0] == "soak":
         return cmd_soak(argv[1:])
+    if argv and argv[0] == "trace":
+        return cmd_trace(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         print("overlays:   " + ", ".join(sorted(OVERLAY_FACTORIES)))

@@ -66,6 +66,7 @@ from repro.core.type1 import (
 from repro.errors import AdversaryError, RecoveryError
 from repro.net.metrics import CostLedger
 from repro.net.walks import run_wave
+from repro.obs import trace as _trace
 from repro.types import Layer, NodeId, RecoveryType, StepKind, Vertex
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -209,6 +210,17 @@ def _execute_insert_batch(
 ) -> StepReport:
     """Apply a pre-validated insertion batch (structural phase + healing
     waves); shared by the strict and partial entry points."""
+    if _trace.current().enabled:
+        with _trace.span("core.insert_batch", batch=len(attachments)) as sp:
+            report = _insert_batch_impl(dex, attachments)
+            sp.set(recovery=report.recovery.name.lower())
+            return report
+    return _insert_batch_impl(dex, attachments)
+
+
+def _insert_batch_impl(
+    dex: "DexNetwork", attachments: Sequence[tuple[NodeId, NodeId]]
+) -> StepReport:
     ledger = CostLedger()
     topo_before = dex.graph.topology_changes
     recovery = RecoveryType.TYPE1
@@ -295,9 +307,12 @@ def _heal_insertions_in_waves(
         origin = pending[0][1]
         if dex.config.type2_mode == "simplified":
             if spare_depleted(dex, origin, ledger):
-                type2_simplified.simplified_inflate(
-                    dex, ledger, pending=pending
-                )
+                with _trace.span(
+                    "core.type2.inflate", wave=wave, pending=len(pending)
+                ):
+                    type2_simplified.simplified_inflate(
+                        dex, ledger, pending=pending
+                    )
                 return [], RecoveryType.TYPE2_INFLATE
             ledger.retries += len(pending)
         else:
@@ -525,6 +540,17 @@ def _execute_delete_batch(
     """Apply a pre-validated deletion batch (structural adoption sweep +
     redistribution waves); shared by the strict and partial entry
     points."""
+    if _trace.current().enabled:
+        with _trace.span("core.delete_batch", batch=len(victims)) as sp:
+            report = _delete_batch_impl(dex, victims, adopter)
+            sp.set(recovery=report.recovery.name.lower())
+            return report
+    return _delete_batch_impl(dex, victims, adopter)
+
+
+def _delete_batch_impl(
+    dex: "DexNetwork", victims: list[NodeId], adopter: dict[NodeId, NodeId]
+) -> StepReport:
     from repro.core import type2_simplified
 
     ledger = CostLedger()
@@ -593,7 +619,10 @@ def _execute_delete_batch(
             if low_depleted(dex, origin, ledger):
                 # The deflation rebuilds the whole cycle; the adopted
                 # old-layer vertices cease to exist with it.
-                type2_simplified.simplified_deflate(dex, ledger)
+                with _trace.span(
+                    "core.type2.deflate", wave=wave, pending=len(pending)
+                ):
+                    type2_simplified.simplified_deflate(dex, ledger)
                 pending = []
                 recovery = RecoveryType.TYPE2_DEFLATE
                 break

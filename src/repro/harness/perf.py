@@ -7,12 +7,12 @@ several network sizes, and merges the results into a machine-readable
 report so successive PRs can compare against a recorded baseline
 instead of folklore.
 
-Report format (schema ``dex-perf/7``; ``dex-perf/1`` through
-``dex-perf/6`` reports are upgraded in place, their recorded runs
+Report format (schema ``dex-perf/8``; ``dex-perf/1`` through
+``dex-perf/7`` reports are upgraded in place, their recorded runs
 kept)::
 
     {
-      "schema": "dex-perf/7",
+      "schema": "dex-perf/8",
       "churn_steps": 200,              # steps per churn loop
       "sizes": [256, 1024, 4096],
       "runs": {
@@ -120,6 +120,30 @@ kept)::
           }                              #   (sub-1 on one core: workers
                                          #    need real cores to win)
         }
+      },
+      "tracing": {                     # obs overhead receipt (PR 10)
+        "<label>": {
+          "meta": {"python": "...", "created": "..."},
+          "n256": {
+            # batch-churn hot path, tracing off vs on (ring recorder),
+            # best-of-repeats interleaved so machine drift cancels:
+            "churn_off_per_step_ms": 0.61,
+            "churn_on_per_step_ms": 0.62,
+            "trace_enabled_churn_overhead_pct": 1.6,
+            # disabled cost is synthetic: measured guard_ns (one
+            # `current().enabled` check) x spans the enabled run
+            # would have created, as a fraction of the off time:
+            "trace_disabled_churn_overhead_pct": 0.003,
+            # short saturating gateway soak, same off/on treatment:
+            "soak_off_events_per_s": 4100.0,
+            "soak_on_events_per_s": 4050.0,
+            "trace_enabled_soak_overhead_pct": 1.2,
+            "trace_disabled_soak_overhead_pct": 0.005,
+            "spans_per_step": 0.07,    # spans per healed churn node
+            "spans_per_event": 1.3,    # spans per resolved soak ack
+            "guard_ns": 45.0           # one disabled-path check
+          }
+        }
       }
     }
 
@@ -152,6 +176,11 @@ CLI::
     # shard scaling: serial vs pipelined gateway vs N-shard cluster:
     PYTHONPATH=src python -m repro.harness.perf --shard-sweep \\
         --shard-sizes 16384 --shard-counts 2 4 --out BENCH_perf.json
+
+    # tracing overhead: churn + soak hot paths, tracing off vs on,
+    # rows under the `tracing` key (scripts/perf_gate.py --trace-overhead):
+    PYTHONPATH=src python -m repro.harness.perf --trace-overhead \\
+        --trace-sizes 256 --out BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -174,7 +203,7 @@ from repro.core.dex import DexNetwork
 from repro.errors import AdversaryError
 from repro.net.walks import random_walk, run_wave
 
-SCHEMA = "dex-perf/7"
+SCHEMA = "dex-perf/8"
 _COMPATIBLE_SCHEMAS = (
     "dex-perf/1",
     "dex-perf/2",
@@ -183,6 +212,7 @@ _COMPATIBLE_SCHEMAS = (
     "dex-perf/5",
     "dex-perf/6",
     "dex-perf/7",
+    "dex-perf/8",
 )
 DEFAULT_SIZES = (256, 1024, 4096)
 DEFAULT_STEPS = 200
@@ -1001,6 +1031,142 @@ def bench_snapshot_restore(
 
 
 # ----------------------------------------------------------------------
+# tracing overhead (PR 10)
+# ----------------------------------------------------------------------
+DEFAULT_TRACE_CHURN_ROUNDS = 12
+DEFAULT_TRACE_SOAK_DURATION = 1.0
+DEFAULT_TRACE_GUARD_ITERS = 200_000
+
+
+def _guard_ns(iters: int = DEFAULT_TRACE_GUARD_ITERS) -> float:
+    """Nanoseconds per disabled-path check: exactly the
+    ``current().enabled`` attribute read every instrumented site pays
+    when tracing is off.  The disabled-overhead number is synthetic --
+    guard cost x span sites exercised -- because there is no
+    un-instrumented build left to diff against, and that is the point:
+    the guard *is* the entire disabled cost."""
+    from repro.obs import trace as _trace
+
+    assert not _trace.enabled()
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        if _trace.current().enabled:  # pragma: no cover - never taken
+            raise RuntimeError("tracing unexpectedly enabled")
+    return (time.perf_counter() - t0) / iters * 1e9
+
+
+def _trace_churn_once(
+    n: int, batch: int, rounds: int, seed: int, traced: bool
+) -> tuple[float, int, int]:
+    """One churn measurement: ``(per_healed_node_ms, healed, spans)``.
+    ``traced=True`` installs a fresh ring recorder (no stream) for the
+    timed window -- the default recording configuration."""
+    from repro.obs import trace as _trace
+
+    net = _build(n, seed, validate_batches=False)
+    adversary = random.Random(seed + 1)
+    run_batch_churn(net, batch, 1, adversary)  # warmup (caches, imports)
+    recorder = _trace.SpanRecorder(capacity=1_000_000) if traced else None
+    if recorder is not None:
+        _trace.install(recorder)
+    try:
+        healed, engine = run_batch_churn(net, batch, rounds, adversary)
+    finally:
+        if recorder is not None:
+            _trace.uninstall()
+    spans = len(recorder.spans) if recorder is not None else 0
+    return engine / max(healed, 1) * 1e3, healed, spans
+
+
+def bench_trace_overhead(
+    n: int,
+    *,
+    batch: int = DEFAULT_BATCH,
+    rounds: int = DEFAULT_TRACE_CHURN_ROUNDS,
+    soak_duration_s: float = DEFAULT_TRACE_SOAK_DURATION,
+    clients: int = DEFAULT_SOAK_CLIENTS,
+    seed: int = 11,
+    repeats: int = 5,
+) -> dict:
+    """The obs acceptance receipt: tracing-off vs tracing-on timings of
+    the two hot paths spans actually land on -- the batch-churn engine
+    loop and the saturating gateway soak -- plus the synthetic
+    disabled-path cost (``guard_ns`` x spans the enabled run created).
+    Off/on churn runs interleave within each repeat so thermal/machine
+    drift cancels; the reported overhead is best-of-``repeats`` (the
+    receipt must not flake on noise).  The soak runs once per mode:
+    its duration already averages over thousands of acks."""
+    from repro.obs import trace as _trace
+
+    assert not _trace.enabled(), "bench_trace_overhead needs tracing off"
+    off_churn: list[float] = []
+    on_churn: list[float] = []
+    spans_per_step = 0.0
+    for _ in range(max(1, repeats)):
+        off_ms, _healed, _spans = _trace_churn_once(
+            n, batch, rounds, seed, traced=False
+        )
+        on_ms, healed, spans = _trace_churn_once(
+            n, batch, rounds, seed, traced=True
+        )
+        off_churn.append(off_ms)
+        on_churn.append(on_ms)
+        spans_per_step = spans / max(healed, 1)
+    churn_off = min(off_churn)
+    churn_on = min(on_churn)
+    guard_ns = _guard_ns()
+    guard_s = guard_ns * 1e-9
+
+    soak_off = bench_service_soak(
+        n, duration_s=soak_duration_s, clients=clients, seed=seed
+    )
+    recorder = _trace.SpanRecorder(capacity=1_000_000)
+    _trace.install(recorder)
+    try:
+        soak_on = bench_service_soak(
+            n, duration_s=soak_duration_s, clients=clients, seed=seed
+        )
+    finally:
+        _trace.uninstall()
+    soak_spans = len(recorder.spans)
+    spans_per_event = soak_spans / max(soak_on["events"], 1)
+    off_eps = soak_off["events_per_s"]
+    on_eps = soak_on["events_per_s"]
+    return {
+        "batch": batch,
+        "rounds": rounds,
+        "repeats": repeats,
+        "soak_duration_s": soak_duration_s,
+        "clients": clients,
+        "churn_off_per_step_ms": round(churn_off, 6),
+        "churn_on_per_step_ms": round(churn_on, 6),
+        "trace_enabled_churn_overhead_pct": (
+            round((churn_on - churn_off) / churn_off * 100.0, 3)
+            if churn_off
+            else 0.0
+        ),
+        "trace_disabled_churn_overhead_pct": (
+            round(
+                spans_per_step * guard_s / (churn_off * 1e-3) * 100.0, 6
+            )
+            if churn_off
+            else 0.0
+        ),
+        "soak_off_events_per_s": off_eps,
+        "soak_on_events_per_s": on_eps,
+        "trace_enabled_soak_overhead_pct": (
+            round((off_eps - on_eps) / off_eps * 100.0, 3) if off_eps else 0.0
+        ),
+        "trace_disabled_soak_overhead_pct": round(
+            spans_per_event * guard_s * off_eps * 100.0, 6
+        ),
+        "spans_per_step": round(spans_per_step, 4),
+        "spans_per_event": round(spans_per_event, 4),
+        "guard_ns": round(guard_ns, 2),
+    }
+
+
+# ----------------------------------------------------------------------
 # suite
 # ----------------------------------------------------------------------
 def run_suite(
@@ -1190,6 +1356,20 @@ def write_service(
     return report
 
 
+def write_tracing(
+    path: pathlib.Path, label: str, results: dict, extra_meta: dict | None = None
+) -> dict:
+    """Merge one labelled tracing-overhead run (``{"n256": row, ...}``)
+    into the report at ``path`` under the ``tracing`` key (same
+    merge-into-label behaviour as :func:`write_service`)."""
+    report = load_report(path)
+    entry = report.setdefault("tracing", {}).setdefault(label, {})
+    entry.update(results)
+    entry["meta"] = {**_meta(), **(extra_meta or {})}
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
 def write_campaigns(
     path: pathlib.Path,
     label: str,
@@ -1274,6 +1454,17 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="replayed churn steps (the history length)")
     parser.add_argument("--snapshot-repeats", type=int, default=3,
                         help="timed restores per size (median reported)")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="measure tracing-off vs tracing-on overhead "
+                        "on the churn + soak hot paths (rows under the "
+                        "tracing key; gated by perf_gate --trace-overhead)")
+    parser.add_argument("--trace-sizes", type=int, nargs="+", default=[256],
+                        help="network sizes for the tracing-overhead rows")
+    parser.add_argument("--trace-duration", type=float,
+                        default=DEFAULT_TRACE_SOAK_DURATION,
+                        help="seconds of soak per tracing mode")
+    parser.add_argument("--trace-repeats", type=int, default=5,
+                        help="interleaved off/on churn repeats (best-of)")
     parser.add_argument("--out", type=pathlib.Path, default=pathlib.Path("BENCH_perf.json"))
     args = parser.parse_args(argv)
 
@@ -1303,6 +1494,40 @@ def main(argv: Sequence[str] | None = None) -> int:
         write_service(
             args.out, args.label, results,
             extra_meta={"benchmark": "snapshot_restore"},
+        )
+        print(f"wrote {args.out}")
+        return 0
+
+    if args.trace_overhead:
+        print(
+            f"tracing overhead: sizes={args.trace_sizes} "
+            f"soak={args.trace_duration}s repeats={args.trace_repeats} "
+            f"label={args.label!r}"
+        )
+        results: dict[str, dict] = {}
+        for n in args.trace_sizes:
+            row = bench_trace_overhead(
+                n,
+                soak_duration_s=args.trace_duration,
+                clients=args.soak_clients,
+                seed=args.seed,
+                repeats=args.trace_repeats,
+            )
+            results[f"n{n}"] = row
+            print(
+                f"  n={n}: churn {row['churn_off_per_step_ms']}ms -> "
+                f"{row['churn_on_per_step_ms']}ms "
+                f"({row['trace_enabled_churn_overhead_pct']}% on, "
+                f"{row['trace_disabled_churn_overhead_pct']}% off); "
+                f"soak {row['soak_off_events_per_s']}/s -> "
+                f"{row['soak_on_events_per_s']}/s "
+                f"({row['trace_enabled_soak_overhead_pct']}% on, "
+                f"{row['trace_disabled_soak_overhead_pct']}% off)",
+                file=sys.stderr,
+            )
+        write_tracing(
+            args.out, args.label, results,
+            extra_meta={"benchmark": "trace_overhead"},
         )
         print(f"wrote {args.out}")
         return 0

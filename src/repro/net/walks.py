@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Container, Sequence
 
 from repro.errors import TopologyError
+from repro.obs import trace as _trace
 from repro.net.topology import DynamicMultigraph
 from repro.types import NodeId, Vertex
 from repro.virtual.pcycle import PCycle
@@ -604,6 +605,39 @@ def run_wave(
             >= VECTOR_MIN_WORK_PER_NODE * graph.num_nodes
         )
     )
+    if _trace.current().enabled:
+        with _trace.span(
+            "net.wave",
+            engine="vector" if use_vector else "scalar",
+            tokens=len(starts),
+            length=length,
+        ) as sp:
+            if use_vector:
+                result = _wave_vector(
+                    graph,
+                    starts,
+                    length,
+                    members,
+                    active,
+                    gen,
+                    rng,
+                    excl,
+                    transcript,
+                )
+            else:
+                result = _wave_scalar(
+                    graph,
+                    starts,
+                    length,
+                    members,
+                    active,
+                    gen,
+                    rng,
+                    excl,
+                    transcript,
+                )
+            sp.set(hops=result[2], rounds=result[3])
+            return result
     if use_vector:
         return _wave_vector(
             graph, starts, length, members, active, gen, rng, excl, transcript

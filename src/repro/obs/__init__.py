@@ -1,0 +1,63 @@
+"""repro.obs -- the tracing + telemetry spine (PR 10).
+
+A stdlib-only observability layer at the *bottom* of the import tower
+(rank 0, beside ``types``/``errors``), so every layer -- engine, net,
+service, persist, harness, cli -- may instrument itself without a
+cycle.  Two halves:
+
+* :mod:`repro.obs.trace` -- monotonic-clock spans, trace/span ids, the
+  ring-buffer/streaming recorder, and the no-op recorder that makes
+  disabled tracing cost one attribute check.
+* :mod:`repro.obs.registry` -- one metrics registry (counters, gauges,
+  exact-quantile histograms) with JSON + Prometheus-text exposition;
+  the home of :func:`exact_quantile`.
+
+Render recorded traces with ``python -m repro.obs trace.jsonl`` or
+``python -m repro.cli trace trace.jsonl``.
+"""
+
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    NOOP_RECORDER,
+    NOOP_SPAN,
+    Span,
+    SpanRecorder,
+    current,
+    current_span,
+    enabled,
+    install,
+    recording_to,
+    span,
+    uninstall,
+)
+from repro.obs.registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exact_quantile,
+    quantile_sorted,
+)
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "NOOP_RECORDER",
+    "NOOP_SPAN",
+    "Span",
+    "SpanRecorder",
+    "current",
+    "current_span",
+    "enabled",
+    "install",
+    "recording_to",
+    "span",
+    "uninstall",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exact_quantile",
+    "quantile_sorted",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.obs trace.jsonl`` -- render a recorded trace."""
+
+import sys
+
+from repro.obs.render import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Load and render recorded trace JSONL artifacts.
+
+The loader is **truncated-tail tolerant**: a SIGKILL'd worker may leave
+a partial final line (or, with an unflushed buffer, a partial batch);
+unparseable lines are counted and skipped, never fatal, so the evidence
+a dead process did leave stays readable.
+
+Two text views over one artifact:
+
+* **rollup** -- per-span-name totals (count, total/mean ms, exact
+  p50/p99), the per-phase cost attribution ROADMAP direction #1 needs;
+* **timeline** -- one trace's spans in start order, indented by
+  parentage, the request-to-wave narrative of a single join/leave.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.registry import exact_quantile
+from repro.obs.trace import TRACE_SCHEMA
+
+
+def load_trace(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]], int]:
+    """Parse a trace JSONL file into ``(header, spans, skipped)``.
+    ``skipped`` counts unparseable lines (truncated tails of a killed
+    writer).  A missing or wrong-schema header raises ``ValueError`` --
+    that is a wrong *file*, not a truncated one."""
+    header: dict[str, Any] | None = None
+    spans: list[dict[str, Any]] = []
+    skipped = 0
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                continue
+            if header is None and "schema" in record:
+                header = record
+                continue
+            if "span" in record and "name" in record:
+                spans.append(record)
+            else:
+                skipped += 1
+    if header is None:
+        raise ValueError(f"{path}: no schema header line found")
+    if header.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {header.get('schema')!r} != {TRACE_SCHEMA!r}"
+        )
+    return header, spans, skipped
+
+
+def render_rollup(spans: list[dict[str, Any]]) -> str:
+    """Per-name aggregate table over every span of the artifact."""
+    by_name: dict[str, list[float]] = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(span.get("dur_s", 0.0))
+    if not by_name:
+        return "(no spans)"
+    rows = []
+    for name, durs in sorted(
+        by_name.items(), key=lambda kv: -sum(kv[1])
+    ):
+        total_ms = sum(durs) * 1e3
+        p50 = exact_quantile(durs, 0.50)
+        p99 = exact_quantile(durs, 0.99)
+        rows.append(
+            (
+                name,
+                len(durs),
+                f"{total_ms:.3f}",
+                f"{total_ms / len(durs):.3f}",
+                f"{(p50 or 0.0) * 1e3:.3f}",
+                f"{(p99 or 0.0) * 1e3:.3f}",
+            )
+        )
+    headers = ("span", "count", "total_ms", "mean_ms", "p50_ms", "p99_ms")
+    widths = [
+        max(len(headers[i]), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(v).ljust(widths[i]) for i, v in enumerate(row)))
+    return "\n".join(lines)
+
+
+def busiest_trace(spans: list[dict[str, Any]]) -> str | None:
+    """The trace id with the most spans (the default timeline pick)."""
+    counts: dict[str, int] = {}
+    for span in spans:
+        trace = span.get("trace")
+        if trace:
+            counts[trace] = counts.get(trace, 0) + 1
+    if not counts:
+        return None
+    return max(counts, key=lambda t: (counts[t], t))
+
+
+def render_timeline(
+    spans: list[dict[str, Any]], trace_id: str | None = None, limit: int = 200
+) -> str:
+    """One trace's spans in start order, indented by parent depth."""
+    if trace_id is None:
+        trace_id = busiest_trace(spans)
+        if trace_id is None:
+            return "(no spans)"
+    selected = [s for s in spans if s.get("trace") == trace_id]
+    if not selected:
+        return f"(no spans for trace {trace_id})"
+    selected.sort(key=lambda s: s.get("t_s", 0.0))
+    by_id = {s["span"]: s for s in selected}
+
+    def depth(span: dict[str, Any]) -> int:
+        d = 0
+        parent = span.get("parent")
+        while parent in by_id and d < 32:
+            d += 1
+            parent = by_id[parent].get("parent")
+        return d
+
+    t0 = selected[0].get("t_s", 0.0)
+    lines = [f"trace {trace_id} ({len(selected)} spans)"]
+    for span in selected[:limit]:
+        offset_ms = (span.get("t_s", 0.0) - t0) * 1e3
+        dur_ms = span.get("dur_s", 0.0) * 1e3
+        attrs = span.get("attrs") or {}
+        attr_text = (
+            " " + " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"  {offset_ms:9.3f}ms  {'  ' * depth(span)}{span['name']} "
+            f"[{dur_ms:.3f}ms]{attr_text}"
+        )
+    if len(selected) > limit:
+        lines.append(f"  ... {len(selected) - limit} more spans elided")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs <trace.jsonl>``: render an artifact."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Render a recorded dex-trace JSONL as a per-phase "
+        "rollup and/or a single-trace timeline.",
+    )
+    parser.add_argument("trace", help="trace JSONL artifact")
+    parser.add_argument(
+        "--rollup", action="store_true", help="per-span-name aggregate only"
+    )
+    parser.add_argument(
+        "--timeline", action="store_true", help="single-trace timeline only"
+    )
+    parser.add_argument(
+        "--trace-id", default=None, help="timeline trace id (default: busiest)"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=200, help="max timeline rows printed"
+    )
+    args = parser.parse_args(argv)
+    header, spans, skipped = load_trace(args.trace)
+    both = not args.rollup and not args.timeline
+    print(
+        f"{args.trace}: {len(spans)} spans, created {header.get('created')}"
+        + (f", {skipped} unparseable line(s) skipped" if skipped else "")
+    )
+    if args.rollup or both:
+        print()
+        print(render_rollup(spans))
+    if args.timeline or both:
+        print()
+        print(render_timeline(spans, args.trace_id, args.limit))
+    return 0

@@ -64,6 +64,7 @@ from repro.core.mapping import LayerMapping
 from repro.core.overlay import Overlay
 from repro.errors import CorruptSnapshot, SnapshotError
 from repro.net.topology import DynamicMultigraph
+from repro.obs import trace as _trace
 from repro.virtual.pcycle import PCycle
 
 #: bump on any incompatible change to the directory layout or manifest
@@ -112,6 +113,15 @@ def save_snapshot(net: DexNetwork, root: str | Path) -> Path:
     :class:`~repro.errors.SnapshotError` while a staggered type-2
     recovery is in flight -- the two-layer intermediate state is
     transient by design and a checkpoint must be a steady state."""
+    if _trace.current().enabled:
+        with _trace.span("persist.checkpoint.save", step=net.step_count) as sp:
+            out = _save_snapshot_impl(net, root)
+            sp.set(path=out.name)
+            return out
+    return _save_snapshot_impl(net, root)
+
+
+def _save_snapshot_impl(net: DexNetwork, root: str | Path) -> Path:
     if net.staggered is not None or net.overlay.new is not None:
         raise SnapshotError(
             "cannot snapshot while a staggered type-2 recovery is in "
@@ -297,6 +307,15 @@ def load_snapshot(path: str | Path, *, verify: bool = True) -> DexNetwork:
     audits separately (the restore-time benchmark times both phases).
     Raises :class:`~repro.errors.CorruptSnapshot` on any integrity
     failure -- before any network state is built."""
+    if _trace.current().enabled:
+        with _trace.span(
+            "persist.checkpoint.restore", path=Path(path).name, verify=verify
+        ):
+            return _load_snapshot_impl(path, verify=verify)
+    return _load_snapshot_impl(path, verify=verify)
+
+
+def _load_snapshot_impl(path: str | Path, *, verify: bool = True) -> DexNetwork:
     # The rebuild allocates ~n container objects back to back; cyclic-gc
     # passes over the (large, growing) heap mid-build cost more than the
     # build itself at n=1e5, and nothing here can leak a cycle worth

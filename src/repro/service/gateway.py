@@ -84,6 +84,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import GatewayClosed, GatewayOverloaded, SnapshotError
+from repro.obs import trace as _trace
 from repro.service.metrics import ServiceMetrics
 from repro.service.policy import AdmissionPolicy, make_policy
 from repro.types import NodeId
@@ -123,6 +124,9 @@ class _Request:
     #: answered with a deadline rejection instead of healed (``None`` =
     #: no deadline)
     deadline_at: float | None = None
+    #: open ``gateway.request`` span while tracing is enabled, finished
+    #: at resolution (``None`` when tracing is off)
+    span: "_trace.Span | None" = None
 
 
 @dataclass(eq=False)
@@ -133,6 +137,8 @@ class _StagedFlush:
 
     kind: str
     requests: list[_Request]
+    #: the flush's open ``gateway.flush`` root span (tracing on only)
+    span: "_trace.Span | None" = None
 
 
 @dataclass(eq=False)
@@ -145,6 +151,8 @@ class _InflightFlush:
     requests: list[_Request]
     nodes: list[NodeId]
     future: asyncio.Future
+    #: the flush's open ``gateway.flush`` root span (tracing on only)
+    span: "_trace.Span | None" = None
 
 
 class MembershipGateway:
@@ -420,9 +428,11 @@ class MembershipGateway:
         deadline_at = now + deadline_s if deadline_s is not None else None
         if deadline_at is not None:
             self._deadlines_active = True
-        self._queue.append(
-            _Request(kind, node, attach_hint, future, now, deadline_at)
-        )
+        request = _Request(kind, node, attach_hint, future, now, deadline_at)
+        rec = _trace.current()
+        if rec.enabled:
+            request.span = rec.start("gateway.request", kind=kind, node=node)
+        self._queue.append(request)
         self.metrics.record_enqueue(len(self._queue))
         self._shed_excess()
         self._wake.set()
@@ -478,6 +488,15 @@ class MembershipGateway:
         self._queue = deque(r for r in self._queue if r not in selected)
         return batch
 
+    def _finish_request_span(self, request: _Request, ack: Ack) -> None:
+        """Seal the request's open ``gateway.request`` span (no-op with
+        tracing off -- the span is only created while enabled)."""
+        sp = request.span
+        if sp is not None:
+            request.span = None
+            sp.set(ok=ack.ok, reason=ack.reason, batch=ack.batch_size)
+            _trace.current().finish(sp)
+
     def _answer_dropped(self, request: _Request, reason: str) -> None:
         """Resolve a request the gateway decided not to heal (shed or
         deadline-expired) with a rejected ack -- answered, never
@@ -492,6 +511,7 @@ class MembershipGateway:
         )
         if not request.future.done():
             request.future.set_result(ack)
+        self._finish_request_span(request, ack)
         if self.on_ack is not None:
             self.on_ack(ack)
 
@@ -548,15 +568,36 @@ class MembershipGateway:
                 self._wake.clear()
                 await self._wake.wait()
                 continue
-            await self._collect()
+            rec = _trace.current()
+            root = (
+                rec.start("gateway.flush", mode="serial")
+                if rec.enabled
+                else None
+            )
+            if root is not None:
+                csp = rec.start(
+                    "gateway.flush.collect",
+                    trace_id=root.trace_id,
+                    parent_id=root.span_id,
+                )
+                await self._collect()
+                rec.finish(csp)
+            else:
+                await self._collect()
             # The window wait (or a checkpoint pause last iteration) may
             # have expired deadlines: answer them *before* gathering so
             # an expired request is never healed late.
             self._sweep_deadlines()
             if not self._queue:
+                if root is not None:
+                    rec.finish(root.set(empty=True))
                 continue
             batch = self._gather()
-            heal_s = self._flush(batch[0].kind, batch)
+            if root is not None:
+                root.set(kind=batch[0].kind, batch=len(batch))
+            heal_s = self._flush(batch[0].kind, batch, root=root)
+            if root is not None:
+                rec.finish(root)
             now = self._clock()
             interval_s = now - self._last_flush_end
             self._last_flush_end = now
@@ -677,10 +718,27 @@ class MembershipGateway:
         if not batch:
             return None
         kind = batch[0].kind
-        survivors = self._screen(kind, batch)
+        rec = _trace.current()
+        root = (
+            rec.start("gateway.flush", mode="pipelined", kind=kind)
+            if rec.enabled
+            else None
+        )
+        if root is not None:
+            ssp = rec.start(
+                "gateway.flush.screen",
+                trace_id=root.trace_id,
+                parent_id=root.span_id,
+            )
+            survivors = self._screen(kind, batch)
+            rec.finish(ssp)
+        else:
+            survivors = self._screen(kind, batch)
         if not survivors:
+            if root is not None:
+                rec.finish(root.set(empty=True))
             return None
-        return _StagedFlush(kind, survivors)
+        return _StagedFlush(kind, survivors, span=root)
 
     def _screen(self, kind: str, batch: list[_Request]) -> list[_Request]:
         """Answer the requests whose *rejection* is already decided by
@@ -722,6 +780,7 @@ class MembershipGateway:
             )
             if not request.future.done():
                 request.future.set_result(ack)
+            self._finish_request_span(request, ack)
             if self.on_ack is not None:
                 self.on_ack(ack)
         return survivors
@@ -743,6 +802,8 @@ class MembershipGateway:
             else:
                 requests.append(request)
         if not requests:
+            if staged.span is not None:
+                _trace.current().finish(staged.span.set(empty=True))
             return False
         loop = asyncio.get_running_loop()
         if staged.kind == "join":
@@ -755,17 +816,32 @@ class MembershipGateway:
             nodes = list(payload)
             self._doubt = set(payload)
             heal_call = self.net.delete_batch_partial
+        root = staged.span
+        if root is not None:
+            root.set(batch=len(requests))
 
         def heal() -> "tuple[BatchOutcome, float]":
             t0 = self._clock()
-            outcome = heal_call(payload)
+            if root is not None:
+                # ambient span on the executor thread: the engine's
+                # core.* / net.wave spans nest under this heal phase
+                with _trace.span(
+                    "gateway.flush.heal",
+                    trace_id=root.trace_id,
+                    parent_id=root.span_id,
+                ):
+                    outcome = heal_call(payload)
+            else:
+                outcome = heal_call(payload)
             return outcome, self._clock() - t0
 
         future = loop.run_in_executor(self._executor, heal)
         # Wake the collection wait the instant the wave resolves: the
         # next flush must dispatch immediately, not after a window.
         future.add_done_callback(lambda _f: self._wake.set())
-        self._inflight = _InflightFlush(staged.kind, requests, nodes, future)
+        self._inflight = _InflightFlush(
+            staged.kind, requests, nodes, future, span=root
+        )
         return True
 
     async def _complete(self, staged: _StagedFlush | None) -> float:
@@ -781,6 +857,14 @@ class MembershipGateway:
             pending = list(inflight.requests)
             if staged is not None:
                 pending.extend(staged.requests)
+                if staged.span is not None:
+                    _trace.current().finish(
+                        staged.span.set(error=type(exc).__name__)
+                    )
+            if inflight.span is not None:
+                _trace.current().finish(
+                    inflight.span.set(error=type(exc).__name__)
+                )
             self._inflight = None
             self._view_added = set()
             self._doubt = set()
@@ -789,9 +873,23 @@ class MembershipGateway:
         self._inflight = None
         self._view_added = set()
         self._doubt = set()
-        self._resolve_flush(
-            inflight.kind, inflight.requests, inflight.nodes, outcome, heal_s
-        )
+        root = inflight.span
+        if root is not None:
+            rec = _trace.current()
+            rsp = rec.start(
+                "gateway.flush.resolve",
+                trace_id=root.trace_id,
+                parent_id=root.span_id,
+            )
+            self._resolve_flush(
+                inflight.kind, inflight.requests, inflight.nodes, outcome, heal_s
+            )
+            rec.finish(rsp)
+            rec.finish(root)
+        else:
+            self._resolve_flush(
+                inflight.kind, inflight.requests, inflight.nodes, outcome, heal_s
+            )
         now = self._clock()
         interval_s = now - self._last_flush_end
         self._last_flush_end = now
@@ -809,6 +907,33 @@ class MembershipGateway:
             if self._flushes_since_checkpoint >= self.checkpoint_every:
                 self._checkpoint_guarded()
         return heal_s
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def publish_registry(self):
+        """Sync the gateway's whole observable state -- service
+        counters, admission-policy state, checkpoint/queue gauges --
+        into the metrics registry and return it (the ``serve
+        --metrics-out`` exposition surface)."""
+        registry = self.metrics.publish_registry()
+        registry.counter(
+            "dex.checkpoints_written_total", "checkpoints written"
+        ).set_total(self.checkpoints_written)
+        registry.counter(
+            "dex.checkpoint_errors_total", "checkpoint attempts that failed"
+        ).set_total(self.checkpoint_errors)
+        registry.gauge(
+            "dex.queue_depth", "requests currently queued"
+        ).set(len(self._queue))
+        for key, value in self.policy.describe().items():
+            if isinstance(value, bool):
+                value = int(value)
+            if isinstance(value, (int, float)):
+                registry.gauge(
+                    f"dex.policy.{key}", f"admission policy state: {key}"
+                ).set(value)
+        return registry
 
     # ------------------------------------------------------------------
     # checkpointing
@@ -883,22 +1008,38 @@ class MembershipGateway:
             except asyncio.TimeoutError:
                 self._sweep_deadlines()
 
-    def _flush(self, kind: str, requests: list[_Request]) -> float:
+    def _flush(
+        self,
+        kind: str,
+        requests: list[_Request],
+        root: "_trace.Span | None" = None,
+    ) -> float:
         """One micro-batch -> one partial-batch heal call -> one
         individual outcome per caller.  Returns the heal wall-clock
-        seconds (the policy's utilization signal)."""
+        seconds (the policy's utilization signal).  ``root`` (tracing
+        on) parents the ``gateway.flush.heal`` / ``.resolve`` phase
+        spans; the ambient heal span in turn parents the engine's
+        ``core.*`` / ``net.wave`` spans."""
         try:
             if kind == "join":
-                payload = self._join_payload(requests)
-                t0 = self._clock()
-                outcome = self.net.insert_batch_partial(payload)
-                heal_s = self._clock() - t0
+                payload: list = self._join_payload(requests)
                 nodes = [new_id for new_id, _attach in payload]
+                heal_call: Callable = self.net.insert_batch_partial
             else:
-                nodes = [request.node for request in requests]
-                t0 = self._clock()
-                outcome = self.net.delete_batch_partial(nodes)
-                heal_s = self._clock() - t0
+                payload = [request.node for request in requests]
+                nodes = list(payload)
+                heal_call = self.net.delete_batch_partial
+            t0 = self._clock()
+            if root is not None:
+                with _trace.span(
+                    "gateway.flush.heal",
+                    trace_id=root.trace_id,
+                    parent_id=root.span_id,
+                ):
+                    outcome = heal_call(payload)
+            else:
+                outcome = heal_call(payload)
+            heal_s = self._clock() - t0
         except BaseException as exc:
             # An engine failure (e.g. RecoveryError) is not a per-request
             # rejection: surface it to every waiting caller -- the
@@ -908,7 +1049,15 @@ class MembershipGateway:
             # the gateway owner instead of masking it as an outcome.
             self._fail_pending(requests, exc)
             raise
-        self._resolve_flush(kind, requests, nodes, outcome, heal_s)
+        if root is not None:
+            with _trace.span(
+                "gateway.flush.resolve",
+                trace_id=root.trace_id,
+                parent_id=root.span_id,
+            ):
+                self._resolve_flush(kind, requests, nodes, outcome, heal_s)
+        else:
+            self._resolve_flush(kind, requests, nodes, outcome, heal_s)
         return heal_s
 
     def _fail_pending(self, requests: list[_Request], exc: BaseException) -> None:
@@ -916,13 +1065,20 @@ class MembershipGateway:
         future, then leave the gateway closing -- no client ever hangs
         on a batcher that died."""
         self._closing = True
+        rec = _trace.current()
         for request in requests:
             if not request.future.done():
                 request.future.set_exception(exc)
+            if request.span is not None:
+                rec.finish(request.span.set(error=type(exc).__name__))
+                request.span = None
         while self._queue:
             queued = self._queue.popleft()
             if not queued.future.done():
                 queued.future.set_exception(exc)
+            if queued.span is not None:
+                rec.finish(queued.span.set(error=type(exc).__name__))
+                queued.span = None
 
     def _resolve_flush(
         self,
@@ -950,6 +1106,7 @@ class MembershipGateway:
                 batch_size=batch_size,
             )
             request.future.set_result(ack)
+            self._finish_request_span(request, ack)
             if self.on_ack is not None:
                 self.on_ack(ack)
         self.metrics.record_flush(

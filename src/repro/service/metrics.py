@@ -9,15 +9,24 @@ row the soak harness persists under the ``service`` key of
 ``BENCH_perf.json``: sustained events/sec plus p50/p90/p99/max ack
 latency.
 
-Quantiles are *exact* -- :func:`exact_quantile` sorts the window and
-linearly interpolates, matching ``numpy.quantile``'s default method bit
-for bit (the test suite checks them against the numpy reference) --
-because the percentile math must not be another dependency's
-approximation.  Retention is *bounded*: counters and means are running
-aggregates over the whole run, while percentile samples keep the most
-recent ``sample_cap`` acks (a long-running ``repro.cli serve`` must not
-grow memory with uptime), so a soak within the cap gets full-run-exact
+Quantiles are *exact* -- :func:`~repro.obs.registry.exact_quantile`
+(re-exported here for compatibility) linearly interpolates between
+closest ranks, matching ``numpy.quantile``'s default method bit for bit
+(the test suite checks them against the numpy reference) -- because the
+percentile math must not be another dependency's approximation.
+Retention is *bounded*: counters and means are running aggregates over
+the whole run, while percentile samples keep the most recent
+``sample_cap`` acks (a long-running ``repro.cli serve`` must not grow
+memory with uptime), so a soak within the cap gets full-run-exact
 percentiles and anything longer gets recent-window-exact ones.
+
+Since PR 10 the ack-latency samples live in **one registry histogram**
+(:class:`~repro.obs.registry.Histogram`): the cumulative snapshot, the
+rolling ``window()`` row that ``repro.cli serve`` prints, and the
+Prometheus/JSON exposition all read the same sample store, so they can
+never disagree.  The histogram also memoizes its sorted window
+(invalidated on append), so a p50/p90/p99 snapshot sorts once instead
+of three times per call -- and not at all when nothing new arrived.
 """
 
 from __future__ import annotations
@@ -27,22 +36,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-
-def exact_quantile(values: Sequence[float], q: float) -> float | None:
-    """The ``q``-quantile of ``values`` by linear interpolation between
-    closest ranks (``numpy.quantile``'s default ``linear`` method).
-    Returns ``None`` for an empty window -- an empty soak interval is a
-    fact to report, not an exception."""
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"quantile must be in [0, 1], got {q}")
-    if not values:
-        return None
-    data = sorted(values)
-    position = q * (len(data) - 1)
-    lower = int(position)
-    upper = min(lower + 1, len(data) - 1)
-    fraction = position - lower
-    return data[lower] * (1.0 - fraction) + data[upper] * fraction
+from repro.obs.registry import (
+    Histogram,
+    MetricsRegistry,
+    exact_quantile,  # noqa: F401  (re-export: the historical home)
+    quantile_sorted,
+)
 
 
 def _ms(seconds: float | None) -> float | None:
@@ -115,8 +114,14 @@ class ServiceMetrics:
 
     clock: Callable[[], float] = time.perf_counter
     started_at: float | None = None
-    #: most recent ack latencies (seconds), bounded to ``sample_cap``
+    #: most recent ack latencies (seconds), bounded to ``sample_cap``.
+    #: Since PR 10 this deque is the *registry histogram's* sample
+    #: store -- one window shared by snapshot, serve table and
+    #: exposition.
     sample_cap: int = 200_000
+    #: the metrics registry this instance publishes into (a private one
+    #: unless the caller shares a process-wide registry)
+    registry: MetricsRegistry | None = None
     ack_latencies_s: deque = field(default_factory=deque)
     #: the most recent flushes, same bound
     flushes: deque = field(default_factory=deque)
@@ -143,16 +148,38 @@ class ServiceMetrics:
     _depth_max: int = 0
     _ack_sum_s: float = 0.0
     _ack_max_s: float = 0.0
-    #: acks since the last :meth:`window` call (cleared by it)
-    _window_acks: list = field(default_factory=list)
     _window_started_at: float | None = None
 
     def __post_init__(self) -> None:
         if self.started_at is None:
             self.started_at = self.clock()
         self._window_started_at = self.started_at
-        self.ack_latencies_s = deque(self.ack_latencies_s, maxlen=self.sample_cap)
+        if self.registry is None:
+            self.registry = MetricsRegistry()
+        self._ack_hist = self.registry.histogram(
+            "dex.ack_latency_seconds",
+            "per-request enqueue-to-resolution latency",
+            window=self.sample_cap,
+        )
+        if self.ack_latencies_s:
+            for latency in self.ack_latencies_s:
+                self._ack_hist.observe(latency)
+            self._ack_hist.reset_window()
+        # one sample store: the histogram's bounded deque IS the
+        # public ack_latencies_s attribute
+        self.ack_latencies_s = self._ack_hist.samples
         self.flushes = deque(self.flushes, maxlen=self.sample_cap)
+
+    @property
+    def _window_acks(self) -> list:
+        """Acks since the last :meth:`window` call -- the histogram's
+        rolling mark (kept as a property so restore paths and tests may
+        reset it in place)."""
+        return self._ack_hist.window_samples
+
+    @_window_acks.setter
+    def _window_acks(self, values: Sequence[float]) -> None:
+        self._ack_hist.window_samples = list(values)
 
     # ------------------------------------------------------------------
     # recording
@@ -164,8 +191,9 @@ class ServiceMetrics:
             self._depth_max = depth
 
     def record_ack(self, latency_s: float, ok: bool) -> None:
-        self.ack_latencies_s.append(latency_s)
-        self._window_acks.append(latency_s)
+        # one observe: cumulative deque, rolling window and the sorted
+        # memo's invalidation all happen inside the histogram
+        self._ack_hist.observe(latency_s)
         self._ack_sum_s += latency_s
         if latency_s > self._ack_max_s:
             self._ack_max_s = latency_s
@@ -202,8 +230,12 @@ class ServiceMetrics:
     # summaries
     # ------------------------------------------------------------------
     def _summarise(
-        self, acks: Sequence[float], events: int, elapsed_s: float
+        self, sorted_acks: Sequence[float], events: int, elapsed_s: float
     ) -> dict[str, float | int | None]:
+        """Build a summary row.  ``sorted_acks`` must already be in
+        ascending order (the histogram's memoized sort, or one explicit
+        sort of a rolling window): the p50/p90/p99 reads then cost three
+        interpolations, not three sorts."""
         return {
             "elapsed_s": round(elapsed_s, 6),
             "events": events,
@@ -214,9 +246,9 @@ class ServiceMetrics:
             "shed": self.shed_events,
             "deadline_timeouts": self.deadline_timeouts,
             "retries": self.retries,
-            "ack_p50_ms": _ms(exact_quantile(acks, 0.50)),
-            "ack_p90_ms": _ms(exact_quantile(acks, 0.90)),
-            "ack_p99_ms": _ms(exact_quantile(acks, 0.99)),
+            "ack_p50_ms": _ms(quantile_sorted(sorted_acks, 0.50)),
+            "ack_p90_ms": _ms(quantile_sorted(sorted_acks, 0.90)),
+            "ack_p99_ms": _ms(quantile_sorted(sorted_acks, 0.99)),
             "ack_max_ms": _ms(self._ack_max_s if events else None),
             "ack_mean_ms": _ms(self._ack_sum_s / events if events else None),
             "batches": self.batches,
@@ -249,7 +281,7 @@ class ServiceMetrics:
         shed, deadline) appear in neither."""
         elapsed_s = self.clock() - (self.started_at or 0.0)
         row = self._summarise(
-            list(self.ack_latencies_s),
+            self._ack_hist.sorted_samples(),
             self.accepted_events + self.rejected_events,
             elapsed_s,
         )
@@ -277,7 +309,9 @@ class ServiceMetrics:
         summaries that follow cover only what happens after this call.
         Benchmarks use it to exclude a warmup phase (cold CSR caches,
         first-flush rebuilds) from the steady-state row."""
-        self.ack_latencies_s.clear()
+        # hist.clear() empties the shared sample deque (ack_latencies_s
+        # is the same object) *and* the running count/sum/max + memo
+        self._ack_hist.clear()
         self.flushes.clear()
         self.accepted_events = 0
         self.rejected_events = 0
@@ -302,13 +336,60 @@ class ServiceMetrics:
         the consumed samples and advance the boundary.  Counter and
         batch/queue columns stay cumulative."""
         now = self.clock()
-        acks = self._window_acks
+        acks = self._ack_hist.take_window()
         row = self._summarise(
-            acks, len(acks), now - (self._window_started_at or now)
+            sorted(acks), len(acks), now - (self._window_started_at or now)
         )
         # per-window max/mean, not the run-wide aggregates
         row["ack_max_ms"] = _ms(max(acks) if acks else None)
         row["ack_mean_ms"] = _ms(sum(acks) / len(acks) if acks else None)
-        self._window_acks = []
         self._window_started_at = now
         return row
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def publish_registry(self) -> MetricsRegistry:
+        """Sync the cumulative counters into the shared registry and
+        return it.  The ack-latency histogram needs no sync (it *is*
+        the registry's); counters publish on read so the hot path stays
+        two integer adds per event."""
+        registry = self.registry
+        assert registry is not None  # set in __post_init__
+        registry.counter(
+            "dex.acks_total", "requests resolved (healed or rejected)"
+        ).set_total(self.accepted_events + self.rejected_events)
+        registry.counter(
+            "dex.acks_accepted_total", "requests healed successfully"
+        ).set_total(self.accepted_events)
+        registry.counter(
+            "dex.acks_rejected_total", "requests resolved as rejected"
+        ).set_total(self.rejected_events)
+        registry.counter(
+            "dex.backpressure_total", "requests refused by the bounded queue"
+        ).set_total(self.backpressure_rejections)
+        registry.counter(
+            "dex.shed_total", "queued requests shed by admission policy"
+        ).set_total(self.shed_events)
+        registry.counter(
+            "dex.deadline_timeouts_total", "requests expired before flush"
+        ).set_total(self.deadline_timeouts)
+        registry.counter(
+            "dex.retries_total", "client retry attempts observed"
+        ).set_total(self.retries)
+        registry.counter(
+            "dex.batches_total", "gateway flushes executed"
+        ).set_total(self.batches)
+        registry.gauge(
+            "dex.heal_seconds_total", "cumulative engine wall-clock"
+        ).set(round(self.heal_s, 6))
+        registry.gauge(
+            "dex.queue_depth_max", "deepest queue observed at enqueue"
+        ).set(self._depth_max)
+        return registry
+
+    def render_exposition(self) -> str:
+        """Prometheus text exposition of the synced registry -- the
+        same histogram the serve table and soak row read, so the three
+        surfaces cannot disagree."""
+        return self.publish_registry().render_prometheus()

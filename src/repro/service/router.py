@@ -44,6 +44,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import GatewayClosed, ShardError
+from repro.obs import trace as _trace
 from repro.service.gateway import Ack
 from repro.service.metrics import ServiceMetrics, aggregate_snapshots
 from repro.service.shard import (
@@ -201,6 +202,9 @@ class _Pending:
     node: NodeId | None
     submitted_at: float
     deadline_at: float | None
+    #: the open router-side span for this request (tracing on only);
+    #: finished wherever the future resolves
+    span: "_trace.Span | None" = None
 
 
 @dataclass(eq=False)
@@ -404,9 +408,9 @@ class ShardRouter:
             if not pending.future.done():
                 latency = self._clock() - pending.submitted_at
                 self.metrics.record_ack(latency, ok=False)
-                pending.future.set_result(
-                    Ack(False, pending.kind, pending.node, reason, latency, 0)
-                )
+                ack = Ack(False, pending.kind, pending.node, reason, latency, 0)
+                pending.future.set_result(ack)
+                self._finish_pending_span(pending, ack)
         for rid in [
             r for r, c in self._pending_ctl.items() if c.shard == index
         ]:
@@ -488,16 +492,16 @@ class ShardRouter:
             if not pending.future.done():
                 latency = self._clock() - pending.submitted_at
                 self.metrics.record_ack(latency, ok=False)
-                pending.future.set_result(
-                    Ack(
-                        False,
-                        pending.kind,
-                        pending.node,
-                        "gateway closed before heal",
-                        latency,
-                        0,
-                    )
+                ack = Ack(
+                    False,
+                    pending.kind,
+                    pending.node,
+                    "gateway closed before heal",
+                    latency,
+                    0,
                 )
+                pending.future.set_result(ack)
+                self._finish_pending_span(pending, ack)
         for rid in list(self._pending_ctl):
             entry = self._pending_ctl.pop(rid)
             if not entry.future.done():
@@ -594,6 +598,7 @@ class ShardRouter:
         *,
         rid: int | None = None,
         commit: bool = False,
+        parent: "_trace.Span | None" = None,
     ) -> asyncio.Future:
         if not self.shard_is_live(shard):
             future = self._loop.create_future()
@@ -605,6 +610,24 @@ class ShardRouter:
         now = self._clock()
         deadline_s = deadline_ms / 1e3 if deadline_ms is not None else None
         future = self._loop.create_future()
+        rec = _trace.current()
+        span: "_trace.Span | None" = None
+        trace: tuple[str, str] | None = None
+        if rec.enabled:
+            # Explicit start/finish, never the ambient stack: the event
+            # loop interleaves many requests on one thread.
+            if parent is not None:
+                span = rec.start(
+                    "router.handoff.commit",
+                    trace_id=parent.trace_id,
+                    parent_id=parent.span_id,
+                    shard=shard,
+                )
+            else:
+                span = rec.start(
+                    "router.request", kind=kind, node=node, shard=shard
+                )
+            trace = (span.trace_id, span.span_id)
         self._pending[rid] = _Pending(
             future,
             shard,
@@ -612,9 +635,19 @@ class ShardRouter:
             node,
             now,
             now + deadline_s if deadline_s is not None else None,
+            span,
         )
-        self._post(shard, (rid, kind, node, attach_hint, deadline_s, commit))
+        self._post(
+            shard, (rid, kind, node, attach_hint, deadline_s, commit, trace)
+        )
         return future
+
+    def _finish_pending_span(self, pending: _Pending, ack: Ack) -> None:
+        sp = pending.span
+        if sp is not None:
+            pending.span = None
+            sp.set(ok=ack.ok, reason=ack.reason)
+            _trace.current().finish(sp)
 
     def _post(self, shard: int, req: tuple) -> None:
         """Coalesce sends: every request posted within one loop tick
@@ -646,16 +679,16 @@ class ShardRouter:
             self.net.add(ack["node"])
         if ack["ok"] and pending.kind == "leave" and pending.node is not None:
             self.net.discard(pending.node)
-        pending.future.set_result(
-            Ack(
-                ack["ok"],
-                ack["kind"],
-                ack["node"],
-                ack["reason"],
-                latency,
-                ack["batch_size"],
-            )
+        resolved = Ack(
+            ack["ok"],
+            ack["kind"],
+            ack["node"],
+            ack["reason"],
+            latency,
+            ack["batch_size"],
         )
+        pending.future.set_result(resolved)
+        self._finish_pending_span(pending, resolved)
 
     async def _sweep_deadlines(self) -> None:
         """Backstop: a request whose deadline passed is answered here
@@ -679,16 +712,16 @@ class ShardRouter:
                     continue
                 self.metrics.record_timeout()
                 self.metrics.record_ack(now - pending.submitted_at, ok=False)
-                pending.future.set_result(
-                    Ack(
-                        False,
-                        pending.kind,
-                        pending.node,
-                        DEADLINE_REASON,
-                        now - pending.submitted_at,
-                        0,
-                    )
+                ack = Ack(
+                    False,
+                    pending.kind,
+                    pending.node,
+                    DEADLINE_REASON,
+                    now - pending.submitted_at,
+                    0,
                 )
+                pending.future.set_result(ack)
+                self._finish_pending_span(pending, ack)
             expired_ctl = [
                 rid
                 for rid, c in self._pending_ctl.items()
@@ -716,13 +749,71 @@ class ShardRouter:
         a local sample (the hint is a liveness precondition, not an
         edge: DEX drops the adversarial attachment edge after healing,
         Algorithm 4.2 line 3)."""
+        rec = _trace.current()
+        if not rec.enabled:
+            return await self._handoff_impl(
+                node, hint, owner, hint_owner, deadline_ms, None
+            )
+        root = rec.start(
+            "router.request",
+            kind="join",
+            node=node,
+            shard=owner,
+            handoff=True,
+        )
+        try:
+            ack = await self._handoff_impl(
+                node, hint, owner, hint_owner, deadline_ms, root
+            )
+            root.set(ok=ack.ok, reason=ack.reason)
+            return ack
+        finally:
+            rec.finish(root)
+
+    async def _handoff_phase(
+        self,
+        root: "_trace.Span | None",
+        phase: str,
+        shard: int,
+        op: str,
+        **args: Any,
+    ) -> dict | None:
+        """One traced handoff control leg: a ``router.handoff.<phase>``
+        span (explicit parentage -- async code never uses the ambient
+        stack) whose ids travel to the shard in ``args['trace']``."""
+        rec = _trace.current()
+        if root is None or not rec.enabled:
+            return await self._control(shard, op, **args)
+        sp = rec.start(
+            f"router.handoff.{phase}",
+            trace_id=root.trace_id,
+            parent_id=root.span_id,
+            shard=shard,
+        )
+        args["trace"] = (root.trace_id, sp.span_id)
+        try:
+            return await self._control(shard, op, **args)
+        finally:
+            rec.finish(sp)
+
+    async def _handoff_impl(
+        self,
+        node: NodeId,
+        hint: NodeId,
+        owner: int,
+        hint_owner: int,
+        deadline_ms: float | None,
+        root: "_trace.Span | None",
+    ) -> Ack:
         self.handoffs_attempted += 1
         started_at = self._clock()
         deadline_at = (
             started_at + deadline_ms / 1e3 if deadline_ms is not None else None
         )
         rid = next(self._rids)
-        reserve = await self._control(
+        reserve = await self._handoff_phase(
+            root,
+            "reserve",
             owner,
             "reserve",
             rid=rid,
@@ -744,7 +835,9 @@ class ShardRouter:
         if self._handoff_expired(deadline_at):
             await self._control(owner, "release", rid=rid, node=node)
             return self._expire_handoff(node, started_at)
-        pin = await self._control(
+        pin = await self._handoff_phase(
+            root,
+            "pin",
             hint_owner,
             "pin",
             rid=rid,
@@ -773,7 +866,14 @@ class ShardRouter:
             else None
         )
         ack = await self._submit(
-            owner, "join", node, None, remaining_ms, rid=rid, commit=True
+            owner,
+            "join",
+            node,
+            None,
+            remaining_ms,
+            rid=rid,
+            commit=True,
+            parent=root,
         )
         await self._control(hint_owner, "unpin", rid=rid, node=hint)
         if ack.ok:
@@ -856,6 +956,26 @@ class ShardRouter:
         for wait in waits:
             await wait
         self.metrics.reset()
+
+    def publish_registry(self):
+        """Sync router-side counters -- end-to-end service metrics, the
+        handoff ledger, rid bookkeeping -- into the registry and return
+        it."""
+        registry = self.metrics.publish_registry()
+        for name, value in self.handoff_stats().items():
+            registry.gauge(
+                f"dex.handoffs.{name}", f"two-phase handoff ledger: {name}"
+            ).set(value)
+        registry.gauge(
+            "dex.router.pending_rids", "rid-correlated requests in flight"
+        ).set(len(self._pending))
+        registry.gauge(
+            "dex.router.pending_ctl", "control verbs awaiting replies"
+        ).set(len(self._pending_ctl))
+        registry.gauge(
+            "dex.router.down_shards", "shards out of rotation"
+        ).set(len(self._down))
+        return registry
 
     def handoff_stats(self) -> dict:
         return {

@@ -57,6 +57,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import ShardError, SnapshotError
+from repro.obs import trace as _trace
 from repro.service.metrics import ServiceMetrics
 from repro.types import NodeId
 
@@ -132,6 +133,11 @@ class _ShardRequest:
     #: set on commit joins: resolving this request (either way) consumes
     #: the reservation it rode in on
     commit: bool = False
+    #: ``(trace_id, parent_span_id)`` shipped over the pipe protocol so
+    #: a cross-shard journey renders as one trace (``None`` = untraced)
+    trace: tuple[str, str] | None = None
+    #: the open ``shard.request`` span while tracing is enabled
+    span: "_trace.Span | None" = None
 
 
 class ShardServer:
@@ -200,16 +206,30 @@ class ShardServer:
         attach_hint: NodeId | None,
         deadline_s: float | None = None,
         commit: bool = False,
+        trace: tuple[str, str] | None = None,
     ) -> None:
         """Queue one request.  ``deadline_s`` is *remaining* seconds at
         send time -- wall clocks are not comparable across processes, so
-        the worker re-anchors the deadline on its own clock at
-        receipt."""
+        the worker re-anchors the deadline on its own clock at receipt.
+        ``trace`` is the router's ``(trace_id, parent_span_id)`` pair:
+        the shard's spans for this request continue that trace, so a
+        cross-shard join is one coherent timeline."""
         now = self._clock()
         deadline_at = now + deadline_s if deadline_s is not None else None
-        self._queue.append(
-            _ShardRequest(rid, kind, node, attach_hint, now, deadline_at, commit)
+        request = _ShardRequest(
+            rid, kind, node, attach_hint, now, deadline_at, commit, trace
         )
+        rec = _trace.current()
+        if rec.enabled:
+            tid, pid = trace if trace is not None else (None, None)
+            request.span = rec.start(
+                "shard.request",
+                trace_id=tid,
+                parent_id=pid,
+                shard=self.index,
+                kind=kind,
+            )
+        self._queue.append(request)
         self.metrics.record_enqueue(len(self._queue))
 
     # ------------------------------------------------------------------
@@ -305,15 +325,55 @@ class ShardServer:
         acks.extend(screened)
         if not requests:
             return acks
+        rec = _trace.current()
+        root: "_trace.Span | None" = None
+        if rec.enabled:
+            # Adopt the first traced request's trace (parent = its
+            # shard.request span) so a handoff commit's flush joins the
+            # router's timeline; a fresh trace otherwise.
+            lead = next((r for r in requests if r.trace is not None), None)
+            root = rec.start(
+                "shard.flush",
+                trace_id=lead.trace[0] if lead is not None else None,
+                parent_id=(
+                    lead.span.span_id
+                    if lead is not None and lead.span is not None
+                    else None
+                ),
+                shard=self.index,
+                kind=kind,
+                batch=len(requests),
+            )
         t0 = self._clock()
         if kind == "join":
             payload = self._join_payload(requests)
-            outcome = self.net.insert_batch_partial(payload)
             nodes = [new_id for new_id, _attach in payload]
+            heal_call: Callable = self.net.insert_batch_partial
         else:
-            nodes = [request.node for request in requests]
-            outcome = self.net.delete_batch_partial(nodes)
+            payload = [request.node for request in requests]
+            nodes = list(payload)
+            heal_call = self.net.delete_batch_partial
+        if root is not None:
+            # ambient heal span: the engine's core.* / net.wave spans
+            # nest under it (flush is synchronous)
+            with _trace.span(
+                "shard.flush.heal",
+                trace_id=root.trace_id,
+                parent_id=root.span_id,
+            ):
+                outcome = heal_call(payload)
+        else:
+            outcome = heal_call(payload)
         heal_s = self._clock() - t0
+        rsp = (
+            rec.start(
+                "shard.flush.resolve",
+                trace_id=root.trace_id,
+                parent_id=root.span_id,
+            )
+            if root is not None
+            else None
+        )
         reasons = {r.index: r.reason for r in outcome.rejected}
         batch_size = len(requests)
         for index, request in enumerate(requests):
@@ -334,6 +394,9 @@ class ShardServer:
                     batch_size=batch_size,
                 )
             )
+        if rsp is not None:
+            rec.finish(rsp)
+            rec.finish(root)
         self.metrics.record_flush(
             "join" if kind == "join" else "leave",
             batch_size,
@@ -419,6 +482,9 @@ class ShardServer:
     ) -> dict:
         latency = self._clock() - request.received_at
         self.metrics.record_ack(latency, ok=ok)
+        if request.span is not None:
+            _trace.current().finish(request.span.set(ok=ok, reason=reason))
+            request.span = None
         return {
             "rid": request.rid,
             "ok": ok,
@@ -597,6 +663,22 @@ def build_shard(cfg: dict) -> ShardServer:
 
 
 def _handle_control(server: ShardServer, op: str, args: dict) -> dict:
+    """Dispatch one control verb.  Handoff verbs may carry a
+    ``trace`` pair from the router; the shard-side work then records a
+    ``shard.<op>`` span continuing that trace."""
+    trace = args.pop("trace", None)
+    if trace is not None and _trace.current().enabled:
+        with _trace.span(
+            f"shard.{op}",
+            trace_id=trace[0],
+            parent_id=trace[1],
+            shard=server.index,
+        ):
+            return _control_dispatch(server, op, args)
+    return _control_dispatch(server, op, args)
+
+
+def _control_dispatch(server: ShardServer, op: str, args: dict) -> dict:
     if op == "reserve":
         return server.reserve(args["rid"], args["node"], args["ttl_s"])
     if op == "release":
@@ -631,7 +713,30 @@ def shard_worker_main(conn: Any, cfg: dict) -> None:
     duplex pipe until a ``drain`` control arrives or the pipe closes.
     A dead router closes the pipe -> the worker exits; an engine
     failure is reported as a ``fatal`` message (the router answers the
-    shard's in-flight requests with shard-unavailable rejections)."""
+    shard's in-flight requests with shard-unavailable rejections).
+
+    ``cfg["trace_path"]`` installs a *streaming* span recorder writing
+    that JSONL file as spans finish: a SIGKILL'd worker still leaves a
+    parseable trace with at most a truncated tail."""
+    stream = None
+    if cfg.get("trace_path"):
+        out = Path(cfg["trace_path"])
+        out.parent.mkdir(parents=True, exist_ok=True)
+        stream = open(out, "w")
+        _trace.install(_trace.SpanRecorder(stream=stream, flush_every=8))
+    try:
+        _worker_loop(conn, cfg)
+    finally:
+        if stream is not None:
+            _trace.uninstall()
+            try:
+                stream.flush()
+                stream.close()
+            except OSError:  # pragma: no cover - disk full on last words
+                pass
+
+
+def _worker_loop(conn: Any, cfg: dict) -> None:
     import gc
     import traceback
 

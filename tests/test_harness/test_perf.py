@@ -199,7 +199,7 @@ class TestBenchHelpers:
             "service": {"pr5": {"n64": {"events_per_s": 900.0}}},
         }))
         report = perf.load_report(path)
-        assert report["schema"] == perf.SCHEMA == "dex-perf/7"
+        assert report["schema"] == perf.SCHEMA == "dex-perf/8"
         assert report["service"]["pr5"]["n64"]["events_per_s"] == 900.0
 
 

@@ -1,0 +1,141 @@
+"""Trace JSONL loading + rendering: truncated-tail tolerance (the
+SIGKILL contract), wrong-file rejection, rollup/timeline text views,
+and the ``python -m repro.obs`` / ``repro.cli trace`` entry points."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.render import (
+    busiest_trace,
+    load_trace,
+    main,
+    render_rollup,
+    render_timeline,
+)
+
+
+def _write_artifact(path, spans):
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"schema": trace.TRACE_SCHEMA, "created": "x"}) + "\n")
+        for span in spans:
+            fh.write(json.dumps(span) + "\n")
+
+
+def _span(name, trace_id="t1", span_id="s1", parent=None, t_s=0.0, dur_s=1.0, **attrs):
+    record = {
+        "trace": trace_id, "span": span_id, "parent": parent,
+        "name": name, "t_s": t_s, "dur_s": dur_s,
+    }
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+class TestLoadTrace:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_artifact(path, [_span("a"), _span("b", span_id="s2")])
+        header, spans, skipped = load_trace(path)
+        assert header["schema"] == trace.TRACE_SCHEMA
+        assert [s["name"] for s in spans] == ["a", "b"]
+        assert skipped == 0
+
+    def test_truncated_tail_is_tolerated_not_fatal(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_artifact(path, [_span("a")])
+        with open(path, "a") as fh:
+            fh.write('{"trace": "t1", "span": "s2", "nam')  # the kill point
+        _header, spans, skipped = load_trace(path)
+        assert [s["name"] for s in spans] == ["a"]
+        assert skipped == 1
+
+    def test_non_span_records_count_as_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_artifact(path, [_span("a")])
+        with open(path, "a") as fh:
+            fh.write('{"unrelated": 1}\n[1, 2]\n')
+        _header, spans, skipped = load_trace(path)
+        assert len(spans) == 1 and skipped == 2
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as fh:
+            fh.write(json.dumps(_span("a")) + "\n")
+        with pytest.raises(ValueError, match="no schema header"):
+            load_trace(path)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"schema": "dex-perf/8"}) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            load_trace(path)
+
+
+class TestViews:
+    def test_rollup_aggregates_per_name(self):
+        spans = [
+            _span("net.wave", dur_s=0.5),
+            _span("net.wave", span_id="s2", dur_s=1.5),
+            _span("gateway.flush", span_id="s3", dur_s=0.25),
+        ]
+        text = render_rollup(spans)
+        lines = text.splitlines()
+        assert "span" in lines[0] and "count" in lines[0]
+        wave_row = next(line for line in lines if line.startswith("net.wave"))
+        assert "2" in wave_row  # count
+        assert render_rollup([]) == "(no spans)"
+
+    def test_timeline_indents_children_and_defaults_to_busiest(self):
+        spans = [
+            _span("root", trace_id="tBig", span_id="r", t_s=0.0),
+            _span("child", trace_id="tBig", span_id="c", parent="r", t_s=0.1),
+            _span("lonely", trace_id="tSmall", span_id="x"),
+        ]
+        assert busiest_trace(spans) == "tBig"
+        text = render_timeline(spans)
+        assert "trace tBig (2 spans)" in text
+        root_line = next(line for line in text.splitlines() if "root" in line)
+        child_line = next(line for line in text.splitlines() if "child" in line)
+        assert child_line.index("child") > root_line.index("root")
+
+    def test_timeline_explicit_trace_and_miss(self):
+        spans = [_span("a", trace_id="t1")]
+        assert "t1" in render_timeline(spans, "t1")
+        assert "no spans for trace tX" in render_timeline(spans, "tX")
+        assert render_timeline([]) == "(no spans)"
+
+    def test_timeline_limit_elides(self):
+        spans = [
+            _span("s", span_id=f"s{i}", t_s=float(i)) for i in range(5)
+        ]
+        text = render_timeline(spans, "t1", limit=2)
+        assert "3 more spans elided" in text
+
+
+class TestEntryPoints:
+    def _artifact(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_artifact(path, [
+            _span("root", span_id="r"),
+            _span("leaf", span_id="c", parent="r", t_s=0.2),
+        ])
+        return path
+
+    def test_obs_main_renders_both_views(self, tmp_path, capsys):
+        assert main([str(self._artifact(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "2 spans" in out
+        assert "root" in out and "leaf" in out
+
+    def test_cli_trace_subcommand_delegates(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        path = self._artifact(tmp_path)
+        assert cli_main(["trace", str(path), "--rollup"]) == 0
+        out = capsys.readouterr().out
+        assert "root" in out and "mean_ms" in out

@@ -1,0 +1,194 @@
+"""obs.trace units: span lifecycle and ids, ambient parentage, the
+no-op contract while disabled, ring bounds, streaming flush cadence,
+and the recording_to install/restore bracket."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _noop_between_tests():
+    trace.uninstall()
+    yield
+    trace.uninstall()
+
+
+class FakeClock:
+    def __init__(self, t: float = 100.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestDisabled:
+    def test_default_recorder_is_noop(self):
+        assert trace.current() is trace.NOOP_RECORDER
+        assert not trace.enabled()
+
+    def test_span_yields_shared_noop_and_records_nothing(self):
+        with trace.span("x", a=1) as sp:
+            assert sp is trace.NOOP_SPAN
+            assert sp.set(b=2) is sp  # chainable, inert
+
+    def test_noop_recorder_start_finish_are_inert(self):
+        rec = trace.NOOP_RECORDER
+        sp = rec.start("anything", weird=object())
+        assert sp is trace.NOOP_SPAN
+        rec.finish(sp)
+        assert rec.new_trace_id() is None
+
+
+class TestRecorder:
+    def test_install_returns_previous_and_uninstall_restores_noop(self):
+        rec = trace.SpanRecorder()
+        previous = trace.install(rec)
+        assert previous is trace.NOOP_RECORDER
+        assert trace.current() is rec and trace.enabled()
+        trace.uninstall()
+        assert trace.current() is trace.NOOP_RECORDER
+
+    def test_finish_computes_duration_on_injected_clock(self):
+        clock = FakeClock()
+        rec = trace.SpanRecorder(clock=clock)
+        sp = rec.start("phase")
+        clock.t += 2.5
+        rec.finish(sp)
+        (record,) = rec.spans
+        assert record["name"] == "phase"
+        assert record["t_s"] == 0.0
+        assert record["dur_s"] == 2.5
+        assert record["parent"] is None
+
+    def test_ids_are_unique_and_pid_tagged(self):
+        rec = trace.SpanRecorder()
+        ids = {rec.start(f"s{i}").span_id for i in range(64)}
+        ids |= {rec.new_trace_id() for _ in range(64)}
+        assert len(ids) == 128
+        assert all("-" in i for i in ids)
+
+    def test_attrs_survive_set_and_only_appear_when_nonempty(self):
+        rec = trace.SpanRecorder()
+        bare = rec.start("bare")
+        rec.finish(bare)
+        rich = rec.start("rich", a=1)
+        rich.set(b=2)
+        rec.finish(rich)
+        bare_rec, rich_rec = rec.spans
+        assert "attrs" not in bare_rec
+        assert rich_rec["attrs"] == {"a": 1, "b": 2}
+
+    def test_ring_capacity_evicts_oldest(self):
+        rec = trace.SpanRecorder(capacity=4)
+        for i in range(10):
+            rec.finish(rec.start(f"s{i}"))
+        assert [s["name"] for s in rec.spans] == ["s6", "s7", "s8", "s9"]
+
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            trace.SpanRecorder(capacity=0)
+
+
+class TestAmbientNesting:
+    def test_children_inherit_trace_and_parent(self):
+        rec = trace.SpanRecorder()
+        trace.install(rec)
+        with trace.span("outer") as outer:
+            with trace.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+                assert trace.current_span() is inner
+            assert trace.current_span() is outer
+        assert trace.current_span() is None
+        assert [s["name"] for s in rec.spans] == ["inner", "outer"]
+
+    def test_explicit_remote_parent_overrides_ambient(self):
+        rec = trace.SpanRecorder()
+        trace.install(rec)
+        with trace.span("local"):
+            with trace.span("remote", trace_id="tX", parent_id="sX") as sp:
+                assert sp.trace_id == "tX"
+                assert sp.parent_id == "sX"
+
+    def test_stack_unwinds_on_exception(self):
+        trace.install(trace.SpanRecorder())
+        with pytest.raises(RuntimeError):
+            with trace.span("doomed"):
+                raise RuntimeError("boom")
+        assert trace.current_span() is None
+
+    def test_threads_have_independent_stacks(self):
+        rec = trace.SpanRecorder()
+        trace.install(rec)
+        seen: list[str | None] = []
+
+        def worker():
+            # the main thread's open span must not leak in here
+            seen.append(
+                trace.current_span().name if trace.current_span() else None
+            )
+            with trace.span("thread-span") as sp:
+                seen.append(sp.parent_id)
+
+        with trace.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen == [None, None]
+
+
+class TestStreamingAndExport:
+    def test_stream_gets_header_then_flushed_spans(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        with open(out, "w") as fh:
+            rec = trace.SpanRecorder(stream=fh, flush_every=2)
+            rec.finish(rec.start("a"))
+            first = out.read_text().splitlines()
+            assert json.loads(first[0])["schema"] == trace.TRACE_SCHEMA
+            rec.finish(rec.start("b"))  # second span crosses flush_every
+            lines = out.read_text().splitlines()
+        assert [json.loads(line).get("name") for line in lines[1:]] == ["a", "b"]
+
+    def test_export_jsonl_round_trips(self, tmp_path):
+        from repro.obs.render import load_trace
+
+        rec = trace.SpanRecorder()
+        root = rec.start("root")
+        child = rec.start(
+            "child", trace_id=root.trace_id, parent_id=root.span_id, k=3
+        )
+        rec.finish(child)
+        rec.finish(root)
+        path = rec.export_jsonl(tmp_path / "export.jsonl")
+        header, spans, skipped = load_trace(path)
+        assert header["schema"] == trace.TRACE_SCHEMA
+        assert skipped == 0
+        assert [s["name"] for s in spans] == ["child", "root"]
+        assert spans[0]["parent"] == spans[1]["span"]
+
+    def test_recording_to_streams_and_restores_previous(self, tmp_path):
+        from repro.obs.render import load_trace
+
+        out = tmp_path / "rec.jsonl"
+        outer = trace.SpanRecorder()
+        trace.install(outer)
+        with trace.recording_to(out) as rec:
+            assert trace.current() is rec
+            with trace.span("inside"):
+                pass
+        assert trace.current() is outer
+        _header, spans, _skipped = load_trace(out)
+        assert [s["name"] for s in spans] == ["inside"]
+
+    def test_recording_to_without_path_keeps_ring_only(self):
+        with trace.recording_to() as rec:
+            with trace.span("ringed"):
+                pass
+        assert [s["name"] for s in rec.spans] == ["ringed"]
+        assert trace.current() is trace.NOOP_RECORDER

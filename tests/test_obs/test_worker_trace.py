@@ -1,0 +1,92 @@
+"""Fault contract: a SIGKILL'd shard worker leaves a parseable trace.
+
+The worker streams spans as JSONL (flushed every few spans), so killing
+it mid-soak must leave a file whose header parses and whose tail is at
+worst truncated -- exactly what the loader tolerates.  Slow by necessity
+(spawn-context process + bootstrap), one test covers the contract."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import time
+
+from repro.obs import trace
+from repro.obs.render import load_trace
+from repro.service.shard import (
+    MSG_ACKS,
+    MSG_READY,
+    MSG_REQUESTS,
+    shard_worker_main,
+)
+
+
+def test_sigkilled_worker_leaves_parseable_trace(tmp_path):
+    trace_path = tmp_path / "shard0.jsonl"
+    ctx = mp.get_context("spawn")
+    parent, child = ctx.Pipe()
+    cfg = {
+        "shards": 1,
+        "index": 0,
+        "seed": 7,
+        "n_local": 16,
+        "max_batch": 8,
+        "window_ms": 0.0,
+        "trace_path": str(trace_path),
+    }
+    proc = ctx.Process(target=shard_worker_main, args=(child, cfg), daemon=True)
+    proc.start()
+    child.close()
+    try:
+        kind, ready = parent.recv()
+        assert kind == MSG_READY
+        nodes = ready["nodes"]
+        base = max(nodes) + 1
+
+        def batch(start_rid):
+            return [
+                (
+                    rid,
+                    "join",
+                    base + rid,
+                    nodes[rid % len(nodes)],
+                    None,
+                    False,
+                    ("t-killtest", f"s-parent-{rid}"),
+                )
+                for rid in range(start_rid, start_rid + 8)
+            ]
+
+        def await_acks():
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if parent.poll(0.5):
+                    kind, _payload = parent.recv()
+                    if kind == MSG_ACKS:
+                        return True
+            return False
+
+        # two flush cycles: the second pushes the first cycle's root
+        # span past the stream's flush threshold, so the artifact holds
+        # at least one complete flush tree when the kill lands
+        parent.send((MSG_REQUESTS, batch(0)))
+        assert await_acks(), "worker never flushed"
+        parent.send((MSG_REQUESTS, batch(8)))
+        assert await_acks(), "worker never flushed twice"
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join(10)
+        assert proc.exitcode == -signal.SIGKILL
+    finally:
+        if proc.is_alive():  # pragma: no cover - cleanup on assert failure
+            proc.kill()
+            proc.join(10)
+
+    header, spans, _skipped = load_trace(trace_path)
+    assert header["schema"] == trace.TRACE_SCHEMA
+    assert spans, "streaming recorder left no spans before the kill"
+    names = {s["name"] for s in spans}
+    assert "shard.request" in names and "shard.flush" in names
+    # the pipe-shipped trace pair was honoured across the process gap
+    request_spans = [s for s in spans if s["name"] == "shard.request"]
+    assert all(s["trace"] == "t-killtest" for s in request_spans)

@@ -124,6 +124,79 @@ class TestServiceMetrics:
         assert snap["backpressure"] == 2
         assert snap["events"] == 0  # backpressure answers are not acks
 
+    def test_one_histogram_backs_snapshot_window_and_exposition(self):
+        """PR 10 satellite: the cumulative snapshot, the rolling window
+        row and the Prometheus exposition all read the SAME registry
+        histogram -- identity on the sample store, agreement on the
+        numbers."""
+        clock = _FakeClock()
+        metrics = ServiceMetrics(clock=clock)
+        hist = metrics.registry.histogram("dex.ack_latency_seconds")
+        # the public deque IS the histogram's sample store
+        assert metrics.ack_latencies_s is hist.samples
+        for latency in (0.010, 0.020, 0.030, 0.040, 0.050):
+            metrics.record_ack(latency, ok=True)
+        clock.now += 1.0
+        snap = metrics.snapshot()
+        summary = hist.summary()
+        assert snap["ack_p50_ms"] == pytest.approx(summary["p50"] * 1e3)
+        assert snap["ack_p99_ms"] == pytest.approx(summary["p99"] * 1e3)
+        assert snap["events"] == summary["count"]
+        text = metrics.render_exposition()
+        assert "dex_ack_latency_seconds_count 5" in text
+        assert 'dex_ack_latency_seconds{quantile="0.5"} 0.03' in text
+        assert "dex_acks_total 5" in text
+        # window() consumes the histogram's rolling mark
+        row = metrics.window()
+        assert row["events"] == 5
+        assert hist.window_samples == []
+        # exposition quantiles stay cumulative after the window reset
+        assert 'quantile="0.5"} 0.03' in metrics.render_exposition()
+
+    def test_snapshot_quantiles_equal_naive_sort_every_call(self):
+        """PR 10 satellite: the memoized sort is an optimisation, not an
+        approximation -- every snapshot's percentiles equal an explicit
+        sort + exact_quantile over the retained samples, including after
+        the memo has been reused and after new appends invalidate it."""
+        import random
+
+        clock = _FakeClock()
+        metrics = ServiceMetrics(clock=clock)
+        rng = random.Random(41)
+        for round_no in range(4):
+            for _ in range(50):
+                metrics.record_ack(rng.random(), ok=True)
+            clock.now += 1.0
+            for _ in range(2):  # second call exercises the memo path
+                snap = metrics.snapshot()
+                naive = sorted(metrics.ack_latencies_s)
+                for col, q in (
+                    ("ack_p50_ms", 0.50),
+                    ("ack_p90_ms", 0.90),
+                    ("ack_p99_ms", 0.99),
+                ):
+                    expected = exact_quantile(naive, q)
+                    assert snap[col] == pytest.approx(expected * 1e3), (
+                        round_no,
+                        col,
+                    )
+
+    def test_snapshot_reuses_sorted_memo_between_calls(self):
+        """No re-sort when nothing new arrived: two back-to-back
+        snapshots read the identical sorted list object; one new ack
+        invalidates it."""
+        metrics = ServiceMetrics(clock=_FakeClock())
+        hist = metrics.registry.histogram("dex.ack_latency_seconds")
+        metrics.record_ack(0.030, ok=True)
+        metrics.record_ack(0.010, ok=True)
+        metrics.snapshot()
+        first = hist.sorted_samples()
+        metrics.snapshot()
+        assert hist.sorted_samples() is first
+        metrics.record_ack(0.020, ok=True)
+        metrics.snapshot()
+        assert hist.sorted_samples() is not first
+
     def test_reset_windows_reanchors_clock_keeps_counters(self):
         """The post-restore hygiene call: elapsed/window time restarts at
         *now* and pending window samples drop, but cumulative counters
